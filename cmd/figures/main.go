@@ -1,0 +1,132 @@
+// Command figures regenerates the data behind the paper's evaluation
+// figures at a configurable scale.
+//
+//	figures -figure 1                          # model-size census (Figure 1)
+//	figures -figure 2 -sizes 10,15,20 -timeout 10s -queries 5
+//	figures -figure 2 -full                    # the paper's full grid (hours)
+//	figures -figure 1 -csv                     # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"milpjoin/internal/experiments"
+)
+
+func main() {
+	var (
+		figure  = flag.Int("figure", 1, "figure to regenerate: 1, 2, or 3 (extra: heuristic comparison)")
+		sizes   = flag.String("sizes", "", "comma-separated table counts (default depends on figure)")
+		queries = flag.Int("queries", 0, "random queries per configuration (default 20 for -figure 1, 5 for -figure 2)")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-query optimization budget for figure 2")
+		samples = flag.Int("samples", 10, "sample points within the timeout for figure 2")
+		threads = flag.Int("threads", 2, "solver threads per optimization run")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		full    = flag.Bool("full", false, "use the paper's full configuration (sizes 10-60, 20 queries, 60s)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of a text table")
+	)
+	flag.Parse()
+
+	sz, err := parseSizes(*sizes)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *figure {
+	case 3: // extra experiment: MILP vs randomized algorithms
+		rows, err := experiments.HeuristicComparison(experiments.HeuristicComparisonConfig{
+			Tables:  firstOr(sz, 12),
+			Queries: *queries,
+			Budget:  *timeout,
+			Threads: *threads,
+			Seed:    *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderHeuristicComparison(os.Stdout, rows)
+	case 1:
+		cfg := experiments.Figure1Config{Sizes: sz, QueriesPerSize: *queries, Seed: *seed}
+		if *full {
+			cfg.Sizes = nil
+			cfg.QueriesPerSize = 20
+		}
+		rows, err := experiments.Figure1(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			experiments.RenderFigure1CSV(os.Stdout, rows)
+		} else {
+			experiments.RenderFigure1(os.Stdout, rows)
+		}
+	case 2:
+		cfg := experiments.Figure2Config{
+			Sizes:          sz,
+			QueriesPerCell: *queries,
+			Timeout:        *timeout,
+			Samples:        *samples,
+			Threads:        *threads,
+			Seed:           *seed,
+		}
+		if cfg.QueriesPerCell == 0 {
+			cfg.QueriesPerCell = 5
+		}
+		if cfg.Sizes == nil && !*full {
+			cfg.Sizes = []int{10, 15, 20}
+		}
+		if *full {
+			cfg = experiments.Figure2Config{Seed: *seed, Threads: *threads}
+		}
+		eff := cfg.WithDefaults()
+		perCell := time.Duration(eff.QueriesPerCell*(len(eff.Precisions)+1)) * eff.Timeout
+		fmt.Fprintf(os.Stderr, "figure 2: %d cells, worst-case ~%v per cell\n",
+			len(eff.Shapes)*len(eff.Sizes), perCell)
+		cells, err := experiments.Figure2(cfg, func(cell experiments.Figure2Cell) {
+			fmt.Fprintf(os.Stderr, "  done: %s, %d tables\n", cell.Shape, cell.Tables)
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			experiments.RenderFigure2CSV(os.Stdout, cells)
+		} else {
+			experiments.RenderFigure2(os.Stdout, cells)
+		}
+	default:
+		fatal(fmt.Errorf("unknown figure %d (1 and 2 are the paper's; 3 is the extra heuristic comparison)", *figure))
+	}
+}
+
+func firstOr(xs []int, def int) int {
+	if len(xs) > 0 {
+		return xs[0]
+	}
+	return def
+}
+
+func parseSizes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

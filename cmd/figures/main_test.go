@@ -1,0 +1,16 @@
+package main
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("10, 20,30")
+	if err != nil || len(got) != 3 || got[0] != 10 || got[2] != 30 {
+		t.Fatalf("parseSizes = %v, %v", got, err)
+	}
+	if out, err := parseSizes(""); err != nil || out != nil {
+		t.Errorf("empty = %v, %v", out, err)
+	}
+	if _, err := parseSizes("10,abc"); err == nil {
+		t.Error("bad size accepted")
+	}
+}

@@ -1,0 +1,218 @@
+// Command joinopt optimizes a join query via the MILP encoding and prints
+// the resulting plan with its anytime quality trace.
+//
+// Queries come either from a JSON file (-query) or from the built-in
+// Steinbrunn-style generator (-tables/-shape/-seed). Example:
+//
+//	joinopt -tables 20 -shape star -precision medium -timeout 10s
+//	joinopt -query q.json -metric cout -lp model.lp
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"milpjoin/internal/core"
+	"milpjoin/internal/cost"
+	"milpjoin/internal/dp"
+	"milpjoin/internal/qopt"
+	"milpjoin/internal/solver"
+	"milpjoin/internal/sql"
+	"milpjoin/internal/workload"
+)
+
+func main() {
+	var (
+		queryFile = flag.String("query", "", "JSON query file (overrides the generator flags)")
+		sqlText   = flag.String("sql", "", "SQL select-project-join query (requires -catalog)")
+		catFile   = flag.String("catalog", "", "JSON catalog with table statistics for -sql")
+		tables    = flag.Int("tables", 10, "number of tables for the generator")
+		shapeName = flag.String("shape", "star", "join graph shape: chain, cycle, star, clique")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		precision = flag.String("precision", "medium", "cardinality approximation: high, medium, low")
+		metric    = flag.String("metric", "hash", "cost metric: cout, hash, smj, bnl, choose")
+		timeout   = flag.Duration("timeout", 30*time.Second, "optimization time budget")
+		gap       = flag.Float64("gap", 1e-6, "relative MIP gap at which to stop")
+		threads   = flag.Int("threads", 4, "parallel branch-and-bound workers")
+		lpFile    = flag.String("lp", "", "also write the MILP in LP format to this file")
+		runDP     = flag.Bool("dp", false, "also run the dynamic programming baseline")
+		quiet     = flag.Bool("quiet", false, "suppress the anytime trace")
+	)
+	flag.Parse()
+
+	q, err := loadQuery(*queryFile, *sqlText, *catFile, *shapeName, *tables, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	opts, err := buildOptions(*precision, *metric)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *lpFile != "" {
+		enc, err := core.Encode(q, opts)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*lpFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := enc.Model.WriteLP(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *lpFile)
+	}
+
+	params := solver.Params{
+		TimeLimit: *timeout,
+		GapTol:    *gap,
+		Threads:   *threads,
+	}
+	if !*quiet {
+		params.OnImprovement = func(p solver.Progress) {
+			inc := "-"
+			if p.HasIncumbent {
+				inc = fmt.Sprintf("%.6g", p.Incumbent)
+			}
+			fmt.Printf("  t=%-8s incumbent=%-14s bound=%-14.6g gap=%.3f nodes=%d\n",
+				p.Elapsed.Truncate(time.Millisecond), inc, p.Bound, p.Gap, p.Nodes)
+		}
+	}
+
+	fmt.Printf("optimizing %d tables, %d predicates (%s metric, %s precision)\n",
+		q.NumTables(), len(q.Predicates), *metric, *precision)
+	start := time.Now()
+	res, err := core.Optimize(q, opts, params)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("status: %v after %v (%d nodes, %d simplex iterations)\n",
+		res.Solver.Status, time.Since(start).Truncate(time.Millisecond), res.Solver.Nodes, res.Solver.SimplexIters)
+	if res.Plan == nil {
+		fmt.Println("no plan found within the budget")
+		os.Exit(2)
+	}
+	fmt.Printf("plan:       %s\n", res.Plan)
+	if res.Plan.Operators != nil {
+		ops := make([]string, len(res.Plan.Operators))
+		for i, op := range res.Plan.Operators {
+			ops[i] = op.String()
+		}
+		fmt.Printf("operators:  %s\n", strings.Join(ops, ", "))
+	}
+	fmt.Printf("milp obj:   %.6g (bound %.6g, gap %.4f)\n", res.MILPObj, res.Solver.Bound, res.Solver.Gap)
+	fmt.Printf("exact cost: %.6g\n", res.ExactCost)
+
+	if *runDP {
+		spec := opts.Spec()
+		dpStart := time.Now()
+		pl, c, err := dp.OptimizeLeftDeep(q, spec, dp.Options{Deadline: dpStart.Add(*timeout)})
+		if err != nil {
+			fmt.Printf("dp:         no plan (%v)\n", err)
+		} else {
+			fmt.Printf("dp:         %s cost %.6g in %v\n", pl, c, time.Since(dpStart).Truncate(time.Millisecond))
+		}
+	}
+}
+
+func loadQuery(file, sqlText, catFile, shapeName string, tables int, seed int64) (*qopt.Query, error) {
+	if sqlText != "" {
+		if catFile == "" {
+			return nil, fmt.Errorf("-sql requires -catalog")
+		}
+		data, err := os.ReadFile(catFile)
+		if err != nil {
+			return nil, err
+		}
+		cat := sql.NewCatalog()
+		if err := json.Unmarshal(data, &cat.Tables); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", catFile, err)
+		}
+		stmt, err := sql.Parse(sqlText)
+		if err != nil {
+			return nil, err
+		}
+		q, _, err := cat.Translate(stmt)
+		return q, err
+	}
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		var q qopt.Query
+		if err := json.Unmarshal(data, &q); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", file, err)
+		}
+		return &q, q.Validate()
+	}
+	shape, err := parseShape(shapeName)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Generate(shape, tables, seed, workload.Config{}), nil
+}
+
+func parseShape(s string) (workload.GraphShape, error) {
+	switch s {
+	case "chain":
+		return workload.Chain, nil
+	case "cycle":
+		return workload.Cycle, nil
+	case "star":
+		return workload.Star, nil
+	case "clique":
+		return workload.Clique, nil
+	default:
+		return 0, fmt.Errorf("unknown shape %q", s)
+	}
+}
+
+func buildOptions(precision, metric string) (core.Options, error) {
+	opts := core.Options{}
+	switch precision {
+	case "high":
+		opts.Precision = core.PrecisionHigh
+	case "medium":
+		opts.Precision = core.PrecisionMedium
+	case "low":
+		opts.Precision = core.PrecisionLow
+	default:
+		return opts, fmt.Errorf("unknown precision %q", precision)
+	}
+	switch metric {
+	case "cout":
+		opts.Metric = cost.Cout
+	case "hash":
+		opts.Metric = cost.OperatorCost
+		opts.Op = cost.HashJoin
+	case "smj":
+		opts.Metric = cost.OperatorCost
+		opts.Op = cost.SortMergeJoin
+	case "bnl":
+		opts.Metric = cost.OperatorCost
+		opts.Op = cost.BlockNestedLoopJoin
+		opts.CardCap = 1e8
+	case "choose":
+		opts.Metric = cost.OperatorCost
+		opts.Op = cost.HashJoin
+		opts.ChooseOperators = true
+		opts.CardCap = 1e8
+	default:
+		return opts, fmt.Errorf("unknown metric %q", metric)
+	}
+	return opts, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "joinopt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"milpjoin/internal/cost"
+	"milpjoin/internal/workload"
+)
+
+func TestParseShape(t *testing.T) {
+	for name, want := range map[string]workload.GraphShape{
+		"chain": workload.Chain, "cycle": workload.Cycle,
+		"star": workload.Star, "clique": workload.Clique,
+	} {
+		got, err := parseShape(name)
+		if err != nil || got != want {
+			t.Errorf("parseShape(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseShape("triangle"); err == nil {
+		t.Error("unknown shape accepted")
+	}
+}
+
+func TestBuildOptions(t *testing.T) {
+	opts, err := buildOptions("high", "cout")
+	if err != nil || opts.Metric != cost.Cout {
+		t.Fatalf("cout: %+v %v", opts, err)
+	}
+	opts, err = buildOptions("low", "choose")
+	if err != nil || !opts.ChooseOperators {
+		t.Fatalf("choose: %+v %v", opts, err)
+	}
+	if _, err := buildOptions("ultra", "hash"); err == nil {
+		t.Error("bad precision accepted")
+	}
+	if _, err := buildOptions("high", "quantum"); err == nil {
+		t.Error("bad metric accepted")
+	}
+}
+
+func TestLoadQueryGenerator(t *testing.T) {
+	q, err := loadQuery("", "", "", "star", 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumTables() != 6 || len(q.Predicates) != 5 {
+		t.Errorf("generated %d tables, %d predicates", q.NumTables(), len(q.Predicates))
+	}
+}
+
+func TestLoadQueryJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.json")
+	content := `{
+		"tables": [{"name": "A", "card": 10}, {"name": "B", "card": 20}],
+		"predicates": [{"name": "p", "tables": [0, 1], "sel": 0.5}]
+	}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q, err := loadQuery(path, "", "", "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumTables() != 2 || q.Tables[0].Name != "A" || q.Predicates[0].Sel != 0.5 {
+		t.Errorf("parsed query = %+v", q)
+	}
+	// Invalid JSON and invalid query both error.
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := loadQuery(bad, "", "", "", 0, 0); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	invalid := filepath.Join(dir, "invalid.json")
+	os.WriteFile(invalid, []byte(`{"tables": [{"name": "A", "card": 10}]}`), 0o644)
+	if _, err := loadQuery(invalid, "", "", "", 0, 0); err == nil {
+		t.Error("single-table query accepted")
+	}
+}
+
+func TestLoadQuerySQL(t *testing.T) {
+	q, err := loadQuery("", "SELECT * FROM orders o, customers c WHERE o.cust_id = c.id",
+		"../../testdata/catalog.json", "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumTables() != 2 || len(q.Predicates) != 1 {
+		t.Errorf("sql query = %+v", q)
+	}
+	if _, err := loadQuery("", "SELECT * FROM a, b WHERE a.x = b.y", "", "", 0, 0); err == nil {
+		t.Error("-sql without -catalog accepted")
+	}
+}

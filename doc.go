@@ -1,0 +1,10 @@
+// Package milpjoin reproduces "Solving the Join Ordering Problem via Mixed
+// Integer Linear Programming" (Trummer & Koch, SIGMOD 2017): a transformation
+// of left-deep join ordering into MILP, solved by a from-scratch pure-Go MILP
+// solver (sparse revised simplex + branch and bound) standing in for Gurobi.
+//
+// The library lives under internal/: see internal/core for the encoder (the
+// paper's contribution), internal/solver for the MILP solver facade, and
+// internal/experiments for the harnesses regenerating the paper's figures.
+// Entry points: cmd/joinopt, cmd/figures, and the examples/ directory.
+package milpjoin

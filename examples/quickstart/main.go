@@ -1,0 +1,56 @@
+// Quickstart: encode a join query as a MILP, solve it, and print the plan.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"milpjoin/internal/core"
+	"milpjoin/internal/cost"
+	"milpjoin/internal/qopt"
+	"milpjoin/internal/solver"
+)
+
+func main() {
+	// The paper's running example: R ⋈ S ⋈ T with one predicate R–S.
+	query := &qopt.Query{
+		Tables: []qopt.Table{
+			{Name: "R", Card: 10},
+			{Name: "S", Card: 1000},
+			{Name: "T", Card: 100},
+		},
+		Predicates: []qopt.Predicate{
+			{Name: "R.id = S.rid", Tables: []int{0, 1}, Sel: 0.1},
+		},
+	}
+
+	// Encode with the high-precision threshold ladder (cardinalities
+	// approximated within a factor of 3) and minimize the C_out metric:
+	// the sum of intermediate result sizes.
+	opts := core.Options{
+		Precision: core.PrecisionHigh,
+		Metric:    cost.Cout,
+	}
+
+	result, err := core.Optimize(query, opts, solver.Params{
+		TimeLimit: 10 * time.Second,
+		Threads:   2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("solver status:  %v\n", result.Solver.Status)
+	fmt.Printf("join order:     %s\n", result.Plan)
+	fmt.Printf("approx. C_out:  %.0f (MILP objective)\n", result.MILPObj)
+	fmt.Printf("exact C_out:    %.0f\n", result.ExactCost)
+	fmt.Printf("proven bound:   %.0f (gap %.4f)\n", result.Solver.Bound, result.Solver.Gap)
+
+	// The encoding itself is inspectable: Table 1/2 of the paper in code.
+	stats := result.Encoding.Stats()
+	fmt.Printf("MILP size:      %d variables (%d binary), %d constraints\n",
+		stats.Vars, stats.IntVars, stats.Constrs)
+}

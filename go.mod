@@ -1,0 +1,3 @@
+module milpjoin
+
+go 1.22

@@ -1,0 +1,74 @@
+package bb
+
+import (
+	"container/heap"
+
+	"milpjoin/internal/simplex"
+)
+
+// boundChange tightens one bound of one variable relative to the parent.
+type boundChange struct {
+	varIdx  int
+	isLower bool
+	value   float64
+}
+
+// node is a branch-and-bound subproblem, represented as a chain of bound
+// changes back to the root plus a warm-start basis from the parent's LP.
+type node struct {
+	parent *node
+	change boundChange // meaningless at the root (parent == nil)
+	depth  int
+	bound  float64 // inherited LP bound (lower bound on this subtree)
+	basis  *simplex.Basis
+
+	// branching bookkeeping for pseudocost updates: the fractionality
+	// consumed by this node's bound change.
+	frac        float64
+	parentBound float64
+}
+
+// applyBounds walks the chain root→node, tightening l and u in place.
+func (nd *node) applyBounds(l, u []float64) {
+	// Collect the path; chains are short (tree depth).
+	var path []*node
+	for cur := nd; cur != nil && cur.parent != nil; cur = cur.parent {
+		path = append(path, cur)
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		ch := path[i].change
+		if ch.isLower {
+			if ch.value > l[ch.varIdx] {
+				l[ch.varIdx] = ch.value
+			}
+		} else {
+			if ch.value < u[ch.varIdx] {
+				u[ch.varIdx] = ch.value
+			}
+		}
+	}
+}
+
+// nodeHeap is a best-first priority queue ordered by ascending LP bound;
+// ties break toward deeper nodes (closer to integer feasibility).
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
+	}
+	return h[i].depth > h[j].depth
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	nd := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return nd
+}
+
+var _ heap.Interface = (*nodeHeap)(nil)

@@ -1,0 +1,155 @@
+// Package bb implements branch and bound for mixed integer linear
+// programs: best-first search over LP relaxations with warm-started
+// simplex solves, most-fractional and pseudocost branching, diving and
+// rounding primal heuristics, parallel workers, and anytime
+// incumbent/bound reporting — the feature set the paper relies on from
+// commercial MILP solvers (anytime behaviour, optimality gaps, parallel
+// optimization).
+package bb
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// BranchRule selects how fractional variables are chosen for branching.
+type BranchRule int
+
+const (
+	// BranchPseudocost uses pseudocost scores with a most-fractional
+	// fallback until costs are initialised (default).
+	BranchPseudocost BranchRule = iota
+	// BranchMostFractional always picks the variable closest to 0.5
+	// fractionality.
+	BranchMostFractional
+)
+
+// Params tune the search.
+type Params struct {
+	// TimeLimit bounds wall-clock time; zero means no limit.
+	TimeLimit time.Duration
+	// GapTol is the relative MIP gap at which search stops (default 1e-6).
+	GapTol float64
+	// AbsGapTol is the absolute gap termination threshold (default 1e-9).
+	AbsGapTol float64
+	// MaxNodes bounds the number of explored nodes; zero means no limit.
+	MaxNodes int
+	// Threads is the number of parallel workers (default 1).
+	Threads int
+	// IntTol is the integrality tolerance (default 1e-6).
+	IntTol float64
+	// Branching selects the branching rule.
+	Branching BranchRule
+	// DiveEvery runs the diving heuristic at every DiveEvery-th node
+	// (default 50; the root always dives). Zero keeps the default; a
+	// negative value disables diving entirely.
+	DiveEvery int
+	// OnImprovement, when non-nil, is invoked (serialised) whenever the
+	// incumbent or the global bound improves.
+	OnImprovement func(p Progress)
+	// UseDualSimplex repairs warm-started node LPs with the dual
+	// simplex method instead of the composite primal phase 1.
+	UseDualSimplex bool
+	// InitialIncumbent optionally seeds the search with a known integer
+	// solution (a "MIP start"): the structural part of a
+	// computational-form assignment, length NumStructural. Logical
+	// values are recomputed and the candidate is validated before
+	// installation; an infeasible start is silently ignored.
+	InitialIncumbent []float64
+}
+
+// Progress is an anytime snapshot of the search.
+type Progress struct {
+	Incumbent    float64 // best integer objective so far (+Inf if none)
+	Bound        float64 // global lower bound
+	Gap          float64 // relative gap (+Inf while no incumbent)
+	Nodes        int     // nodes explored so far
+	Elapsed      time.Duration
+	HasIncumbent bool
+}
+
+func (p Params) withDefaults() Params {
+	if p.GapTol <= 0 {
+		p.GapTol = 1e-6
+	}
+	if p.AbsGapTol <= 0 {
+		p.AbsGapTol = 1e-9
+	}
+	if p.Threads <= 0 {
+		p.Threads = 1
+	}
+	if p.IntTol <= 0 {
+		p.IntTol = 1e-6
+	}
+	if p.DiveEvery == 0 {
+		p.DiveEvery = 50
+	}
+	return p
+}
+
+// Status is the outcome of a branch-and-bound run.
+type Status int
+
+const (
+	// StatusOptimal means the incumbent is optimal within the gap
+	// tolerances.
+	StatusOptimal Status = iota
+	// StatusInfeasible means no integer-feasible solution exists.
+	StatusInfeasible
+	// StatusUnbounded means the LP relaxation is unbounded.
+	StatusUnbounded
+	// StatusTimeLimit means the time limit expired; the incumbent (if
+	// any) carries the best solution found.
+	StatusTimeLimit
+	// StatusNodeLimit means the node limit was reached.
+	StatusNodeLimit
+	// StatusNoProgress means the solver stopped due to repeated
+	// numerical failures.
+	StatusNoProgress
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusTimeLimit:
+		return "time limit"
+	case StatusNodeLimit:
+		return "node limit"
+	case StatusNoProgress:
+		return "no progress"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	Status       Status
+	HasIncumbent bool
+	X            []float64 // full computational-form solution (structural + logical)
+	Obj          float64   // incumbent objective (excluding any model constant)
+	Bound        float64   // proven global lower bound
+	Gap          float64   // relative gap at termination
+	Nodes        int
+	SimplexIters int
+	Elapsed      time.Duration
+}
+
+// relGap computes the relative gap between an incumbent and a bound.
+func relGap(inc, bound float64) float64 {
+	if math.IsInf(inc, 1) {
+		return math.Inf(1)
+	}
+	d := inc - bound
+	if d <= 0 {
+		return 0
+	}
+	return d / math.Max(1e-9, math.Abs(inc))
+}

@@ -1,0 +1,594 @@
+package bb
+
+import (
+	"container/heap"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"milpjoin/internal/milp"
+	"milpjoin/internal/simplex"
+)
+
+// Solve runs branch and bound on a compiled model. The returned solution
+// (when HasIncumbent) is in computational-form coordinates: the first
+// NumStructural entries are model variables.
+func Solve(comp *milp.Computational, params Params) (*Result, error) {
+	params = params.withDefaults()
+	s := &searcher{
+		comp:      comp,
+		params:    params,
+		start:     time.Now(),
+		incObj:    math.Inf(1),
+		lastBound: math.Inf(-1),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if params.TimeLimit > 0 {
+		s.deadline = s.start.Add(params.TimeLimit)
+	}
+	n := comp.Problem.NumCols()
+	s.rootL = append([]float64(nil), comp.Problem.L...)
+	s.rootU = append([]float64(nil), comp.Problem.U...)
+	for j := 0; j < comp.NumStructural; j++ {
+		if comp.Integral[j] {
+			s.intVars = append(s.intVars, j)
+		}
+	}
+	s.pc = newPseudocosts(n)
+	s.inFlight = make(map[int]float64)
+
+	heap.Push(&s.open, &node{bound: math.Inf(-1)})
+
+	if len(params.InitialIncumbent) == comp.NumStructural {
+		s.completeAndOffer(params.InitialIncumbent)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < params.Threads; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s.worker(id)
+		}(w)
+	}
+	wg.Wait()
+
+	return s.finish(), nil
+}
+
+type searcher struct {
+	comp   *milp.Computational
+	params Params
+
+	rootL, rootU []float64
+	intVars      []int // integral structural variable indices
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	open     nodeHeap
+	inFlight map[int]float64 // workerID → bound of node being processed
+
+	incumbent    []float64
+	incObj       float64
+	hasInc       bool
+	lastBound    float64 // bound at the last progress notification
+	nodes        int
+	simplexIters int
+	failures     int
+	done         bool
+	stopStatus   Status
+	stopSet      bool
+
+	stopFlag atomic.Bool
+	pc       *pseudocosts
+
+	start    time.Time
+	deadline time.Time
+}
+
+// worker is the node-processing loop run by each thread.
+func (s *searcher) worker(id int) {
+	for {
+		s.mu.Lock()
+		for !s.done && len(s.open) == 0 && len(s.inFlight) > 0 {
+			s.cond.Wait()
+		}
+		if s.done || len(s.open) == 0 {
+			// Tree exhausted (or externally stopped).
+			s.done = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		nd := heap.Pop(&s.open).(*node)
+		// Late pruning against an incumbent found since the push.
+		if s.hasInc && nd.bound >= s.incObj-s.params.AbsGapTol {
+			s.mu.Unlock()
+			continue
+		}
+		s.inFlight[id] = nd.bound
+		s.nodes++
+		nodeIdx := s.nodes
+		if s.params.MaxNodes > 0 && s.nodes >= s.params.MaxNodes {
+			s.setStop(StatusNodeLimit)
+		}
+		s.mu.Unlock()
+
+		children, repush := s.processNode(nd, nodeIdx)
+
+		s.mu.Lock()
+		delete(s.inFlight, id)
+		if repush != nil {
+			heap.Push(&s.open, repush)
+		}
+		for _, c := range children {
+			if !(s.hasInc && c.bound >= s.incObj-s.params.AbsGapTol) {
+				heap.Push(&s.open, c)
+			}
+		}
+		s.checkTermination()
+		// Surface bound improvements to the anytime callback (the
+		// incumbent path notifies separately in offerIncumbent).
+		if s.params.OnImprovement != nil {
+			if b := s.globalBoundLocked(); b-s.lastBound > 1e-3*(1+math.Abs(b)) {
+				s.notifyLocked()
+			}
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// setStop flags early termination with the given status (first wins).
+// Caller holds s.mu.
+func (s *searcher) setStop(st Status) {
+	if !s.stopSet {
+		s.stopSet = true
+		s.stopStatus = st
+	}
+	s.stopFlag.Store(true)
+	s.done = true
+}
+
+// checkTermination evaluates gap and time limits. Caller holds s.mu.
+func (s *searcher) checkTermination() {
+	if s.done {
+		return
+	}
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		s.setStop(StatusTimeLimit)
+		return
+	}
+	if s.hasInc {
+		bound := s.globalBoundLocked()
+		if s.incObj-bound <= s.params.AbsGapTol || relGap(s.incObj, bound) <= s.params.GapTol {
+			s.done = true // proved optimal within tolerance
+		}
+	}
+}
+
+// globalBoundLocked returns the best proven lower bound. Caller holds s.mu.
+func (s *searcher) globalBoundLocked() float64 {
+	bound := math.Inf(1)
+	if len(s.open) > 0 {
+		bound = s.open[0].bound
+	}
+	for _, b := range s.inFlight {
+		if b < bound {
+			bound = b
+		}
+	}
+	if math.IsInf(bound, 1) {
+		// No open work: the incumbent (if any) is proven optimal.
+		if s.hasInc {
+			return s.incObj
+		}
+		return math.Inf(1)
+	}
+	if s.hasInc && bound > s.incObj {
+		return s.incObj
+	}
+	return bound
+}
+
+// processNode solves one node LP and returns children to enqueue, plus an
+// optional node to re-push (used when a solve was aborted mid-flight).
+func (s *searcher) processNode(nd *node, nodeIdx int) (children []*node, repush *node) {
+	if s.stopFlag.Load() {
+		return nil, nd
+	}
+
+	l := append([]float64(nil), s.rootL...)
+	u := append([]float64(nil), s.rootU...)
+	nd.applyBounds(l, u)
+
+	lp, iters, st := s.solveLP(l, u, nd.basis)
+	s.mu.Lock()
+	s.simplexIters += iters
+	s.mu.Unlock()
+
+	switch st {
+	case simplex.StatusAborted:
+		return nil, nd
+	case simplex.StatusInfeasible:
+		return nil, nil
+	case simplex.StatusUnbounded:
+		if nd.parent == nil {
+			s.mu.Lock()
+			s.setStop(StatusUnbounded)
+			s.mu.Unlock()
+		}
+		return nil, nil
+	case simplex.StatusIterLimit:
+		// Retry once from a cold basis; afterwards give up on the node
+		// but record that the tree is no longer exhaustively explored.
+		if nd.basis != nil {
+			nd.basis = nil
+			return nil, nd
+		}
+		s.mu.Lock()
+		s.failures++
+		s.mu.Unlock()
+		return nil, nil
+	}
+
+	bound := math.Max(nd.bound, lp.Obj)
+
+	// Pseudocost bookkeeping for the branch that created this node.
+	if nd.parent != nil && nd.frac > 0 {
+		s.pc.record(nd.change.varIdx, nd.change.isLower, lp.Obj-nd.parentBound, nd.frac)
+	}
+
+	s.mu.Lock()
+	cutoff := math.Inf(1)
+	if s.hasInc {
+		cutoff = s.incObj - s.params.AbsGapTol
+	}
+	s.mu.Unlock()
+	if bound >= cutoff {
+		return nil, nil
+	}
+
+	// Root-only reduced-cost fixing: with an incumbent (e.g. a MIP
+	// start) and root duals, a nonbasic integer variable whose reduced
+	// cost alone would push the objective past the incumbent can be
+	// fixed at its bound for the entire tree.
+	if nd.parent == nil && lp.Y != nil {
+		s.reducedCostFixing(lp)
+	}
+
+	frac := s.fractionalVars(lp.X)
+	if len(frac) == 0 {
+		s.offerIncumbent(lp.X, true)
+		return nil, nil
+	}
+
+	// Primal heuristics: cheap rounding at every node, diving at the
+	// root and periodically.
+	s.tryRounding(lp.X)
+	if s.params.DiveEvery > 0 && (nd.parent == nil || nodeIdx%s.params.DiveEvery == 0) {
+		s.dive(l, u, lp)
+	}
+
+	bv, bval := s.selectBranchVar(lp.X, frac)
+	f := bval - math.Floor(bval)
+
+	down := &node{
+		parent:      nd,
+		change:      boundChange{varIdx: bv, isLower: false, value: math.Floor(bval)},
+		depth:       nd.depth + 1,
+		bound:       bound,
+		basis:       lp.Basis,
+		frac:        f,
+		parentBound: bound,
+	}
+	up := &node{
+		parent:      nd,
+		change:      boundChange{varIdx: bv, isLower: true, value: math.Ceil(bval)},
+		depth:       nd.depth + 1,
+		bound:       bound,
+		basis:       lp.Basis,
+		frac:        1 - f,
+		parentBound: bound,
+	}
+	return []*node{down, up}, nil
+}
+
+// reducedCostFixing tightens root bounds of integer variables using the
+// root LP duals and the current incumbent: if moving variable j off its
+// bound by one unit already costs more than the incumbent allows, the
+// variable is fixed. Safe for the whole tree because every node's bounds
+// are tightenings of the root's. Concurrency: this runs only while the
+// root node is being processed, when it is the sole node in flight and no
+// other worker can be copying the root bounds.
+func (s *searcher) reducedCostFixing(lp *simplex.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.hasInc {
+		return
+	}
+	slack := s.incObj - s.params.AbsGapTol - lp.Obj
+	if slack < 0 || math.IsInf(slack, 1) {
+		return
+	}
+	for _, j := range s.intVars {
+		if s.rootU[j]-s.rootL[j] < 1 {
+			continue
+		}
+		d := s.comp.Problem.C[j] - s.comp.Problem.A.ColDot(j, lp.Y)
+		v := lp.X[j]
+		switch {
+		case d > slack && math.Abs(v-s.rootL[j]) < 1e-9:
+			// Raising x_j by ≥ 1 exceeds the incumbent: pin to lower.
+			s.rootU[j] = s.rootL[j]
+		case -d > slack && math.Abs(v-s.rootU[j]) < 1e-9:
+			s.rootL[j] = s.rootU[j]
+		}
+	}
+}
+
+// solveLP runs the simplex method on the shared matrix with node-local
+// bounds.
+func (s *searcher) solveLP(l, u []float64, warm *simplex.Basis) (*simplex.Result, int, simplex.Status) {
+	prob := &simplex.Problem{
+		A: s.comp.Problem.A,
+		B: s.comp.Problem.B,
+		C: s.comp.Problem.C,
+		L: l,
+		U: u,
+	}
+	res, err := simplex.Solve(prob, warm, simplex.Options{
+		Deadline:   s.deadline,
+		Stop:       &s.stopFlag,
+		PreferDual: s.params.UseDualSimplex && warm != nil,
+	})
+	if err != nil {
+		// Numerical failure: surface as an iteration-limit-style retry.
+		return nil, 0, simplex.StatusIterLimit
+	}
+	return res, res.Iters, res.Status
+}
+
+// fractionalVars returns the integral variables whose LP values are
+// fractional beyond the integrality tolerance.
+func (s *searcher) fractionalVars(x []float64) []int {
+	var out []int
+	for _, j := range s.intVars {
+		if fracPart(x[j]) > s.params.IntTol {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func fracPart(v float64) float64 {
+	f := v - math.Floor(v)
+	return math.Min(f, 1-f)
+}
+
+// selectBranchVar picks the branching variable among the fractional ones.
+func (s *searcher) selectBranchVar(x []float64, frac []int) (int, float64) {
+	best := frac[0]
+	bestScore := math.Inf(-1)
+	for _, j := range frac {
+		f := x[j] - math.Floor(x[j])
+		var score float64
+		switch s.params.Branching {
+		case BranchMostFractional:
+			score = math.Min(f, 1-f)
+		default: // pseudocost with most-fractional fallback
+			pcScore, reliable := s.pc.score(j, f)
+			if reliable {
+				score = pcScore
+			} else {
+				score = math.Min(f, 1-f) * 1e-3
+			}
+		}
+		if score > bestScore {
+			best, bestScore = j, score
+		}
+	}
+	return best, x[best]
+}
+
+// offerIncumbent installs a candidate integer solution if it improves the
+// incumbent. Trusted candidates come from LP solves whose integral
+// variables are integer within tolerance; they are stored as-is (rounding
+// them without recomputing the logical columns could violate rows).
+// Untrusted candidates (heuristics) are revalidated first.
+func (s *searcher) offerIncumbent(x []float64, trusted bool) {
+	xr := append([]float64(nil), x...)
+	if !trusted && !s.checkFeasibleComputational(xr) {
+		return
+	}
+	var obj float64
+	for j, c := range s.comp.Problem.C {
+		obj += c * xr[j]
+	}
+	s.mu.Lock()
+	if obj < s.incObj-1e-12 {
+		s.incObj = obj
+		s.incumbent = xr
+		s.hasInc = true
+		s.notifyLocked()
+		s.checkTermination()
+	}
+	s.mu.Unlock()
+}
+
+// notifyLocked invokes the progress callback. Caller holds s.mu.
+func (s *searcher) notifyLocked() {
+	if s.params.OnImprovement == nil {
+		return
+	}
+	bound := s.globalBoundLocked()
+	s.lastBound = bound
+	s.params.OnImprovement(Progress{
+		Incumbent:    s.incObj,
+		Bound:        bound,
+		Gap:          relGap(s.incObj, bound),
+		Nodes:        s.nodes,
+		Elapsed:      time.Since(s.start),
+		HasIncumbent: s.hasInc,
+	})
+}
+
+// checkFeasibleComputational verifies bounds and row activities of a full
+// computational-form point against the ROOT bounds.
+func (s *searcher) checkFeasibleComputational(x []float64) bool {
+	const tol = 1e-6
+	for j, v := range x {
+		if v < s.rootL[j]-tol || v > s.rootU[j]+tol {
+			return false
+		}
+	}
+	ax := s.comp.Problem.A.MulVec(x)
+	for i, b := range s.comp.Problem.B {
+		if math.Abs(ax[i]-b) > tol*(1+math.Abs(b)) {
+			return false
+		}
+	}
+	return true
+}
+
+// tryRounding attempts the naive rounding heuristic: round all integral
+// structurals, recompute logical columns, and test feasibility.
+func (s *searcher) tryRounding(x []float64) {
+	ns := s.comp.NumStructural
+	xs := append([]float64(nil), x[:ns]...)
+	for _, j := range s.intVars {
+		v := math.Round(xs[j])
+		// Clamp into root bounds.
+		if v < s.rootL[j] {
+			v = s.rootL[j]
+		}
+		if v > s.rootU[j] {
+			v = s.rootU[j]
+		}
+		xs[j] = v
+	}
+	s.completeAndOffer(xs)
+}
+
+// completeAndOffer extends a structural assignment with exact logical
+// values (s_i = b_i − (A_s·x_s)_i: the logical columns are the identity
+// block) and offers the completed point as an untrusted incumbent.
+func (s *searcher) completeAndOffer(xs []float64) {
+	ns := s.comp.NumStructural
+	x := make([]float64, s.comp.Problem.NumCols())
+	copy(x, xs[:ns])
+	act := make([]float64, s.comp.Problem.NumRows())
+	a := s.comp.Problem.A
+	for j := 0; j < ns; j++ {
+		if x[j] == 0 {
+			continue
+		}
+		rows, vals := a.Col(j)
+		for p, i := range rows {
+			act[i] += vals[p] * x[j]
+		}
+	}
+	for i := range act {
+		x[ns+i] = s.comp.Problem.B[i] - act[i]
+	}
+	s.offerIncumbent(x, false)
+}
+
+// dive runs a depth-first fixing heuristic from an LP-feasible point. Each
+// round fixes every integer variable that is already near-integral plus the
+// single most-integral fractional one, then re-solves; with batch fixing
+// the dive reaches an integer point (or proves the path dead) in a number
+// of LP solves far smaller than the number of integer variables.
+func (s *searcher) dive(l, u []float64, lp *simplex.Result) {
+	const maxLPSolves = 400
+	dl := append([]float64(nil), l...)
+	du := append([]float64(nil), u...)
+	cur := lp
+	for solves := 0; solves < maxLPSolves; solves++ {
+		if s.stopFlag.Load() {
+			return
+		}
+		frac := s.fractionalVars(cur.X)
+		if len(frac) == 0 {
+			s.offerIncumbent(cur.X, true)
+			return
+		}
+		// Batch-fix all nearly-integral variables, then the single
+		// most-integral fractional one.
+		best, bestF := frac[0], math.Inf(1)
+		for _, j := range frac {
+			if f := fracPart(cur.X[j]); f < bestF {
+				best, bestF = j, f
+			}
+		}
+		fixVar := func(j int) {
+			v := math.Round(cur.X[j])
+			if v < dl[j] || v > du[j] {
+				v = math.Floor(cur.X[j])
+				if v < dl[j] {
+					v = math.Ceil(cur.X[j])
+				}
+			}
+			dl[j], du[j] = v, v
+		}
+		for _, j := range s.intVars {
+			if dl[j] != du[j] && fracPart(cur.X[j]) <= 0.01 {
+				fixVar(j)
+			}
+		}
+		fixVar(best)
+
+		res, iters, st := s.solveLP(dl, du, cur.Basis)
+		s.mu.Lock()
+		s.simplexIters += iters
+		cutoff := math.Inf(1)
+		if s.hasInc {
+			cutoff = s.incObj
+		}
+		s.mu.Unlock()
+		if st != simplex.StatusOptimal || res.Obj >= cutoff {
+			return
+		}
+		cur = res
+	}
+}
+
+// finish assembles the result after all workers exit.
+func (s *searcher) finish() *Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	res := &Result{
+		HasIncumbent: s.hasInc,
+		Obj:          s.incObj,
+		Nodes:        s.nodes,
+		SimplexIters: s.simplexIters,
+		Elapsed:      time.Since(s.start),
+	}
+	if s.hasInc {
+		res.X = s.incumbent
+	}
+	bound := s.globalBoundLocked()
+	res.Bound = bound
+	res.Gap = relGap(s.incObj, bound)
+
+	switch {
+	case s.stopSet && s.stopStatus == StatusUnbounded:
+		res.Status = StatusUnbounded
+	case s.stopSet && (s.stopStatus == StatusTimeLimit || s.stopStatus == StatusNodeLimit):
+		res.Status = s.stopStatus
+	case !s.hasInc:
+		if s.failures > 0 {
+			res.Status = StatusNoProgress
+		} else {
+			res.Status = StatusInfeasible
+			res.Bound = math.Inf(1)
+		}
+	case s.failures > 0:
+		res.Status = StatusNoProgress
+	default:
+		res.Status = StatusOptimal
+	}
+	return res
+}

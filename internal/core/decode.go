@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"milpjoin/internal/cost"
+	"milpjoin/internal/milp"
+	"milpjoin/internal/plan"
+)
+
+// Decode maps a MILP solution back to the left-deep plan it represents.
+// When operator selection is enabled, the per-join operators are decoded
+// too (the pre-sorted sort-merge variant decodes as SortMergeJoin).
+func (e *Encoding) Decode(sol *milp.Solution) (*plan.Plan, error) {
+	if sol == nil || len(sol.Values) != e.Model.NumVars() {
+		return nil, fmt.Errorf("core: solution does not match the encoding's model")
+	}
+	n := e.Query.NumTables()
+	order := make([]int, n)
+
+	pick := func(vars []milp.Var, what string) (int, error) {
+		best, bestVal := -1, 0.5
+		for t, v := range vars {
+			if val := sol.Value(v); val > bestVal {
+				best, bestVal = t, val
+			}
+		}
+		if best < 0 {
+			return 0, fmt.Errorf("core: no table selected for %s", what)
+		}
+		return best, nil
+	}
+
+	first, err := pick(e.TIO[0], "outer operand of join 0")
+	if err != nil {
+		return nil, err
+	}
+	order[0] = first
+	for j := 0; j < e.J; j++ {
+		inner, err := pick(e.TII[j], fmt.Sprintf("inner operand of join %d", j))
+		if err != nil {
+			return nil, err
+		}
+		order[j+1] = inner
+	}
+
+	pl := &plan.Plan{Order: order}
+	if e.JOS != nil {
+		pl.Operators = make([]cost.Operator, e.J)
+		for j := 0; j < e.J; j++ {
+			sel := -1
+			for i, v := range e.JOS[j] {
+				if sol.Value(v) > 0.5 {
+					sel = i
+					break
+				}
+			}
+			if sel < 0 {
+				return nil, fmt.Errorf("core: no operator selected for join %d", j)
+			}
+			if sel < len(e.ops) {
+				pl.Operators[j] = e.ops[sel]
+			} else {
+				pl.Operators[j] = cost.SortMergeJoin // pre-sorted variant
+			}
+		}
+	}
+	if err := pl.Validate(e.Query); err != nil {
+		return nil, fmt.Errorf("core: decoded plan invalid: %w", err)
+	}
+	return pl, nil
+}
+
+// CheckPlanRepresentation verifies (for tests) that a solution's auxiliary
+// variables are consistent with its join order: the approximated outer
+// cardinality co_j must be a lower bound on the exact cardinality and
+// within the precision tolerance of it.
+func (e *Encoding) CheckPlanRepresentation(sol *milp.Solution) error {
+	pl, err := e.Decode(sol)
+	if err != nil {
+		return err
+	}
+	eval, err := plan.Evaluate(e.Query, pl, cost.CoutSpec())
+	if err != nil {
+		return err
+	}
+	ratio := e.Opts.ratio()
+	capVal := e.coMax()
+	for j := 1; j < e.J; j++ {
+		exact := eval.Steps[j-1].ResultCard // outer operand of join j
+		approx := 1.0
+		for r, th := range e.Thresholds {
+			if sol.Value(e.CTO[j][r]) > 0.5 {
+				approx = th
+			}
+		}
+		if approx > exact*(1+1e-6)+1e-6 {
+			return fmt.Errorf("core: join %d: approximated cardinality %g exceeds exact %g", j, approx, exact)
+		}
+		bound := exact / ratio * (1 - 1e-9)
+		if exact > capVal {
+			bound = capVal / ratio * (1 - 1e-9)
+		}
+		if approx < bound-1 {
+			return fmt.Errorf("core: join %d: approximated cardinality %g below tolerance of exact %g (ratio %g)",
+				j, approx, exact, ratio)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,521 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"milpjoin/internal/cost"
+	"milpjoin/internal/milp"
+	"milpjoin/internal/qopt"
+)
+
+// Encoding is a query compiled to a MILP model, retaining the variable
+// handles needed to decode solutions back into query plans.
+type Encoding struct {
+	Query *qopt.Query
+	Opts  Options
+	Model *milp.Model
+
+	// J is the number of joins (n − 1).
+	J int
+	// Thresholds is the cardinality ladder θ_0 < θ_1 < … used for the
+	// outer-operand approximation.
+	Thresholds []float64
+
+	// Variable handles, all indexed by join j first. A value of -1
+	// marks a handle that does not exist for that index.
+	TIO [][]milp.Var // [j][t]: table t in outer operand of join j
+	TII [][]milp.Var // [j][t]: table t in inner operand of join j
+	PAO [][]milp.Var // [j][p]: predicate p applicable in outer of join j (j ≥ 1)
+	PAG [][]milp.Var // [j][g]: correlated group g complete in outer of join j (j ≥ 1)
+	LCO []milp.Var   // [j]: log10 cardinality of outer operand (j ≥ 1)
+	CTO [][]milp.Var // [j][r]: cardinality threshold r reached (j ≥ 1)
+	CO  []milp.Var   // [j]: approximated cardinality of outer operand
+	CI  []milp.Var   // [j]: exact cardinality of inner operand
+
+	// Extension handles (nil when the extension is off).
+	JOS [][]milp.Var // [j][i]: operator i selected for join j
+	OHP []milp.Var   // [j]: outer operand of join j is sorted
+	PCO [][]milp.Var // [j][p]: predicate p evaluated during join j
+	CLO [][]milp.Var // [j][l]: column l in outer operand of join j; row J = final result
+	// AJC[j][i] is the actual-cost variable of operator i at join j.
+	AJC [][]milp.Var
+	// BLOCKS[j] and BNLZ[j][t] are the block-nested-loop auxiliaries:
+	// the ⌈pg_outer/buffer⌉ count and its product with tii.
+	BLOCKS []milp.Var
+	BNLZ   [][]milp.Var
+
+	// ops lists the operator implementations when ChooseOperators is on.
+	ops []cost.Operator
+
+	// derived data shared by the encoder parts.
+	effCard  []float64 // per-table cardinality with unary predicates folded in
+	binPreds []int     // predicate indices with ≥ 2 tables
+	lcoMax   float64
+	lcoMin   float64
+}
+
+// Encode transforms the query into a MILP model.
+func Encode(q *qopt.Query, opts Options) (*Encoding, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if opts.InterestingOrders && !opts.ChooseOperators {
+		return nil, fmt.Errorf("core: InterestingOrders requires ChooseOperators")
+	}
+	if opts.Projection && len(q.Columns) == 0 {
+		return nil, fmt.Errorf("core: Projection requires a query with columns")
+	}
+	if opts.Projection && (opts.Metric != cost.OperatorCost || opts.ChooseOperators || opts.Op != cost.HashJoin) {
+		return nil, fmt.Errorf("core: Projection supports the fixed hash-join operator cost metric only")
+	}
+
+	n := q.NumTables()
+	e := &Encoding{
+		Query: q,
+		Opts:  opts,
+		Model: milp.NewModel(fmt.Sprintf("join-order-%d-tables", n)),
+		J:     q.NumJoins(),
+	}
+	e.prepare()
+	e.Thresholds = opts.thresholds(e.lcoMax)
+
+	e.addJoinOrderVars()
+	e.addJoinOrderConstraints()
+	e.addPredicateVars()
+	e.addCardinalityVars()
+
+	switch {
+	case opts.Projection:
+		if err := e.addProjection(); err != nil {
+			return nil, err
+		}
+	case opts.ChooseOperators:
+		if err := e.addOperatorSelection(); err != nil {
+			return nil, err
+		}
+	default:
+		e.addFixedObjective()
+	}
+	if opts.ExpensivePredicates {
+		e.addExpensivePredicates()
+	}
+	return e, nil
+}
+
+// prepare computes effective cardinalities (unary predicates folded into
+// their table, i.e. selections pushed to the scans) and the lco range.
+func (e *Encoding) prepare() {
+	q := e.Query
+	n := q.NumTables()
+	e.effCard = make([]float64, n)
+	for t := 0; t < n; t++ {
+		e.effCard[t] = q.Tables[t].Card
+	}
+	for pi, p := range q.Predicates {
+		if len(p.Tables) == 1 {
+			e.effCard[p.Tables[0]] *= p.Sel
+		} else {
+			e.binPreds = append(e.binPreds, pi)
+		}
+	}
+	// lco is a weighted sum of binaries; valid bounds are the sums of its
+	// positive and negative coefficients respectively.
+	for t := 0; t < n; t++ {
+		if e.effCard[t] < 1e-6 {
+			e.effCard[t] = 1e-6 // keep logs finite
+		}
+		lc := math.Log10(e.effCard[t])
+		e.lcoMax += math.Max(0, lc)
+		e.lcoMin += math.Min(0, lc)
+	}
+	for _, pi := range e.binPreds {
+		e.lcoMin += q.LogSel(pi)
+	}
+	for _, g := range q.Correlated {
+		lg := math.Log10(g.CorrectionSel)
+		e.lcoMax += math.Max(0, lg)
+		e.lcoMin += math.Min(0, lg)
+	}
+	e.lcoMin -= 1 // slack for rounding
+}
+
+func (e *Encoding) effLogCard(t int) float64 { return math.Log10(e.effCard[t]) }
+
+// addJoinOrderVars introduces tio/tii (Table 1, rows 1–2).
+func (e *Encoding) addJoinOrderVars() {
+	n := e.Query.NumTables()
+	e.TIO = make([][]milp.Var, e.J)
+	e.TII = make([][]milp.Var, e.J)
+	for j := 0; j < e.J; j++ {
+		e.TIO[j] = make([]milp.Var, n)
+		e.TII[j] = make([]milp.Var, n)
+		for t := 0; t < n; t++ {
+			e.TIO[j][t] = e.Model.AddBinary(0, fmt.Sprintf("tio_%s_%d", e.Query.TableName(t), j))
+			e.TII[j][t] = e.Model.AddBinary(0, fmt.Sprintf("tii_%s_%d", e.Query.TableName(t), j))
+		}
+	}
+}
+
+// addJoinOrderConstraints emits the structural constraints of Table 2:
+// single-table operands, no overlap, and the left-deep chaining rule.
+func (e *Encoding) addJoinOrderConstraints() {
+	n := e.Query.NumTables()
+	m := e.Model
+
+	// One table forms the outer operand of the first join.
+	m.AddConstr(milp.Sum(e.TIO[0]...), milp.EQ, 1, "outer0_single")
+	// One table forms every inner operand.
+	for j := 0; j < e.J; j++ {
+		m.AddConstr(milp.Sum(e.TII[j]...), milp.EQ, 1, fmt.Sprintf("inner%d_single", j))
+	}
+	// Operands of the same join cannot overlap.
+	for j := 0; j < e.J; j++ {
+		for t := 0; t < n; t++ {
+			m.AddConstr(milp.Expr(e.TIO[j][t], 1.0, e.TII[j][t], 1.0), milp.LE, 1,
+				fmt.Sprintf("nooverlap_%d_%d", j, t))
+		}
+	}
+	// The next outer operand is the previous join's result.
+	for j := 1; j < e.J; j++ {
+		for t := 0; t < n; t++ {
+			m.AddConstr(
+				milp.Expr(e.TIO[j][t], 1.0, e.TIO[j-1][t], -1.0, e.TII[j-1][t], -1.0),
+				milp.EQ, 0, fmt.Sprintf("chain_%d_%d", j, t))
+		}
+	}
+}
+
+// addPredicateVars introduces pao (and correlated-group pag) variables with
+// their applicability constraints. Outer operands of join 0 hold a single
+// table, so predicate variables start at join 1.
+func (e *Encoding) addPredicateVars() {
+	q := e.Query
+	m := e.Model
+	e.PAO = make([][]milp.Var, e.J)
+	e.PAG = make([][]milp.Var, e.J)
+	for j := 1; j < e.J; j++ {
+		e.PAO[j] = make([]milp.Var, len(q.Predicates))
+		for i := range e.PAO[j] {
+			e.PAO[j][i] = -1
+		}
+		for _, pi := range e.binPreds {
+			v := m.AddBinary(0, fmt.Sprintf("pao_p%d_%d", pi, j))
+			e.PAO[j][pi] = v
+			for _, t := range q.Predicates[pi].Tables {
+				m.AddConstr(milp.Expr(v, 1.0, e.TIO[j][t], -1.0), milp.LE, 0,
+					fmt.Sprintf("papp_p%d_%d_t%d", pi, j, t))
+			}
+		}
+
+		e.PAG[j] = make([]milp.Var, len(q.Correlated))
+		for gi, g := range q.Correlated {
+			v := m.AddBinary(0, fmt.Sprintf("pag_g%d_%d", gi, j))
+			e.PAG[j][gi] = v
+			// Forced to one when all member predicates are applied:
+			// pag ≥ 1 − |G| + Σ pao.
+			ge := milp.Expr(v, 1.0)
+			for _, pi := range g.Predicates {
+				ge = ge.Add(e.PAO[j][pi], -1)
+			}
+			m.AddConstr(ge, milp.GE, 1-float64(len(g.Predicates)), fmt.Sprintf("gfull_g%d_%d", gi, j))
+			// Forced to zero when any member predicate is missing.
+			for _, pi := range g.Predicates {
+				m.AddConstr(milp.Expr(v, 1.0, e.PAO[j][pi], -1.0), milp.LE, 0,
+					fmt.Sprintf("gmem_g%d_%d_p%d", gi, j, pi))
+			}
+		}
+	}
+}
+
+// addCardinalityVars introduces ci (exact inner cardinalities), lco
+// (logarithmic outer cardinalities), the threshold variables cto, and the
+// approximated outer cardinalities co (Section 4.2).
+func (e *Encoding) addCardinalityVars() {
+	q := e.Query
+	m := e.Model
+	n := q.NumTables()
+
+	maxEff := 0.0
+	for t := 0; t < n; t++ {
+		if e.effCard[t] > maxEff {
+			maxEff = e.effCard[t]
+		}
+	}
+
+	// Inner operand cardinalities: ci_j = Σ_t Card(t)·tii_tj.
+	e.CI = make([]milp.Var, e.J)
+	for j := 0; j < e.J; j++ {
+		e.CI[j] = m.AddContinuous(0, maxEff, 0, fmt.Sprintf("ci_%d", j))
+		expr := milp.Expr(e.CI[j], 1.0)
+		for t := 0; t < n; t++ {
+			expr = expr.Add(e.TII[j][t], -e.effCard[t])
+		}
+		m.AddConstr(expr, milp.EQ, 0, fmt.Sprintf("cidef_%d", j))
+	}
+
+	// The approximated cardinality co_j is definable as a linear ladder
+	// over the threshold variables, so explicit co variables (and their
+	// very wide-coefficient defining rows) are only materialised when an
+	// extension needs the value itself; cost objectives embed the ladder
+	// directly.
+	needCO0 := e.Opts.ExpensivePredicates
+	needCOj := e.Opts.ExpensivePredicates || e.Opts.Projection
+	e.CO = make([]milp.Var, e.J)
+	for j := range e.CO {
+		e.CO[j] = -1
+	}
+	if needCO0 {
+		// Outer operand of join 0 is a single table: exact and linear.
+		e.CO[0] = m.AddContinuous(0, maxEff, 0, "co_0")
+		expr := milp.Expr(e.CO[0], 1.0)
+		for t := 0; t < n; t++ {
+			expr = expr.Add(e.TIO[0][t], -e.effCard[t])
+		}
+		m.AddConstr(expr, milp.EQ, 0, "codef_0")
+	}
+
+	// Joins 1…J−1: logarithmic cardinality, thresholds, approximation.
+	e.LCO = make([]milp.Var, e.J)
+	e.CTO = make([][]milp.Var, e.J)
+	e.LCO[0] = -1
+	capVal := e.coMax()
+	for j := 1; j < e.J; j++ {
+		e.LCO[j] = m.AddContinuous(e.lcoMin, e.lcoMax, 0, fmt.Sprintf("lco_%d", j))
+		expr := milp.Expr(e.LCO[j], 1.0)
+		for t := 0; t < n; t++ {
+			expr = expr.Add(e.TIO[j][t], -e.effLogCard(t))
+		}
+		for _, pi := range e.binPreds {
+			expr = expr.Add(e.PAO[j][pi], -q.LogSel(pi))
+		}
+		for gi, g := range q.Correlated {
+			expr = expr.Add(e.PAG[j][gi], -math.Log10(g.CorrectionSel))
+		}
+		m.AddConstr(expr, milp.EQ, 0, fmt.Sprintf("lcodef_%d", j))
+
+		// Threshold activation: lco_j − M_r·cto_jr ≤ log θ_r.
+		e.CTO[j] = make([]milp.Var, len(e.Thresholds))
+		for r, th := range e.Thresholds {
+			v := m.AddBinary(0, fmt.Sprintf("cto_%d_%d", j, r))
+			e.CTO[j][r] = v
+			logTh := math.Log10(th)
+			bigM := math.Max(e.lcoMax-logTh, 0) + 1
+			m.AddConstr(milp.Expr(e.LCO[j], 1.0, v, -bigM), milp.LE, logTh,
+				fmt.Sprintf("cthr_%d_%d", j, r))
+			// Ladder ordering strengthens the LP relaxation.
+			if r > 0 {
+				m.AddConstr(milp.Expr(v, 1.0, e.CTO[j][r-1], -1.0), milp.LE, 0,
+					fmt.Sprintf("cord_%d_%d", j, r))
+			}
+		}
+
+		// co_j = 1 + Σ_r δ_r·cto_jr (the identity ladder), materialised
+		// only for extensions that use the value.
+		if needCOj {
+			e.CO[j] = m.AddContinuous(0, capVal, 0, fmt.Sprintf("co_%d", j))
+			coExpr := milp.Expr(e.CO[j], 1.0)
+			base, deltas := e.ladder(func(c float64) float64 { return c })
+			for r := range e.Thresholds {
+				coExpr = coExpr.Add(e.CTO[j][r], -deltas[r])
+			}
+			m.AddConstr(coExpr, milp.EQ, base, fmt.Sprintf("codef_%d", j))
+		}
+	}
+}
+
+// coMax returns the largest value the approximated outer cardinality can
+// take: the top of the threshold ladder. All big-M linearisations involving
+// co use this bound.
+func (e *Encoding) coMax() float64 {
+	if len(e.Thresholds) == 0 {
+		return 1
+	}
+	return e.Thresholds[len(e.Thresholds)-1]
+}
+
+// ladder approximates a monotone function g of the outer cardinality using
+// the threshold variables: g(card) ≈ base + Σ_r deltas[r]·cto_r, where
+// base = g(1) and deltas[r] = g(θ_r) − g(θ_{r−1}).
+func (e *Encoding) ladder(g func(card float64) float64) (base float64, deltas []float64) {
+	base = g(1)
+	deltas = make([]float64, len(e.Thresholds))
+	prev := base
+	for r, th := range e.Thresholds {
+		cur := g(th)
+		deltas[r] = cur - prev
+		prev = cur
+	}
+	return base, deltas
+}
+
+// outerCostAffine returns the linear expression (plus constant) that
+// approximates the outer-operand cost of join j under cost function g
+// (monotone in the operand cardinality). Join 0 is priced exactly per
+// candidate table.
+func (e *Encoding) outerCostAffine(j int, g func(card float64) float64) (milp.LinExpr, float64) {
+	if j == 0 {
+		expr := milp.LinExpr{}
+		for t := 0; t < e.Query.NumTables(); t++ {
+			expr = expr.Add(e.TIO[0][t], g(e.effCard[t]))
+		}
+		return expr, 0
+	}
+	base, deltas := e.ladder(g)
+	expr := milp.LinExpr{}
+	for r := range e.Thresholds {
+		expr = expr.Add(e.CTO[j][r], deltas[r])
+	}
+	return expr, base
+}
+
+// innerCostExpr returns the exact linear expression for the inner-operand
+// cost of join j, with per-table cost function gt.
+func (e *Encoding) innerCostExpr(j int, gt func(t int) float64) milp.LinExpr {
+	expr := milp.LinExpr{}
+	for t := 0; t < e.Query.NumTables(); t++ {
+		expr = expr.Add(e.TII[j][t], gt(t))
+	}
+	return expr
+}
+
+// addFixedObjective installs the objective for the basic model: C_out or a
+// single fixed operator's cost summed over all joins (Section 4.3).
+func (e *Encoding) addFixedObjective() {
+	m := e.Model
+	switch e.Opts.Metric {
+	case cost.Cout:
+		// Σ_{j≥1} co_j: the sum of intermediate result cardinalities
+		// (the final result is constant across plans and excluded).
+		// The ladder goes directly into the objective so no equality
+		// row has to mix unit and cardinality-scale coefficients.
+		for j := 1; j < e.J; j++ {
+			expr, c := e.outerCostAffine(j, func(card float64) float64 { return card })
+			expr.Terms(func(v milp.Var, coef float64) {
+				m.SetObjCoeff(v, m.ObjCoeff(v)+coef)
+			})
+			m.AddObjConstant(c)
+		}
+	case cost.OperatorCost:
+		for j := 0; j < e.J; j++ {
+			expr, c := e.operatorCostAffine(j, e.Opts.Op)
+			expr.Terms(func(v milp.Var, coef float64) {
+				m.SetObjCoeff(v, m.ObjCoeff(v)+coef)
+			})
+			m.AddObjConstant(c)
+		}
+	}
+}
+
+// operatorCostAffine builds the affine cost of running operator op for
+// join j. For the block nested loop join it introduces the linearisation
+// variables for the blocks×inner-pages product (Section 4.3).
+func (e *Encoding) operatorCostAffine(j int, op cost.Operator) (milp.LinExpr, float64) {
+	p := e.Opts.CostParams
+	pages := func(card float64) float64 { return p.Pages(card) }
+
+	switch op {
+	case cost.HashJoin:
+		outer, c := e.outerCostAffine(j, func(card float64) float64 { return 3 * pages(card) })
+		inner := e.innerCostExpr(j, func(t int) float64 { return 3 * pages(e.effCard[t]) })
+		return outer.AddExpr(inner), c
+	case cost.SortMergeJoin:
+		smj := func(card float64) float64 {
+			pg := pages(card)
+			return 2*pg*ceilLog2(pg) + pg
+		}
+		outer, c := e.outerCostAffine(j, smj)
+		inner := e.innerCostExpr(j, func(t int) float64 { return smj(e.effCard[t]) })
+		return outer.AddExpr(inner), c
+	case cost.BlockNestedLoopJoin:
+		return e.bnlCostAffine(j)
+	default:
+		panic(fmt.Sprintf("core: unsupported operator %v", op))
+	}
+}
+
+// bnlCostAffine prices a block nested loop join: scanning the outer plus
+// blocks·innerPages, where blocks = ⌈pg_outer/buffer⌉. The product of the
+// binary tii with the continuous blocks variable is linearised with one
+// auxiliary variable per table (the paper's second representation, linear
+// in the number of tables).
+func (e *Encoding) bnlCostAffine(j int) (milp.LinExpr, float64) {
+	m := e.Model
+	p := e.Opts.CostParams
+	n := e.Query.NumTables()
+	blocksOf := e.blocksOf
+	maxBlocks := math.Max(blocksOf(e.coMax()), blocksOf(maxSlice(e.effCard)))
+
+	if e.BLOCKS == nil {
+		e.BLOCKS = make([]milp.Var, e.J)
+		e.BNLZ = make([][]milp.Var, e.J)
+		for jj := range e.BLOCKS {
+			e.BLOCKS[jj] = -1
+		}
+	}
+
+	// blocks_j as a continuous variable.
+	blocks := m.AddContinuous(1, maxBlocks, 0, fmt.Sprintf("blocks_%d", j))
+	e.BLOCKS[j] = blocks
+	e.BNLZ[j] = make([]milp.Var, n)
+	if j == 0 {
+		expr := milp.Expr(blocks, 1.0)
+		for t := 0; t < n; t++ {
+			expr = expr.Add(e.TIO[0][t], -blocksOf(e.effCard[t]))
+		}
+		m.AddConstr(expr, milp.EQ, 0, "blocksdef_0")
+	} else {
+		base, deltas := e.ladder(blocksOf)
+		expr := milp.Expr(blocks, 1.0)
+		for r := range e.Thresholds {
+			expr = expr.Add(e.CTO[j][r], -deltas[r])
+		}
+		m.AddConstr(expr, milp.EQ, base, fmt.Sprintf("blocksdef_%d", j))
+	}
+
+	// z_t = tii_t · blocks, linearised from below (cost minimisation
+	// pushes z down, so only the lower bounds are needed):
+	// z ≥ 0 and z ≥ blocks − maxBlocks·(1 − tii).
+	total := milp.LinExpr{}
+	for t := 0; t < n; t++ {
+		z := m.AddContinuous(0, maxBlocks, 0, fmt.Sprintf("bnlz_%d_%d", j, t))
+		e.BNLZ[j][t] = z
+		m.AddConstr(
+			milp.Expr(z, 1.0, blocks, -1.0, e.TII[j][t], -maxBlocks),
+			milp.GE, -maxBlocks, fmt.Sprintf("bnlzlb_%d_%d", j, t))
+		total = total.Add(z, p.Pages(e.effCard[t]))
+	}
+	// Plus scanning the outer operand once.
+	outer, c := e.outerCostAffine(j, func(card float64) float64 { return p.Pages(card) })
+	return total.AddExpr(outer), c
+}
+
+// blocksOf returns ⌈pages(card)/buffer⌉, at least 1 — the outer-loop count
+// of a block nested loop join.
+func (e *Encoding) blocksOf(card float64) float64 {
+	p := e.Opts.CostParams
+	b := math.Ceil(p.Pages(card) / p.BufferPages)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+func maxSlice(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ceilLog2 mirrors cost.ceilLog2 for the encoder's ladder functions.
+func ceilLog2(x float64) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(x))
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"milpjoin/internal/cost"
+	"milpjoin/internal/milp"
+)
+
+// addOperatorSelection implements Section 5.3 (and, when enabled, the
+// Section 5.4 interesting-orders extension): binary jos variables pick one
+// operator implementation per join, with actual-cost variables ajc
+// linearising jos·potentialCost.
+func (e *Encoding) addOperatorSelection() error {
+	m := e.Model
+	p := e.Opts.CostParams
+	if e.Opts.Metric != cost.OperatorCost {
+		return fmt.Errorf("core: operator selection requires the operator cost metric")
+	}
+
+	e.ops = []cost.Operator{cost.HashJoin, cost.SortMergeJoin, cost.BlockNestedLoopJoin}
+	numOps := len(e.ops)
+	presortedIdx := -1
+	if e.Opts.InterestingOrders {
+		// A fourth implementation: sort-merge that skips sorting its
+		// outer input, applicable only when that input is sorted.
+		presortedIdx = numOps
+		numOps++
+		e.addSortednessVars()
+	}
+
+	capVal := e.coMax()
+	maxInnerPages, maxInnerSMJ := 0.0, 0.0
+	for t := 0; t < e.Query.NumTables(); t++ {
+		pg := p.Pages(e.effCard[t])
+		if pg > maxInnerPages {
+			maxInnerPages = pg
+		}
+		if c := e.smjInnerCost(t); c > maxInnerSMJ {
+			maxInnerSMJ = c
+		}
+	}
+	maxBlocks := math.Ceil(p.Pages(capVal) / p.BufferPages)
+	smjOuter := func(card float64) float64 {
+		pg := p.Pages(card)
+		return 2*pg*ceilLog2(pg) + pg
+	}
+
+	e.JOS = make([][]milp.Var, e.J)
+	e.AJC = make([][]milp.Var, e.J)
+	for j := 0; j < e.J; j++ {
+		e.JOS[j] = make([]milp.Var, numOps)
+		e.AJC[j] = make([]milp.Var, numOps)
+		for i := 0; i < numOps; i++ {
+			name := "presorted-smj"
+			if i < len(e.ops) {
+				name = e.ops[i].String()
+			}
+			e.JOS[j][i] = m.AddBinary(0, fmt.Sprintf("jos_%d_%s", j, name))
+		}
+		m.AddConstr(milp.Sum(e.JOS[j]...), milp.EQ, 1, fmt.Sprintf("onesel_%d", j))
+
+		for i := 0; i < numOps; i++ {
+			var expr milp.LinExpr
+			var c, bigM float64
+			switch {
+			case i == presortedIdx:
+				// Pre-sorted SMJ: merge passes only on the outer
+				// side; inner still sorts unless the table is
+				// stored sorted.
+				expr, c = e.outerCostAffine(j, func(card float64) float64 { return p.Pages(card) })
+				expr = expr.AddExpr(e.innerCostExpr(j, e.smjInnerCost))
+				bigM = p.Pages(capVal) + maxInnerSMJ
+				// Applicable only when the outer operand is sorted.
+				m.AddConstr(milp.Expr(e.JOS[j][i], 1.0, e.OHP[j], -1.0), milp.LE, 0,
+					fmt.Sprintf("needsorted_%d", j))
+			case e.ops[i] == cost.SortMergeJoin && e.Opts.InterestingOrders:
+				// Regular SMJ with sort-aware inner costing.
+				expr, c = e.outerCostAffine(j, smjOuter)
+				expr = expr.AddExpr(e.innerCostExpr(j, e.smjInnerCost))
+				bigM = smjOuter(capVal) + maxInnerSMJ
+			default:
+				expr, c = e.operatorCostAffine(j, e.ops[i])
+				switch e.ops[i] {
+				case cost.HashJoin:
+					bigM = 3 * (p.Pages(capVal) + maxInnerPages)
+				case cost.SortMergeJoin:
+					bigM = smjOuter(capVal) + maxInnerSMJ
+				case cost.BlockNestedLoopJoin:
+					bigM = p.Pages(capVal) + maxBlocks*maxInnerPages
+				}
+			}
+			bigM += c + 1
+
+			// ajc ≥ potential − bigM·(1 − jos); ajc ≥ 0. Minimisation
+			// presses ajc onto the selected operator's cost and to
+			// zero elsewhere.
+			ajc := m.AddContinuous(0, bigM, 1, fmt.Sprintf("ajc_%d_%d", j, i))
+			e.AJC[j][i] = ajc
+			con := milp.Expr(ajc, 1.0, e.JOS[j][i], -bigM)
+			negExpr := milp.LinExpr{}
+			expr.Terms(func(v milp.Var, coef float64) {
+				negExpr = negExpr.Add(v, -coef)
+			})
+			m.AddConstr(con.AddExpr(negExpr), milp.GE, c-bigM, fmt.Sprintf("ajcdef_%d_%d", j, i))
+		}
+	}
+	if e.Opts.InterestingOrders {
+		e.linkSortedness(1 /* SortMergeJoin in e.ops */, presortedIdx)
+	}
+	return nil
+}
+
+// smjInnerCost prices the inner side of a sort-merge join for table t,
+// skipping the sort phase for tables stored in sorted order.
+func (e *Encoding) smjInnerCost(t int) float64 {
+	p := e.Opts.CostParams
+	pg := p.Pages(e.effCard[t])
+	if e.Query.Tables[t].Sorted {
+		return pg
+	}
+	return 2*pg*ceilLog2(pg) + pg
+}
+
+// addSortednessVars introduces the ohp variables of Section 5.4: whether
+// the outer operand of each join is sorted. Join 0's outer operand is a
+// base table (sorted iff the table is stored sorted); later operands are
+// sorted iff the producing operator was a sort-merge variant.
+func (e *Encoding) addSortednessVars() {
+	m := e.Model
+	e.OHP = make([]milp.Var, e.J)
+	for j := 0; j < e.J; j++ {
+		e.OHP[j] = m.AddBinary(0, fmt.Sprintf("ohp_%d", j))
+	}
+	expr := milp.Expr(e.OHP[0], 1.0)
+	for t := 0; t < e.Query.NumTables(); t++ {
+		if e.Query.Tables[t].Sorted {
+			expr = expr.Add(e.TIO[0][t], -1)
+		}
+	}
+	m.AddConstr(expr, milp.EQ, 0, "ohpdef_0")
+	// ohp_{j} = jos_{j−1,smj} + jos_{j−1,presorted} is installed after
+	// the jos variables exist; see linkSortedness.
+}
+
+// linkSortedness ties each ohp to the operator that produced the operand.
+// Called from addOperatorSelection once jos variables exist for join j−1.
+func (e *Encoding) linkSortedness(smjIdx, presortedIdx int) {
+	for j := 1; j < e.J; j++ {
+		expr := milp.Expr(e.OHP[j], 1.0, e.JOS[j-1][smjIdx], -1.0)
+		if presortedIdx >= 0 {
+			expr = expr.Add(e.JOS[j-1][presortedIdx], -1)
+		}
+		e.Model.AddConstr(expr, milp.EQ, 0, fmt.Sprintf("ohpdef_%d", j))
+	}
+}
+
+// addExpensivePredicates implements the evaluation-cost extension of
+// Section 5.1: pco variables mark the join at which each costly predicate
+// is first evaluated, and the pay-once cost pco·co is linearised.
+func (e *Encoding) addExpensivePredicates() {
+	m := e.Model
+	q := e.Query
+	maxEff := 0.0
+	for t := range e.effCard {
+		if e.effCard[t] > maxEff {
+			maxEff = e.effCard[t]
+		}
+	}
+	capVal := e.coMax()
+
+	e.PCO = make([][]milp.Var, e.J)
+	for j := range e.PCO {
+		e.PCO[j] = make([]milp.Var, len(q.Predicates))
+		for i := range e.PCO[j] {
+			e.PCO[j][i] = -1
+		}
+	}
+
+	for _, pi := range e.binPreds {
+		ec := q.Predicates[pi].EvalCostPerTuple
+		if ec <= 0 {
+			continue
+		}
+		for j := 0; j < e.J; j++ {
+			// pco_pj = pao_{p,j+1} − pao_{p,j}, with the boundary
+			// conventions pao_{p,0} = 0 and pao_{p,J} = 1 (every
+			// predicate is evaluated by the end of the plan).
+			v := m.AddBinary(0, fmt.Sprintf("pco_p%d_%d", pi, j))
+			e.PCO[j][pi] = v
+			expr := milp.Expr(v, 1.0)
+			rhs := 0.0
+			if j+1 < e.J {
+				expr = expr.Add(e.PAO[j+1][pi], -1)
+			} else {
+				rhs -= 1 // pao_{p,J} = 1
+			}
+			if j >= 1 {
+				expr = expr.Add(e.PAO[j][pi], 1)
+			}
+			m.AddConstr(expr, milp.EQ, -rhs, fmt.Sprintf("pcodef_p%d_%d", pi, j))
+
+			// Evaluation cost ec · pco · co_j, linearised via
+			// epc ≥ co_j − cap·(1 − pco), epc ≥ 0.
+			capJ := capVal
+			if j == 0 {
+				capJ = maxEff
+			}
+			epc := m.AddContinuous(0, capJ, ec, fmt.Sprintf("epc_p%d_%d", pi, j))
+			m.AddConstr(
+				milp.Expr(epc, 1.0, e.CO[j], -1.0, v, -capJ),
+				milp.GE, -capJ, fmt.Sprintf("epcdef_p%d_%d", pi, j))
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"milpjoin/internal/cost"
+	"milpjoin/internal/dp"
+	"milpjoin/internal/milp"
+	"milpjoin/internal/plan"
+	"milpjoin/internal/qopt"
+	"milpjoin/internal/solver"
+)
+
+// Result is the outcome of an end-to-end MILP-based optimization run.
+type Result struct {
+	// Plan is the best plan found (nil when the solver found none).
+	Plan *plan.Plan
+	// MILPObj is the plan's objective under the MILP's approximated cost.
+	MILPObj float64
+	// ExactCost is the plan's exact cost under the matching cost.Spec.
+	ExactCost float64
+	// Solver carries the underlying solver result (status, bound, gap,
+	// node and iteration counts, timing).
+	Solver *solver.Result
+	// Encoding is retained for inspection (model statistics, decode of
+	// alternative solutions).
+	Encoding *Encoding
+}
+
+// Spec returns the exact-costing spec matching the encoder options: the
+// same metric, operator, and physical parameters the MILP approximates.
+func (o Options) Spec() cost.Spec {
+	op := o.Op
+	if o.Metric == cost.OperatorCost && !o.ChooseOperators && op == 0 {
+		op = cost.HashJoin
+	}
+	return cost.Spec{Metric: o.Metric, Op: op, Params: o.CostParams.WithDefaults()}
+}
+
+// Optimize encodes the query, solves the MILP, and decodes the incumbent
+// into a plan. Anytime callbacks in params surface the solver's incumbent
+// objective and lower bound as optimization progresses, giving the
+// guaranteed-quality traces of the paper's Figure 2.
+//
+// Unless the caller supplies their own InitialSolution, a greedy join
+// order is injected as a MIP start where the encoding supports it, so the
+// solver has an incumbent (and hence a bounded Cost/LB ratio) from the
+// first moment — mirroring the primal heuristics commercial solvers run.
+func Optimize(q *qopt.Query, opts Options, params solver.Params) (*Result, error) {
+	enc, err := Encode(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	if params.InitialSolution == nil {
+		if greedy, _, gerr := dp.GreedyLeftDeep(q, opts.Spec()); gerr == nil {
+			if start, aerr := enc.AssignmentForPlan(greedy); aerr == nil {
+				if enc.Model.CheckFeasible(start, 1e-6) == nil {
+					params.InitialSolution = start
+				}
+			}
+		}
+	}
+	sres, err := solver.Solve(enc.Model, params)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Solver: sres, Encoding: enc}
+	if sres.Solution == nil {
+		return out, nil
+	}
+	pl, err := enc.Decode(sres.Solution)
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding incumbent: %w", err)
+	}
+	out.Plan = pl
+	out.MILPObj = sres.Solution.Obj
+	exact, err := plan.Cost(q, pl, opts.Spec())
+	if err != nil {
+		return nil, err
+	}
+	out.ExactCost = exact
+	return out, nil
+}
+
+// Stats returns the size snapshot of the encoded model (variables,
+// integer variables, constraints, nonzeros) — the quantities of Figure 1
+// and Theorems 1–2.
+func (e *Encoding) Stats() milp.Snapshot { return e.Model.Stats() }

@@ -1,0 +1,138 @@
+// Package core implements the paper's contribution: the transformation of
+// the join ordering problem into a mixed integer linear program.
+//
+// The encoder emits the variables of Table 1 (tio/tii for join operands,
+// pao for applicable predicates, lco for log-cardinalities, cto for
+// cardinality thresholds, co/ci for approximated operand cardinalities) and
+// the constraint families of Table 2, plus the Section 5 extensions: n-ary
+// and correlated predicates, expensive predicates, projection, operator
+// implementation selection, and intermediate result properties (interesting
+// orders). The decoder maps MILP solutions back to left-deep query plans.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"milpjoin/internal/cost"
+)
+
+// Precision selects the cardinality approximation tolerance, matching the
+// three configurations of the paper's evaluation.
+type Precision int
+
+const (
+	// PrecisionHigh approximates cardinalities within a factor of 3.
+	PrecisionHigh Precision = iota
+	// PrecisionMedium approximates within a factor of 10.
+	PrecisionMedium
+	// PrecisionLow approximates within a factor of 100.
+	PrecisionLow
+)
+
+// Ratio returns the geometric threshold spacing (= tolerance factor).
+func (p Precision) Ratio() float64 {
+	switch p {
+	case PrecisionHigh:
+		return 3
+	case PrecisionMedium:
+		return 10
+	case PrecisionLow:
+		return 100
+	default:
+		panic(fmt.Sprintf("core: unknown precision %d", int(p)))
+	}
+}
+
+// String names the precision.
+func (p Precision) String() string {
+	switch p {
+	case PrecisionHigh:
+		return "high"
+	case PrecisionMedium:
+		return "medium"
+	case PrecisionLow:
+		return "low"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
+// Precisions lists the paper's three configurations.
+func Precisions() []Precision {
+	return []Precision{PrecisionHigh, PrecisionMedium, PrecisionLow}
+}
+
+// Options configure the encoding.
+type Options struct {
+	// Precision selects the threshold spacing (default PrecisionMedium).
+	Precision Precision
+	// ThresholdRatio, when > 1, overrides Precision with an explicit
+	// geometric spacing.
+	ThresholdRatio float64
+	// CardCap bounds the representable cardinality range, as the paper's
+	// Example 2 suggests; any plan with an intermediate result at the cap
+	// is costed as if the result had exactly the cap cardinality.
+	// Default 1e12.
+	CardCap float64
+	// Metric selects the objective: C_out or operator cost.
+	Metric cost.Metric
+	// Op is the operator priced when Metric is OperatorCost and operator
+	// selection is off (default HashJoin, the paper's setting).
+	Op cost.Operator
+	// CostParams hold the physical constants.
+	CostParams cost.Params
+
+	// ChooseOperators enables the Section 5.3 extension: the MILP picks
+	// a join operator per join.
+	ChooseOperators bool
+	// InterestingOrders enables the Section 5.4 extension: tuple-order
+	// properties and a pre-sorted sort-merge variant. Requires
+	// ChooseOperators.
+	InterestingOrders bool
+	// ExpensivePredicates enables the Section 5.1 evaluation-cost
+	// extension: predicates with nonzero EvalCostPerTuple pay their cost
+	// once, at the join where they are first applied.
+	ExpensivePredicates bool
+	// Projection enables the Section 5.2 extension: column variables and
+	// byte-size based outer costing. Requires the query to carry
+	// columns.
+	Projection bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.ThresholdRatio != 0 && o.ThresholdRatio <= 1 {
+		panic(fmt.Sprintf("core: threshold ratio %g must exceed 1", o.ThresholdRatio))
+	}
+	if o.CardCap <= 0 {
+		o.CardCap = 1e12
+	}
+	o.CostParams = o.CostParams.WithDefaults()
+	return o
+}
+
+// ratio returns the effective threshold spacing.
+func (o Options) ratio() float64 {
+	if o.ThresholdRatio > 1 {
+		return o.ThresholdRatio
+	}
+	return o.Precision.Ratio()
+}
+
+// thresholds builds the geometric cardinality ladder θ_r = ratio^(r+1),
+// covering (1, cap]: a result whose cardinality lies in (θ_{r-1}, θ_r] is
+// approximated by θ_{r-1} (and by 1 below θ_0), an underestimate within the
+// tolerance factor.
+func (o Options) thresholds(maxLogCard float64) []float64 {
+	logRange := math.Min(maxLogCard, math.Log10(o.CardCap))
+	if logRange <= 0 {
+		return nil
+	}
+	logRatio := math.Log10(o.ratio())
+	count := int(math.Ceil(logRange/logRatio)) + 1
+	out := make([]float64, count)
+	for r := range out {
+		out[r] = math.Pow(o.ratio(), float64(r+1))
+	}
+	return out
+}

@@ -1,0 +1,312 @@
+// Package dp implements the classical exhaustive baselines the paper
+// compares against: Selinger-style dynamic programming over table subsets
+// for left-deep plans with cross products, plus an exhaustive permutation
+// search (test oracle) and a greedy heuristic.
+//
+// Dynamic programming is deliberately *not* an anytime algorithm: it
+// produces nothing until it finishes, which is exactly the behaviour the
+// paper's Figure 2 contrasts with the MILP approach.
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+
+	"milpjoin/internal/cost"
+	"milpjoin/internal/plan"
+	"milpjoin/internal/qopt"
+)
+
+// ErrTooLarge reports that the query exceeds the subset-table budget.
+var ErrTooLarge = errors.New("dp: query too large for dynamic programming")
+
+// ErrTimeout reports that the deadline expired before DP finished. No plan
+// is available in that case (DP has no anytime behaviour).
+var ErrTimeout = errors.New("dp: deadline exceeded")
+
+// Options tune the DP run.
+type Options struct {
+	// MaxTables guards against the 2^n memory blow-up (default 24).
+	MaxTables int
+	// Deadline, when nonzero, aborts the run once passed.
+	Deadline time.Time
+	// ChooseOperators selects the cheapest operator per join instead of
+	// the Spec's fixed operator (only relevant for OperatorCost).
+	ChooseOperators bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxTables <= 0 {
+		o.MaxTables = 24
+	}
+	return o
+}
+
+// OptimizeLeftDeep finds the cost-minimal left-deep plan (cross products
+// allowed) by dynamic programming over table subsets.
+func OptimizeLeftDeep(q *qopt.Query, spec cost.Spec, opts Options) (*plan.Plan, float64, error) {
+	if err := q.Validate(); err != nil {
+		return nil, 0, err
+	}
+	opts = opts.withDefaults()
+	n := q.NumTables()
+	if n > opts.MaxTables {
+		return nil, 0, fmt.Errorf("%w: %d tables (limit %d)", ErrTooLarge, n, opts.MaxTables)
+	}
+	params := spec.Params.WithDefaults()
+
+	size := 1 << n
+	card := make([]float64, size)
+	best := make([]float64, size)
+	choice := make([]int32, size)
+	for s := range best {
+		best[s] = math.Inf(1)
+		choice[s] = -1
+	}
+
+	// Predicates indexed by member table, with a precomputed bitmask.
+	type predInfo struct {
+		mask int
+		sel  float64
+	}
+	predsByTable := make([][]predInfo, n)
+	for _, p := range q.Predicates {
+		mask := 0
+		for _, t := range p.Tables {
+			mask |= 1 << t
+		}
+		for _, t := range p.Tables {
+			predsByTable[t] = append(predsByTable[t], predInfo{mask: mask, sel: p.Sel})
+		}
+	}
+	type groupInfo struct {
+		mask int // union of member-predicate table sets
+		corr float64
+	}
+	var groups []groupInfo
+	for _, g := range q.Correlated {
+		mask := 0
+		for _, pi := range g.Predicates {
+			for _, t := range q.Predicates[pi].Tables {
+				mask |= 1 << t
+			}
+		}
+		groups = append(groups, groupInfo{mask: mask, corr: g.CorrectionSel})
+	}
+
+	full := size - 1
+	deadlineCheck := 0
+	for s := 1; s < size; s++ {
+		if deadlineCheck++; deadlineCheck&0xFFFF == 0 && !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			return nil, 0, ErrTimeout
+		}
+		if bits.OnesCount(uint(s)) == 1 {
+			t := bits.TrailingZeros(uint(s))
+			card[s] = q.Tables[t].Card
+			best[s] = 0
+			continue
+		}
+		// Cardinality: extend s\t by the lowest table t in s.
+		t := bits.TrailingZeros(uint(s))
+		prev := s &^ (1 << t)
+		c := card[prev] * q.Tables[t].Card
+		for _, pi := range predsByTable[t] {
+			if pi.mask&s == pi.mask {
+				c *= pi.sel
+			}
+		}
+		for _, g := range groups {
+			if g.mask&s == g.mask && g.mask&prev != g.mask {
+				// Group completed by adding t... only valid when t
+				// is in the group's mask; masks missing t complete
+				// earlier and were already counted.
+				c *= g.corr
+			}
+		}
+		card[s] = c
+
+		// Left-deep recurrence: last joined table r.
+		for rest := s; rest != 0; {
+			r := bits.TrailingZeros(uint(rest))
+			rest &^= 1 << r
+			sub := s &^ (1 << r)
+			if bits.OnesCount(uint(sub)) >= 1 && math.IsInf(best[sub], 1) {
+				continue
+			}
+			var joinCost float64
+			switch spec.Metric {
+			case cost.Cout:
+				if s != full {
+					joinCost = card[s]
+				}
+			case cost.OperatorCost:
+				pgo := params.Pages(card[sub])
+				pgi := params.Pages(q.Tables[r].Card)
+				if opts.ChooseOperators {
+					joinCost = math.Inf(1)
+					for _, op := range cost.Operators() {
+						if c := cost.JoinCost(op, pgo, pgi, params); c < joinCost {
+							joinCost = c
+						}
+					}
+				} else {
+					joinCost = cost.JoinCost(spec.Op, pgo, pgi, params)
+				}
+			}
+			if total := best[sub] + joinCost; total < best[s] {
+				best[s] = total
+				choice[s] = int32(r)
+			}
+		}
+	}
+
+	if math.IsInf(best[full], 1) {
+		return nil, 0, errors.New("dp: no plan found (internal error)")
+	}
+
+	// Reconstruct the join order.
+	order := make([]int, n)
+	s := full
+	for k := n - 1; k >= 1; k-- {
+		r := int(choice[s])
+		order[k] = r
+		s &^= 1 << r
+	}
+	order[0] = bits.TrailingZeros(uint(s))
+
+	pl := &plan.Plan{Order: order}
+	if opts.ChooseOperators && spec.Metric == cost.OperatorCost {
+		pl.Operators = assignBestOperators(q, pl, params)
+	}
+	return pl, best[full], nil
+}
+
+// assignBestOperators walks a plan and picks the cheapest operator per join
+// given the exact operand cardinalities.
+func assignBestOperators(q *qopt.Query, pl *plan.Plan, params cost.Params) []cost.Operator {
+	eval, err := plan.Evaluate(q, pl, cost.Spec{Metric: cost.OperatorCost, Op: cost.HashJoin, Params: params})
+	if err != nil {
+		return nil
+	}
+	ops := make([]cost.Operator, len(eval.Steps))
+	for j, step := range eval.Steps {
+		pgo := params.Pages(step.OuterCard)
+		pgi := params.Pages(step.InnerCard)
+		bestOp, bestCost := cost.HashJoin, math.Inf(1)
+		for _, op := range cost.Operators() {
+			if c := cost.JoinCost(op, pgo, pgi, params); c < bestCost {
+				bestOp, bestCost = op, c
+			}
+		}
+		ops[j] = bestOp
+	}
+	return ops
+}
+
+// ExhaustiveLeftDeep enumerates every permutation; a test oracle for small
+// queries (n ≤ 9).
+func ExhaustiveLeftDeep(q *qopt.Query, spec cost.Spec) (*plan.Plan, float64, error) {
+	n := q.NumTables()
+	if n > 9 {
+		return nil, 0, fmt.Errorf("%w: exhaustive search limited to 9 tables", ErrTooLarge)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	bestCost := math.Inf(1)
+	var bestOrder []int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			c, err := plan.Cost(q, &plan.Plan{Order: perm}, spec)
+			if err == nil && c < bestCost {
+				bestCost = c
+				bestOrder = append([]int(nil), perm...)
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	if bestOrder == nil {
+		return nil, 0, errors.New("dp: exhaustive search found no plan")
+	}
+	return &plan.Plan{Order: bestOrder}, bestCost, nil
+}
+
+// GreedyLeftDeep builds a plan by repeatedly appending the table that
+// minimizes the next intermediate result cardinality. Linear-time
+// heuristic; no optimality guarantee (used as a primal-quality yardstick).
+func GreedyLeftDeep(q *qopt.Query, spec cost.Spec) (*plan.Plan, float64, error) {
+	if err := q.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := q.NumTables()
+	used := make([]bool, n)
+
+	// Start from the smallest table.
+	start := 0
+	for t := 1; t < n; t++ {
+		if q.Tables[t].Card < q.Tables[start].Card {
+			start = t
+		}
+	}
+	order := []int{start}
+	used[start] = true
+	inSet := map[int]bool{start: true}
+	curCard := q.Tables[start].Card
+	applied := make([]bool, len(q.Predicates))
+
+	for len(order) < n {
+		bestT, bestCard := -1, math.Inf(1)
+		for t := 0; t < n; t++ {
+			if used[t] {
+				continue
+			}
+			c := curCard * q.Tables[t].Card
+			inSet[t] = true
+			for pi, p := range q.Predicates {
+				if !applied[pi] && tablesIn(p.Tables, inSet) {
+					c *= p.Sel
+				}
+			}
+			inSet[t] = false
+			if c < bestCard {
+				bestT, bestCard = t, c
+			}
+		}
+		used[bestT] = true
+		inSet[bestT] = true
+		order = append(order, bestT)
+		for pi, p := range q.Predicates {
+			if !applied[pi] && tablesIn(p.Tables, inSet) {
+				applied[pi] = true
+			}
+		}
+		curCard = bestCard
+	}
+
+	pl := &plan.Plan{Order: order}
+	c, err := plan.Cost(q, pl, spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	return pl, c, nil
+}
+
+func tablesIn(tables []int, set map[int]bool) bool {
+	for _, t := range tables {
+		if !set[t] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,248 @@
+package dp
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"milpjoin/internal/cost"
+	"milpjoin/internal/plan"
+	"milpjoin/internal/qopt"
+	"milpjoin/internal/workload"
+)
+
+func TestDPMatchesExhaustive(t *testing.T) {
+	specs := []cost.Spec{cost.CoutSpec(), cost.DefaultSpec()}
+	for _, shape := range []workload.GraphShape{workload.Chain, workload.Cycle, workload.Star} {
+		for seed := int64(0); seed < 8; seed++ {
+			q := workload.Generate(shape, 6, seed, workload.Config{})
+			for _, spec := range specs {
+				dpPlan, dpCost, err := OptimizeLeftDeep(q, spec, Options{})
+				if err != nil {
+					t.Fatalf("%v seed %d: %v", shape, seed, err)
+				}
+				exPlan, exCost, err := ExhaustiveLeftDeep(q, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(dpCost-exCost) > 1e-6*(1+exCost) {
+					t.Fatalf("%v seed %d %v: dp %g vs exhaustive %g (dp %v, ex %v)",
+						shape, seed, spec.Metric, dpCost, exCost, dpPlan.Order, exPlan.Order)
+				}
+				// The DP cost must equal the exact plan cost.
+				recost, err := plan.Cost(q, dpPlan, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(recost-dpCost) > 1e-6*(1+dpCost) {
+					t.Fatalf("%v seed %d: dp reports %g but plan costs %g", shape, seed, dpCost, recost)
+				}
+			}
+		}
+	}
+}
+
+func TestDPWithCorrelatedGroups(t *testing.T) {
+	q := workload.Generate(workload.Chain, 5, 3, workload.Config{})
+	q.Correlated = []qopt.CorrelatedGroup{
+		{Predicates: []int{0, 1}, CorrectionSel: 4},
+	}
+	dpPlan, dpCost, err := OptimizeLeftDeep(q, cost.CoutSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, exCost, err := ExhaustiveLeftDeep(q, cost.CoutSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dpCost-exCost) > 1e-6*(1+exCost) {
+		t.Fatalf("dp %g vs exhaustive %g", dpCost, exCost)
+	}
+	if err := dpPlan.Validate(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDPWithNaryPredicate(t *testing.T) {
+	q := workload.Generate(workload.Chain, 5, 11, workload.Config{})
+	q.Predicates = append(q.Predicates, qopt.Predicate{
+		Name: "tri", Tables: []int{0, 2, 4}, Sel: 0.25,
+	})
+	_, dpCost, err := OptimizeLeftDeep(q, cost.CoutSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, exCost, err := ExhaustiveLeftDeep(q, cost.CoutSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dpCost-exCost) > 1e-6*(1+exCost) {
+		t.Fatalf("dp %g vs exhaustive %g", dpCost, exCost)
+	}
+}
+
+func TestDPTooLarge(t *testing.T) {
+	q := workload.Generate(workload.Chain, 30, 1, workload.Config{})
+	_, _, err := OptimizeLeftDeep(q, cost.CoutSpec(), Options{})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestDPTimeout(t *testing.T) {
+	q := workload.Generate(workload.Chain, 20, 1, workload.Config{})
+	_, _, err := OptimizeLeftDeep(q, cost.CoutSpec(), Options{
+		Deadline: time.Now().Add(time.Millisecond),
+	})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestDPChooseOperators(t *testing.T) {
+	q := workload.Generate(workload.Star, 6, 5, workload.Config{})
+	pl, c, err := OptimizeLeftDeep(q, cost.DefaultSpec(), Options{ChooseOperators: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Operators == nil {
+		t.Fatal("no operators assigned")
+	}
+	// Mixed-operator cost can only be ≤ the fixed hash-join optimum.
+	_, fixedCost, err := OptimizeLeftDeep(q, cost.DefaultSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c > fixedCost+1e-6 {
+		t.Errorf("operator choice worsened cost: %g vs %g", c, fixedCost)
+	}
+	// Reported cost must match the exact plan cost.
+	recost, err := plan.Cost(q, pl, cost.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(recost-c) > 1e-6*(1+c) {
+		t.Errorf("dp reports %g, plan costs %g", c, recost)
+	}
+}
+
+func TestGreedyValidAndBoundedByOptimal(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		q := workload.Generate(workload.Cycle, 7, seed, workload.Config{})
+		gPlan, gCost, err := GreedyLeftDeep(q, cost.CoutSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := gPlan.Validate(q); err != nil {
+			t.Fatalf("seed %d: greedy plan invalid: %v", seed, err)
+		}
+		_, optCost, err := OptimizeLeftDeep(q, cost.CoutSpec(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gCost < optCost-1e-6*(1+optCost) {
+			t.Fatalf("seed %d: greedy %g beats optimal %g", seed, gCost, optCost)
+		}
+	}
+}
+
+func TestExhaustiveGuard(t *testing.T) {
+	q := workload.Generate(workload.Chain, 12, 1, workload.Config{})
+	if _, _, err := ExhaustiveLeftDeep(q, cost.CoutSpec()); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestDPInvalidQuery(t *testing.T) {
+	q := &qopt.Query{Tables: []qopt.Table{{Card: 10}}}
+	if _, _, err := OptimizeLeftDeep(q, cost.CoutSpec(), Options{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+	if _, _, err := GreedyLeftDeep(q, cost.CoutSpec()); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestDPPlanIsValid(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 10, 14} {
+		q := workload.Generate(workload.Star, n, int64(n), workload.Config{})
+		pl, _, err := OptimizeLeftDeep(q, cost.DefaultSpec(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pl.Validate(q); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func BenchmarkDP15Tables(b *testing.B) {
+	q := workload.Generate(workload.Star, 15, 1, workload.Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := OptimizeLeftDeep(q, cost.DefaultSpec(), Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestBushyNeverWorseThanLeftDeep(t *testing.T) {
+	for _, shape := range workload.Shapes() {
+		for seed := int64(0); seed < 5; seed++ {
+			q := workload.Generate(shape, 7, seed, workload.Config{})
+			for _, spec := range []cost.Spec{cost.CoutSpec(), cost.DefaultSpec()} {
+				_, ldCost, err := OptimizeLeftDeep(q, spec, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				tree, bCost, err := OptimizeBushy(q, spec, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tree.Validate(q); err != nil {
+					t.Fatalf("%v seed %d: %v", shape, seed, err)
+				}
+				if bCost > ldCost+1e-6*(1+ldCost) {
+					t.Fatalf("%v seed %d %v: bushy %g worse than left-deep %g",
+						shape, seed, spec.Metric, bCost, ldCost)
+				}
+				// Reported cost must match exact tree costing.
+				recost, err := plan.TreeCost(q, tree, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(recost-bCost) > 1e-6*(1+bCost) {
+					t.Fatalf("%v seed %d: bushy reports %g, tree costs %g", shape, seed, bCost, recost)
+				}
+			}
+		}
+	}
+}
+
+func TestBushyMatchesLeftDeepOnTwoTables(t *testing.T) {
+	q := workload.Generate(workload.Chain, 2, 1, workload.Config{})
+	_, ld, err := OptimizeLeftDeep(q, cost.CoutSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := OptimizeBushy(q, cost.CoutSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ld-b) > 1e-9 {
+		t.Errorf("2 tables: left-deep %g vs bushy %g", ld, b)
+	}
+}
+
+func TestBushyGuards(t *testing.T) {
+	q := workload.Generate(workload.Chain, 22, 1, workload.Config{})
+	if _, _, err := OptimizeBushy(q, cost.CoutSpec(), Options{}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	q2 := workload.Generate(workload.Chain, 16, 1, workload.Config{})
+	if _, _, err := OptimizeBushy(q2, cost.CoutSpec(), Options{Deadline: time.Now().Add(time.Millisecond)}); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package exec is a small in-memory execution substrate: it synthesizes
+// table data whose join behaviour matches the optimizer's cardinality
+// model (uniform keys with domain sizes derived from predicate
+// selectivities) and executes left-deep plans with in-memory hash joins.
+//
+// It exists to close the loop the paper leaves implicit: plans decoded
+// from the MILP are actual executable join orders, every join order of a
+// query produces the same result, and measured result sizes track the
+// estimates the encoder optimizes.
+package exec
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+
+	"milpjoin/internal/plan"
+	"milpjoin/internal/qopt"
+)
+
+// Relation is an in-memory table: named columns over int64 rows.
+type Relation struct {
+	Cols []string
+	Rows [][]int64
+}
+
+// NumRows returns the relation's cardinality.
+func (r *Relation) NumRows() int { return len(r.Rows) }
+
+func (r *Relation) colIndex(name string) int {
+	for i, c := range r.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Database holds one relation per query table.
+type Database struct {
+	Query     *qopt.Query
+	Relations []*Relation
+}
+
+// Synthesize builds a database for q: each table gets one join-key column
+// per incident binary predicate, drawn uniformly from a domain of size
+// ≈ 1/selectivity, so that expected join sizes match the optimizer's
+// independence-based estimates. Only binary predicates are supported.
+func Synthesize(q *qopt.Query, seed int64) (*Database, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	for pi, p := range q.Predicates {
+		if !p.IsBinary() {
+			return nil, fmt.Errorf("exec: predicate %d is not binary", pi)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	db := &Database{Query: q}
+	for t := range q.Tables {
+		var cols []string
+		var domains []int64
+		for pi, p := range q.Predicates {
+			if p.Tables[0] == t || p.Tables[1] == t {
+				cols = append(cols, predCol(t, pi))
+				d := int64(math.Round(1 / p.Sel))
+				if d < 1 {
+					d = 1
+				}
+				domains = append(domains, d)
+			}
+		}
+		rel := &Relation{Cols: cols}
+		n := int(q.Tables[t].Card)
+		for i := 0; i < n; i++ {
+			row := make([]int64, len(cols))
+			for c := range cols {
+				row[c] = rng.Int63n(domains[c])
+			}
+			rel.Rows = append(rel.Rows, row)
+		}
+		db.Relations = append(db.Relations, rel)
+	}
+	return db, nil
+}
+
+// predCol is the table-qualified key column of predicate pi on table t;
+// qualification keeps column names unique across the join result.
+func predCol(t, pi int) string { return fmt.Sprintf("T%d.p%d", t, pi) }
+
+// Execute runs a left-deep plan with hash joins and returns the final
+// result. Each join matches on every predicate that becomes applicable at
+// that join; joins with no applicable predicate degenerate to cross
+// products (as the paper's plan space allows).
+func (db *Database) Execute(p *plan.Plan) (*Relation, error) {
+	q := db.Query
+	if err := p.Validate(q); err != nil {
+		return nil, err
+	}
+	inSet := map[int]bool{p.Order[0]: true}
+	applied := make([]bool, len(q.Predicates))
+	cur := db.Relations[p.Order[0]]
+
+	for j := 1; j < len(p.Order); j++ {
+		inner := db.Relations[p.Order[j]]
+		inSet[p.Order[j]] = true
+
+		// Predicates newly applicable once the inner table joins: the
+		// inner table contributes one side, the accumulated result the
+		// other.
+		var keys []keyPair
+		for pi, pred := range q.Predicates {
+			if applied[pi] {
+				continue
+			}
+			if inSet[pred.Tables[0]] && inSet[pred.Tables[1]] {
+				applied[pi] = true
+				curTable, innerTable := pred.Tables[0], pred.Tables[1]
+				if innerTable != p.Order[j] {
+					curTable, innerTable = innerTable, curTable
+				}
+				keys = append(keys, keyPair{
+					left:  predCol(curTable, pi),
+					right: predCol(innerTable, pi),
+				})
+			}
+		}
+		var err error
+		cur, err = hashJoin(cur, inner, keys)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// keyPair names one equi-join key on each side.
+type keyPair struct{ left, right string }
+
+// hashJoin equi-joins left and right on the key pairs; with no keys it
+// builds the cross product.
+func hashJoin(left, right *Relation, keys []keyPair) (*Relation, error) {
+	out := &Relation{Cols: append(append([]string(nil), left.Cols...), right.Cols...)}
+
+	if len(keys) == 0 {
+		for _, lr := range left.Rows {
+			for _, rr := range right.Rows {
+				out.Rows = append(out.Rows, concatRows(lr, rr))
+			}
+		}
+		return out, nil
+	}
+
+	lIdx := make([]int, len(keys))
+	rIdx := make([]int, len(keys))
+	for k, kp := range keys {
+		lIdx[k] = left.colIndex(kp.left)
+		rIdx[k] = right.colIndex(kp.right)
+		if lIdx[k] < 0 || rIdx[k] < 0 {
+			return nil, fmt.Errorf("exec: join key %v missing (left %d, right %d)", kp, lIdx[k], rIdx[k])
+		}
+	}
+
+	// Build on the smaller input.
+	build, probe := right, left
+	bIdx, pIdx := rIdx, lIdx
+	buildIsRight := true
+	if left.NumRows() < right.NumRows() {
+		build, probe = left, right
+		bIdx, pIdx = lIdx, rIdx
+		buildIsRight = false
+	}
+
+	table := make(map[string][][]int64, build.NumRows())
+	for _, row := range build.Rows {
+		k := keyOf(row, bIdx)
+		table[k] = append(table[k], row)
+	}
+	for _, prow := range probe.Rows {
+		for _, brow := range table[keyOf(prow, pIdx)] {
+			if buildIsRight {
+				out.Rows = append(out.Rows, concatRows(prow, brow))
+			} else {
+				out.Rows = append(out.Rows, concatRows(brow, prow))
+			}
+		}
+	}
+	return out, nil
+}
+
+func keyOf(row []int64, idx []int) string {
+	b := make([]byte, 0, len(idx)*8)
+	for _, i := range idx {
+		v := row[i]
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(v>>s))
+		}
+	}
+	return string(b)
+}
+
+func concatRows(a, b []int64) []int64 {
+	out := make([]int64, 0, len(a)+len(b))
+	return append(append(out, a...), b...)
+}
+
+// Fingerprint returns an order-independent hash of the relation's rows
+// with columns aligned to the given column order — equal fingerprints mean
+// equal result multisets, the cross-join-order correctness check.
+func (r *Relation) Fingerprint(colOrder []string) (uint64, error) {
+	perm := make([]int, len(colOrder))
+	for i, name := range colOrder {
+		perm[i] = r.colIndex(name)
+		if perm[i] < 0 {
+			return 0, fmt.Errorf("exec: fingerprint column %q missing", name)
+		}
+	}
+	hashes := make([]uint64, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		h := fnv.New64a()
+		var buf [8]byte
+		for _, ci := range perm {
+			v := row[ci]
+			for s := 0; s < 64; s += 8 {
+				buf[s/8] = byte(v >> s)
+			}
+			h.Write(buf[:])
+		}
+		hashes = append(hashes, h.Sum64())
+	}
+	sort.Slice(hashes, func(a, b int) bool { return hashes[a] < hashes[b] })
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range hashes {
+		for s := 0; s < 64; s += 8 {
+			buf[s/8] = byte(v >> s)
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64(), nil
+}

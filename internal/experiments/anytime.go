@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// TraceEvent is one anytime observation: at Elapsed, the best incumbent
+// objective seen so far and the proven lower bound.
+type TraceEvent struct {
+	Elapsed   time.Duration
+	Incumbent float64 // +Inf while no plan exists
+	Bound     float64
+}
+
+// Trace is a time-ordered sequence of anytime observations for one
+// optimizer run.
+type Trace struct {
+	Events []TraceEvent
+}
+
+// Add appends an observation (kept monotone: incumbents only improve,
+// bounds only rise).
+func (t *Trace) Add(elapsed time.Duration, incumbent, bound float64) {
+	if len(t.Events) > 0 {
+		last := t.Events[len(t.Events)-1]
+		if incumbent > last.Incumbent {
+			incumbent = last.Incumbent
+		}
+		if bound < last.Bound {
+			bound = last.Bound
+		}
+	}
+	t.Events = append(t.Events, TraceEvent{Elapsed: elapsed, Incumbent: incumbent, Bound: bound})
+}
+
+// RatioAt returns the Cost / lower-bound ratio proven at time tm: the best
+// incumbent divided by the best bound among events up to tm. It returns
+// +Inf while no incumbent exists (the paper's criterion: the only
+// guarantee available at optimization time).
+func (t *Trace) RatioAt(tm time.Duration) float64 {
+	inc := math.Inf(1)
+	bound := math.Inf(-1)
+	for _, ev := range t.Events {
+		if ev.Elapsed > tm {
+			break
+		}
+		if ev.Incumbent < inc {
+			inc = ev.Incumbent
+		}
+		if ev.Bound > bound {
+			bound = ev.Bound
+		}
+	}
+	if math.IsInf(inc, 1) {
+		return math.Inf(1)
+	}
+	if bound <= 0 || math.IsInf(bound, -1) {
+		// Degenerate bound: no multiplicative guarantee available.
+		return math.Inf(1)
+	}
+	if inc <= bound {
+		return 1
+	}
+	return inc / bound
+}
+
+// median returns the median of a slice, treating +Inf values as largest.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

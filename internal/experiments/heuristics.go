@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"milpjoin/internal/core"
+	"milpjoin/internal/cost"
+	"milpjoin/internal/heuristic"
+	"milpjoin/internal/qopt"
+	"milpjoin/internal/solver"
+	"milpjoin/internal/workload"
+)
+
+// HeuristicComparisonConfig parameterises the extra experiment contrasting
+// the MILP approach with the randomized algorithms of Steinbrunn et al.
+// (Section 2 of the paper argues they are excluded from its evaluation
+// because they offer no optimality guarantees; this harness quantifies the
+// comparison anyway).
+type HeuristicComparisonConfig struct {
+	Shape   workload.GraphShape
+	Tables  int
+	Queries int
+	Budget  time.Duration // per algorithm per query
+	Seed    int64
+	Threads int
+}
+
+// WithDefaults fills a laptop-scale configuration.
+func (c HeuristicComparisonConfig) WithDefaults() HeuristicComparisonConfig {
+	if c.Tables == 0 {
+		c.Tables = 12
+	}
+	if c.Queries == 0 {
+		c.Queries = 5
+	}
+	if c.Budget == 0 {
+		c.Budget = 5 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Threads == 0 {
+		c.Threads = 2
+	}
+	return c
+}
+
+// HeuristicComparisonRow summarises one algorithm over the query set.
+type HeuristicComparisonRow struct {
+	Algorithm string
+	// MedianCostRatio is the median of (plan cost / best plan cost found
+	// by any algorithm on that query); 1.0 means the algorithm matched
+	// the best known plan on the median query.
+	MedianCostRatio float64
+	// ProvenBound reports whether the algorithm produces an optimality
+	// guarantee (only the MILP approach does).
+	ProvenBound bool
+	// MedianProvenFactor is the median proven Cost/LB factor (MILP
+	// only; +Inf for the heuristics, which certify nothing).
+	MedianProvenFactor float64
+}
+
+// HeuristicComparison runs the MILP optimizer and the randomized baselines
+// under equal time budgets and reports plan quality relative to the best
+// plan any of them found.
+func HeuristicComparison(cfg HeuristicComparisonConfig) ([]HeuristicComparisonRow, error) {
+	cfg = cfg.WithDefaults()
+	spec := cost.DefaultSpec()
+	opts := core.Options{Precision: core.PrecisionMedium, Metric: cost.OperatorCost, Op: cost.HashJoin}
+
+	type algo struct {
+		name   string
+		proven bool
+		run    func(q *qopt.Query, seed int64) (float64, float64, error) // cost, provenFactor
+	}
+	algos := []algo{
+		{"ILP (medium precision)", true, func(q *qopt.Query, seed int64) (float64, float64, error) {
+			res, err := core.Optimize(q, opts, solver.Params{TimeLimit: cfg.Budget, Threads: cfg.Threads})
+			if err != nil {
+				return 0, 0, err
+			}
+			if res.Plan == nil {
+				return math.Inf(1), math.Inf(1), nil
+			}
+			factor := math.Inf(1)
+			if res.Solver.Bound > 0 {
+				factor = res.MILPObj / res.Solver.Bound
+			}
+			return res.ExactCost, factor, nil
+		}},
+		{"iterative improvement", false, func(q *qopt.Query, seed int64) (float64, float64, error) {
+			_, c, err := heuristic.IterativeImprovement(q, spec, heuristic.Options{
+				Seed: seed, Deadline: time.Now().Add(cfg.Budget), Restarts: 1 << 20,
+			})
+			return c, math.Inf(1), err
+		}},
+		{"simulated annealing", false, func(q *qopt.Query, seed int64) (float64, float64, error) {
+			_, c, err := heuristic.SimulatedAnnealing(q, spec, heuristic.Options{
+				Seed: seed, Deadline: time.Now().Add(cfg.Budget),
+			})
+			return c, math.Inf(1), err
+		}},
+		{"two-phase (2PO)", false, func(q *qopt.Query, seed int64) (float64, float64, error) {
+			_, c, err := heuristic.TwoPhase(q, spec, heuristic.Options{
+				Seed: seed, Deadline: time.Now().Add(cfg.Budget),
+			})
+			return c, math.Inf(1), err
+		}},
+		{"random sampling", false, func(q *qopt.Query, seed int64) (float64, float64, error) {
+			_, c, err := heuristic.RandomSampling(q, spec, 1<<30, heuristic.Options{
+				Seed: seed, Deadline: time.Now().Add(cfg.Budget),
+			})
+			return c, math.Inf(1), err
+		}},
+	}
+
+	costs := make([][]float64, len(algos))   // [algo][query]
+	factors := make([][]float64, len(algos)) // [algo][query]
+	for qi := 0; qi < cfg.Queries; qi++ {
+		q := workload.Generate(cfg.Shape, cfg.Tables, cfg.Seed+int64(qi), workload.Config{})
+		best := math.Inf(1)
+		row := make([]float64, len(algos))
+		for ai, a := range algos {
+			c, factor, err := a.run(q, cfg.Seed+int64(qi))
+			if err != nil {
+				return nil, err
+			}
+			row[ai] = c
+			factors[ai] = append(factors[ai], factor)
+			if c < best {
+				best = c
+			}
+		}
+		for ai := range algos {
+			costs[ai] = append(costs[ai], row[ai]/best)
+		}
+	}
+
+	out := make([]HeuristicComparisonRow, len(algos))
+	for ai, a := range algos {
+		out[ai] = HeuristicComparisonRow{
+			Algorithm:          a.name,
+			MedianCostRatio:    median(costs[ai]),
+			ProvenBound:        a.proven,
+			MedianProvenFactor: median(factors[ai]),
+		}
+	}
+	return out, nil
+}

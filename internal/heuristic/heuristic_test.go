@@ -1,0 +1,167 @@
+package heuristic
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"milpjoin/internal/cost"
+	"milpjoin/internal/dp"
+	"milpjoin/internal/plan"
+	"milpjoin/internal/qopt"
+	"milpjoin/internal/workload"
+)
+
+type algo struct {
+	name string
+	run  func(q *qopt.Query, spec cost.Spec, opts Options) (*plan.Plan, float64, error)
+}
+
+func algorithms() []algo {
+	return []algo{
+		{"II", IterativeImprovement},
+		{"SA", SimulatedAnnealing},
+		{"2PO", TwoPhase},
+		{"RS", func(q *qopt.Query, spec cost.Spec, opts Options) (*plan.Plan, float64, error) {
+			return RandomSampling(q, spec, 500, opts)
+		}},
+	}
+}
+
+func TestHeuristicsProduceValidPlans(t *testing.T) {
+	for _, shape := range workload.Shapes() {
+		q := workload.Generate(shape, 8, 3, workload.Config{})
+		for _, a := range algorithms() {
+			pl, c, err := a.run(q, cost.CoutSpec(), Options{Seed: 1})
+			if err != nil {
+				t.Fatalf("%v %s: %v", shape, a.name, err)
+			}
+			if err := pl.Validate(q); err != nil {
+				t.Fatalf("%v %s: invalid plan: %v", shape, a.name, err)
+			}
+			recost, err := plan.Cost(q, pl, cost.CoutSpec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(recost-c) > 1e-9*(1+c) {
+				t.Fatalf("%v %s: reported %g, actual %g", shape, a.name, c, recost)
+			}
+		}
+	}
+}
+
+func TestHeuristicsNeverBeatOptimal(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		q := workload.Generate(workload.Cycle, 7, seed, workload.Config{})
+		_, opt, err := dp.OptimizeLeftDeep(q, cost.CoutSpec(), dp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range algorithms() {
+			_, c, err := a.run(q, cost.CoutSpec(), Options{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c < opt-1e-6*(1+opt) {
+				t.Fatalf("seed %d %s: heuristic %g beats optimum %g", seed, a.name, c, opt)
+			}
+		}
+	}
+}
+
+func TestIterativeImprovementFindsSmallOptimum(t *testing.T) {
+	// On tiny queries random-restart local search should reach the
+	// optimum with a deterministic seed.
+	q := workload.Generate(workload.Star, 5, 9, workload.Config{})
+	_, opt, err := dp.OptimizeLeftDeep(q, cost.CoutSpec(), dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c, err := IterativeImprovement(q, cost.CoutSpec(), Options{Seed: 2, Restarts: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-opt) > 1e-6*(1+opt) {
+		t.Errorf("II found %g, optimum %g", c, opt)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	q := workload.Generate(workload.Chain, 9, 4, workload.Config{})
+	for _, a := range algorithms() {
+		_, c1, err := a.run(q, cost.CoutSpec(), Options{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, c2, err := a.run(q, cost.CoutSpec(), Options{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c1 != c2 {
+			t.Errorf("%s: nondeterministic with fixed seed: %g vs %g", a.name, c1, c2)
+		}
+	}
+}
+
+func TestDeadlineRespected(t *testing.T) {
+	q := workload.Generate(workload.Chain, 16, 5, workload.Config{})
+	start := time.Now()
+	_, _, err := SimulatedAnnealing(q, cost.CoutSpec(), Options{
+		Seed:     1,
+		Deadline: start.Add(50 * time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("SA ran %v past a 50ms deadline", elapsed)
+	}
+}
+
+func TestOnImprovementMonotone(t *testing.T) {
+	q := workload.Generate(workload.Cycle, 10, 6, workload.Config{})
+	var costs []float64
+	_, _, err := IterativeImprovement(q, cost.CoutSpec(), Options{
+		Seed: 3,
+		OnImprovement: func(p *plan.Plan, c float64, _ time.Duration) {
+			costs = append(costs, c)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) == 0 {
+		t.Fatal("no improvements observed")
+	}
+	for i := 1; i < len(costs); i++ {
+		if costs[i] >= costs[i-1] {
+			t.Errorf("non-improving callback: %g → %g", costs[i-1], costs[i])
+		}
+	}
+}
+
+func TestInvalidQueryRejected(t *testing.T) {
+	bad := &qopt.Query{Tables: []qopt.Table{{Card: 5}}}
+	for _, a := range algorithms() {
+		if _, _, err := a.run(bad, cost.CoutSpec(), Options{}); err == nil {
+			t.Errorf("%s accepted an invalid query", a.name)
+		}
+	}
+}
+
+func TestTwoPhaseAtLeastAsGoodAsIIHalf(t *testing.T) {
+	q := workload.Generate(workload.Star, 10, 8, workload.Config{})
+	_, ii, err := IterativeImprovement(q, cost.CoutSpec(), Options{Seed: 5, Restarts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tp, err := TwoPhase(q, cost.CoutSpec(), Options{Seed: 5, Restarts: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2PO embeds an II phase with half the restarts plus annealing; it
+	// should not be wildly worse (allow slack — different RNG streams).
+	if tp > ii*10 {
+		t.Errorf("2PO %g far worse than II %g", tp, ii)
+	}
+}

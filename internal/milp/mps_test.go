@@ -1,0 +1,143 @@
+package milp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func buildMPSModel() *Model {
+	m := NewModel("round trip")
+	x := m.AddContinuous(0, 4, 1.5, "x")
+	y := m.AddBinary(-1, "y")
+	z := m.AddVar(math.Inf(-1), math.Inf(1), 0, Integer, "z")
+	w := m.AddContinuous(-2, math.Inf(1), 0, "w")
+	m.AddConstr(Expr(x, 1.0, y, -2.0), LE, 3, "cap")
+	m.AddConstr(Expr(z, 1.0, w, 0.5), EQ, 1, "bal")
+	m.AddConstr(Expr(x, 1.0, w, 1.0), GE, -1, "floor")
+	m.AddObjConstant(7)
+	return m
+}
+
+func TestMPSWriteContainsSections(t *testing.T) {
+	var sb strings.Builder
+	if err := buildMPSModel().WriteMPS(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"NAME round_trip", "ROWS", " N obj", " L cap", " E bal", " G floor",
+		"COLUMNS", "'INTORG'", "'INTEND'", "RHS", "BOUNDS", " BV bnd y", "ENDATA",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("MPS output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMPSRoundTrip(t *testing.T) {
+	orig := buildMPSModel()
+	var sb strings.Builder
+	if err := orig.WriteMPS(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMPS(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadMPS: %v\n%s", err, sb.String())
+	}
+	if back.NumVars() != orig.NumVars() {
+		t.Fatalf("vars %d, want %d", back.NumVars(), orig.NumVars())
+	}
+	if back.NumConstrs() != orig.NumConstrs() {
+		t.Fatalf("constrs %d, want %d", back.NumConstrs(), orig.NumConstrs())
+	}
+	if math.Abs(back.ObjConstant()-orig.ObjConstant()) > 1e-12 {
+		t.Errorf("objective constant %g, want %g", back.ObjConstant(), orig.ObjConstant())
+	}
+
+	// Map variables by name and compare bounds / types / objective.
+	backByName := map[string]Var{}
+	for j := 0; j < back.NumVars(); j++ {
+		backByName[back.VarName(Var(j))] = Var(j)
+	}
+	for j := 0; j < orig.NumVars(); j++ {
+		name := orig.VarName(Var(j))
+		bv, ok := backByName[name]
+		if !ok {
+			t.Fatalf("variable %q lost in round trip", name)
+		}
+		ol, ou := orig.Bounds(Var(j))
+		bl, bu := back.Bounds(bv)
+		if ol != bl || ou != bu {
+			t.Errorf("%s bounds [%g,%g] → [%g,%g]", name, ol, ou, bl, bu)
+		}
+		if orig.IsIntegral(Var(j)) != back.IsIntegral(bv) {
+			t.Errorf("%s integrality changed", name)
+		}
+		if math.Abs(orig.ObjCoeff(Var(j))-back.ObjCoeff(bv)) > 1e-12 {
+			t.Errorf("%s objective %g → %g", name, orig.ObjCoeff(Var(j)), back.ObjCoeff(bv))
+		}
+	}
+
+	// Semantics check: a known assignment must evaluate identically.
+	vals := map[string]float64{"x": 2, "y": 1, "z": 0, "w": 2}
+	origVals := make([]float64, orig.NumVars())
+	backVals := make([]float64, back.NumVars())
+	for j := 0; j < orig.NumVars(); j++ {
+		origVals[j] = vals[orig.VarName(Var(j))]
+	}
+	for j := 0; j < back.NumVars(); j++ {
+		backVals[j] = vals[back.VarName(Var(j))]
+	}
+	if math.Abs(orig.EvalObjective(origVals)-back.EvalObjective(backVals)) > 1e-9 {
+		t.Errorf("objective differs after round trip: %g vs %g",
+			orig.EvalObjective(origVals), back.EvalObjective(backVals))
+	}
+	origFeas := orig.CheckFeasible(origVals, 1e-9) == nil
+	backFeas := back.CheckFeasible(backVals, 1e-9) == nil
+	if origFeas != backFeas {
+		t.Errorf("feasibility differs after round trip: %v vs %v", origFeas, backFeas)
+	}
+}
+
+func TestReadMPSRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"bad rows":       "NAME t\nROWS\n X c1\nENDATA\n",
+		"unknown row":    "NAME t\nROWS\n N obj\nCOLUMNS\n x nosuch 1\nENDATA\n",
+		"bad number":     "NAME t\nROWS\n N obj\n L c1\nCOLUMNS\n x c1 abc\nENDATA\n",
+		"ranges":         "NAME t\nROWS\n N obj\nRANGES\n r c1 5\nENDATA\n",
+		"bad bound type": "NAME t\nROWS\n N obj\nBOUNDS\n XX bnd x 1\nENDATA\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadMPS(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestReadMPSComments(t *testing.T) {
+	input := `* a comment
+NAME demo
+ROWS
+ N obj
+ L c1
+COLUMNS
+ x obj 2
+ x c1 1
+RHS
+ rhs c1 4
+BOUNDS
+ UP bnd x 10
+ENDATA
+`
+	m, err := ReadMPS(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "demo" || m.NumVars() != 1 || m.NumConstrs() != 1 {
+		t.Fatalf("parsed model wrong: %q %d %d", m.Name, m.NumVars(), m.NumConstrs())
+	}
+	if _, u := m.Bounds(0); u != 10 {
+		t.Errorf("upper bound = %g", u)
+	}
+}

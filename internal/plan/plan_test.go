@@ -1,0 +1,223 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"milpjoin/internal/cost"
+	"milpjoin/internal/qopt"
+)
+
+// paperQuery is the running example of the paper: R ⋈ S ⋈ T with
+// cardinalities 10 / 1000 / 100 and one predicate R–S of selectivity 0.1.
+func paperQuery() *qopt.Query {
+	return &qopt.Query{
+		Tables: []qopt.Table{
+			{Name: "R", Card: 10},
+			{Name: "S", Card: 1000},
+			{Name: "T", Card: 100},
+		},
+		Predicates: []qopt.Predicate{
+			{Name: "p", Tables: []int{0, 1}, Sel: 0.1},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	q := paperQuery()
+	good := &Plan{Order: []int{0, 1, 2}}
+	if err := good.Validate(q); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	for name, p := range map[string]*Plan{
+		"short":     {Order: []int{0, 1}},
+		"dup":       {Order: []int{0, 0, 1}},
+		"unknown":   {Order: []int{0, 1, 7}},
+		"operators": {Order: []int{0, 1, 2}, Operators: []cost.Operator{cost.HashJoin}},
+	} {
+		if err := p.Validate(q); err == nil {
+			t.Errorf("%s: invalid plan accepted", name)
+		}
+	}
+}
+
+func TestCoutOfPaperExample(t *testing.T) {
+	q := paperQuery()
+	spec := cost.CoutSpec()
+
+	// (R ⋈ S) ⋈ T: first result 10·1000·0.1 = 1000; final excluded.
+	c1, err := Cost(q, &Plan{Order: []int{0, 1, 2}}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != 1000 {
+		t.Errorf("Cout(RS,T) = %g, want 1000", c1)
+	}
+	// (S ⋈ T) ⋈ R: first result 1000·100 = 100000 (cross product).
+	c2, err := Cost(q, &Plan{Order: []int{1, 2, 0}}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != 100000 {
+		t.Errorf("Cout(ST,R) = %g, want 100000", c2)
+	}
+}
+
+func TestEvaluateDetails(t *testing.T) {
+	q := paperQuery()
+	eval, err := Evaluate(q, &Plan{Order: []int{0, 1, 2}}, cost.CoutSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eval.Steps) != 2 {
+		t.Fatalf("steps = %d", len(eval.Steps))
+	}
+	s0 := eval.Steps[0]
+	if s0.Inner != 1 || s0.OuterCard != 10 || s0.InnerCard != 1000 || s0.ResultCard != 1000 {
+		t.Errorf("step 0 = %+v", s0)
+	}
+	if len(s0.AppliedPreds) != 1 || s0.AppliedPreds[0] != 0 {
+		t.Errorf("step 0 applied preds = %v", s0.AppliedPreds)
+	}
+	s1 := eval.Steps[1]
+	if s1.OuterCard != 1000 || s1.InnerCard != 100 || s1.ResultCard != 100000 {
+		t.Errorf("step 1 = %+v", s1)
+	}
+	if eval.FinalCard != 100000 {
+		t.Errorf("FinalCard = %g", eval.FinalCard)
+	}
+}
+
+func TestOperatorCostUsesPages(t *testing.T) {
+	q := paperQuery()
+	spec := cost.Spec{
+		Metric: cost.OperatorCost,
+		Op:     cost.HashJoin,
+		Params: cost.Params{TupleBytes: 100, PageBytes: 1000},
+	}
+	// Pages: R=1, S=100, T=10, RS-result=100.
+	// Join 0: 3·(1+100) = 303. Join 1: 3·(100+10) = 330. Total 633.
+	c, err := Cost(q, &Plan{Order: []int{0, 1, 2}}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 633 {
+		t.Errorf("hash cost = %g, want 633", c)
+	}
+}
+
+func TestPerJoinOperators(t *testing.T) {
+	q := paperQuery()
+	spec := cost.Spec{
+		Metric: cost.OperatorCost,
+		Op:     cost.HashJoin,
+		Params: cost.Params{TupleBytes: 100, PageBytes: 1000, BufferPages: 10},
+	}
+	p := &Plan{
+		Order:     []int{0, 1, 2},
+		Operators: []cost.Operator{cost.BlockNestedLoopJoin, cost.HashJoin},
+	}
+	// Join 0 BNL: pgo=1 → 1 block; 1 + 1·100 = 101. Join 1 hash: 330.
+	c, err := Cost(q, p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 431 {
+		t.Errorf("mixed-operator cost = %g, want 431", c)
+	}
+}
+
+func TestNaryPredicateAppliedLate(t *testing.T) {
+	q := paperQuery()
+	q.Predicates = append(q.Predicates, qopt.Predicate{
+		Name: "tri", Tables: []int{0, 1, 2}, Sel: 0.5,
+	})
+	eval, err := Evaluate(q, &Plan{Order: []int{0, 1, 2}}, cost.CoutSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ternary predicate applies only at the last join.
+	if len(eval.Steps[0].AppliedPreds) != 1 {
+		t.Errorf("step 0 preds = %v", eval.Steps[0].AppliedPreds)
+	}
+	if len(eval.Steps[1].AppliedPreds) != 1 || eval.Steps[1].AppliedPreds[0] != 1 {
+		t.Errorf("step 1 preds = %v", eval.Steps[1].AppliedPreds)
+	}
+	if eval.FinalCard != 50000 {
+		t.Errorf("FinalCard = %g, want 50000", eval.FinalCard)
+	}
+}
+
+func TestCorrelatedGroupCorrection(t *testing.T) {
+	q := paperQuery()
+	q.Predicates = append(q.Predicates, qopt.Predicate{
+		Name: "q", Tables: []int{1, 2}, Sel: 0.1,
+	})
+	q.Correlated = []qopt.CorrelatedGroup{
+		{Predicates: []int{0, 1}, CorrectionSel: 5},
+	}
+	eval, err := Evaluate(q, &Plan{Order: []int{0, 1, 2}}, cost.CoutSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both predicates complete at join 1: 1000·100·0.1·5 = 50000.
+	if eval.FinalCard != 50000 {
+		t.Errorf("FinalCard = %g, want 50000", eval.FinalCard)
+	}
+	// Intermediate (join 0) unchanged: group incomplete there.
+	if eval.Steps[0].ResultCard != 1000 {
+		t.Errorf("step 0 card = %g, want 1000", eval.Steps[0].ResultCard)
+	}
+}
+
+func TestExpensivePredicateCost(t *testing.T) {
+	q := paperQuery()
+	q.Predicates[0].EvalCostPerTuple = 2
+	eval, err := Evaluate(q, &Plan{Order: []int{0, 1, 2}}, cost.CoutSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predicate evaluated at join 0 on outer cardinality 10 → cost 20.
+	if eval.Steps[0].Cost != 20 {
+		t.Errorf("eval cost = %g, want 20", eval.Steps[0].Cost)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p := &Plan{Order: []int{0, 2, 1}}
+	want := "((T0 ⋈ T2) ⋈ T1)"
+	if got := p.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if (&Plan{}).String() != "()" {
+		t.Error("empty plan string")
+	}
+}
+
+func TestCostOfInvalidPlanIsNaN(t *testing.T) {
+	q := paperQuery()
+	c, err := Cost(q, &Plan{Order: []int{0}}, cost.CoutSpec())
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !math.IsNaN(c) {
+		t.Errorf("cost = %g, want NaN", c)
+	}
+}
+
+func TestOrderIndependenceOfFinalCard(t *testing.T) {
+	q := paperQuery()
+	orders := [][]int{{0, 1, 2}, {2, 1, 0}, {1, 0, 2}, {1, 2, 0}}
+	var want float64
+	for i, ord := range orders {
+		eval, err := Evaluate(q, &Plan{Order: ord}, cost.CoutSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = eval.FinalCard
+		} else if math.Abs(eval.FinalCard-want) > 1e-9*want {
+			t.Errorf("order %v: final card %g, want %g", ord, eval.FinalCard, want)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"milpjoin/internal/cost"
+	"milpjoin/internal/qopt"
+)
+
+// Tree is a bushy join tree: a leaf scans one table, an inner node joins
+// the results of its children. Left-deep plans are the special case where
+// every right child is a leaf; bushy trees are the wider space the paper
+// leaves to future work and are provided here as a baseline for measuring
+// the cost of the left-deep restriction.
+type Tree struct {
+	// Table is the scanned table at a leaf (children nil).
+	Table int
+	// Left and Right are the join inputs at an inner node.
+	Left, Right *Tree
+}
+
+// Leaf constructs a scan node.
+func Leaf(table int) *Tree { return &Tree{Table: table} }
+
+// Join constructs an inner node.
+func Join(left, right *Tree) *Tree { return &Tree{Left: left, Right: right} }
+
+// IsLeaf reports whether t scans a base table.
+func (t *Tree) IsLeaf() bool { return t.Left == nil && t.Right == nil }
+
+// Tables appends all table indices under t.
+func (t *Tree) Tables(out []int) []int {
+	if t.IsLeaf() {
+		return append(out, t.Table)
+	}
+	return t.Right.Tables(t.Left.Tables(out))
+}
+
+// String renders the tree, e.g. "((T0 ⋈ T1) ⋈ (T2 ⋈ T3))".
+func (t *Tree) String() string {
+	var sb strings.Builder
+	t.render(&sb)
+	return sb.String()
+}
+
+func (t *Tree) render(sb *strings.Builder) {
+	if t.IsLeaf() {
+		fmt.Fprintf(sb, "T%d", t.Table)
+		return
+	}
+	sb.WriteString("(")
+	t.Left.render(sb)
+	sb.WriteString(" ⋈ ")
+	t.Right.render(sb)
+	sb.WriteString(")")
+}
+
+// Validate checks that t joins each of the query's tables exactly once.
+func (t *Tree) Validate(q *qopt.Query) error {
+	tables := t.Tables(nil)
+	if len(tables) != q.NumTables() {
+		return fmt.Errorf("plan: tree joins %d tables, query has %d", len(tables), q.NumTables())
+	}
+	seen := make([]bool, q.NumTables())
+	for _, tb := range tables {
+		if tb < 0 || tb >= q.NumTables() {
+			return fmt.Errorf("plan: tree references unknown table %d", tb)
+		}
+		if seen[tb] {
+			return fmt.Errorf("plan: tree joins table %d twice", tb)
+		}
+		seen[tb] = true
+	}
+	return nil
+}
+
+// LeftDeep converts a left-deep plan into the equivalent tree.
+func (p *Plan) LeftDeep() *Tree {
+	if len(p.Order) == 0 {
+		return nil
+	}
+	t := Leaf(p.Order[0])
+	for _, tb := range p.Order[1:] {
+		t = Join(t, Leaf(tb))
+	}
+	return t
+}
+
+// TreeCost prices a bushy tree exactly under spec: cardinalities are
+// products of table cardinalities and applicable predicate selectivities
+// (with correlation corrections); C_out sums every non-root join result;
+// OperatorCost prices each join with the spec's operator on both operand
+// page counts.
+func TreeCost(q *qopt.Query, t *Tree, spec cost.Spec) (float64, error) {
+	if err := t.Validate(q); err != nil {
+		return 0, err
+	}
+	params := spec.Params.WithDefaults()
+	var total float64
+	var walk func(node *Tree, isRoot bool) (card float64, err error)
+	walk = func(node *Tree, isRoot bool) (float64, error) {
+		if node.IsLeaf() {
+			return q.Tables[node.Table].Card, nil
+		}
+		lc, err := walk(node.Left, false)
+		if err != nil {
+			return 0, err
+		}
+		rc, err := walk(node.Right, false)
+		if err != nil {
+			return 0, err
+		}
+		card := subsetCard(q, node)
+		switch spec.Metric {
+		case cost.Cout:
+			if !isRoot {
+				total += card
+			}
+		case cost.OperatorCost:
+			total += cost.JoinCost(spec.Op, params.Pages(lc), params.Pages(rc), params)
+		default:
+			return 0, fmt.Errorf("plan: unknown metric %v", spec.Metric)
+		}
+		return card, nil
+	}
+	if _, err := walk(t, true); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// subsetCard computes the exact cardinality of the join of all tables
+// under node: products of cardinalities, applicable selectivities, and
+// complete correlation groups.
+func subsetCard(q *qopt.Query, node *Tree) float64 {
+	present := map[int]bool{}
+	for _, tb := range node.Tables(nil) {
+		present[tb] = true
+	}
+	card := 1.0
+	for tb := range present {
+		card *= q.Tables[tb].Card
+	}
+	applied := make([]bool, len(q.Predicates))
+	for pi, p := range q.Predicates {
+		ok := true
+		for _, tb := range p.Tables {
+			if !present[tb] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			applied[pi] = true
+			card *= p.Sel
+		}
+	}
+	for _, g := range q.Correlated {
+		all := true
+		for _, pi := range g.Predicates {
+			if !applied[pi] {
+				all = false
+				break
+			}
+		}
+		if all {
+			card *= g.CorrectionSel
+		}
+	}
+	return card
+}

@@ -1,0 +1,308 @@
+package presolve
+
+import (
+	"math"
+	"testing"
+
+	"milpjoin/internal/milp"
+)
+
+func TestFixedVariableSubstitution(t *testing.T) {
+	m := milp.NewModel("fixed")
+	x := m.AddContinuous(3, 3, 2, "x") // fixed at 3
+	y := m.AddContinuous(0, 10, 1, "y")
+	m.AddConstr(milp.Expr(x, 1.0, y, 1.0), milp.LE, 8, "c")
+
+	res, err := Apply(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusReduced {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Model.NumVars() != 1 {
+		t.Fatalf("reduced vars = %d, want 1", res.Model.NumVars())
+	}
+	// Objective constant picks up 2*3 = 6.
+	if res.Model.ObjConstant() != 6 {
+		t.Errorf("obj constant = %g, want 6", res.Model.ObjConstant())
+	}
+	// The constraint must become y <= 5.
+	full := res.Postsolve([]float64{5})
+	if full[x] != 3 || full[y] != 5 {
+		t.Errorf("postsolve = %v", full)
+	}
+}
+
+func TestSingletonRowBecomesBound(t *testing.T) {
+	m := milp.NewModel("singleton")
+	x := m.AddContinuous(0, 100, 1, "x")
+	y := m.AddContinuous(0, 100, 1, "y")
+	m.AddConstr(milp.Expr(x, 2.0), milp.LE, 10, "sx") // x <= 5
+	m.AddConstr(milp.Expr(x, 1.0, y, 1.0), milp.LE, 50, "c")
+
+	res, err := Apply(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusReduced {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// The singleton row should be gone; one row remains.
+	if res.Model.NumConstrs() != 1 {
+		t.Errorf("constrs = %d, want 1", res.Model.NumConstrs())
+	}
+	var xv milp.Var = -1
+	for j := 0; j < res.Model.NumVars(); j++ {
+		if res.Model.VarName(milp.Var(j)) == "x" {
+			xv = milp.Var(j)
+		}
+	}
+	if xv < 0 {
+		t.Fatal("x eliminated unexpectedly")
+	}
+	if _, u := res.Model.Bounds(xv); u != 5 {
+		t.Errorf("x upper bound = %g, want 5", u)
+	}
+}
+
+func TestSingletonEqualityFixes(t *testing.T) {
+	m := milp.NewModel("eqfix")
+	x := m.AddContinuous(0, 10, 1, "x")
+	y := m.AddContinuous(0, 10, 1, "y")
+	m.AddConstr(milp.Expr(x, 2.0), milp.EQ, 6, "fix") // x = 3
+	m.AddConstr(milp.Expr(x, 1.0, y, 1.0), milp.LE, 7, "c")
+
+	res, err := Apply(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusReduced {
+		t.Fatalf("status = %v", res.Status)
+	}
+	full := res.Postsolve(make([]float64, res.Model.NumVars()))
+	if full[x] != 3 {
+		t.Errorf("x = %g, want 3", full[x])
+	}
+	_ = y
+}
+
+func TestInfeasibleSingletonInteger(t *testing.T) {
+	m := milp.NewModel("intinf")
+	x := m.AddVar(0, 10, 0, milp.Integer, "x")
+	m.AddConstr(milp.Expr(x, 2.0), milp.EQ, 5, "half") // x = 2.5: impossible
+	res, err := Apply(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestEmptyRowInfeasible(t *testing.T) {
+	m := milp.NewModel("empty")
+	x := m.AddContinuous(2, 2, 0, "x") // fixed
+	m.AddConstr(milp.Expr(x, 1.0), milp.GE, 5, "imposs")
+	res, err := Apply(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestActivityInfeasibility(t *testing.T) {
+	m := milp.NewModel("act")
+	x := m.AddContinuous(0, 1, 0, "x")
+	y := m.AddContinuous(0, 1, 0, "y")
+	m.AddConstr(milp.Expr(x, 1.0, y, 1.0), milp.GE, 3, "c") // max activity 2
+	res, err := Apply(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestBoundPropagationTightens(t *testing.T) {
+	m := milp.NewModel("prop")
+	x := m.AddContinuous(0, 100, 0, "x")
+	y := m.AddContinuous(0, 4, 0, "y")
+	// x + y <= 6 with y >= 0 implies x <= 6.
+	m.AddConstr(milp.Expr(x, 1.0, y, 1.0), milp.LE, 6, "c")
+	res, err := Apply(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusReduced {
+		t.Fatalf("status = %v", res.Status)
+	}
+	for j := 0; j < res.Model.NumVars(); j++ {
+		if res.Model.VarName(milp.Var(j)) == "x" {
+			if _, u := res.Model.Bounds(milp.Var(j)); u > 6+1e-9 {
+				t.Errorf("x upper = %g, want <= 6", u)
+			}
+		}
+	}
+}
+
+func TestIntegerBoundRounding(t *testing.T) {
+	m := milp.NewModel("round")
+	x := m.AddVar(0.3, 4.7, 1, milp.Integer, "x")
+	y := m.AddContinuous(0, 1, 0, "y")
+	m.AddConstr(milp.Expr(x, 1.0, y, 1.0), milp.LE, 100, "c")
+	res, err := Apply(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusReduced {
+		t.Fatalf("status = %v", res.Status)
+	}
+	for j := 0; j < res.Model.NumVars(); j++ {
+		if res.Model.VarName(milp.Var(j)) == "x" {
+			l, u := res.Model.Bounds(milp.Var(j))
+			if l != 1 || u != 4 {
+				t.Errorf("integer bounds = [%g, %g], want [1, 4]", l, u)
+			}
+		}
+	}
+}
+
+func TestRedundantRowDropped(t *testing.T) {
+	m := milp.NewModel("redundant")
+	x := m.AddContinuous(0, 1, 1, "x")
+	y := m.AddContinuous(0, 1, 1, "y")
+	m.AddConstr(milp.Expr(x, 1.0, y, 1.0), milp.LE, 10, "slack") // max activity 2
+	m.AddConstr(milp.Expr(x, 1.0, y, -1.0), milp.LE, 0.5, "tight")
+	res, err := Apply(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusReduced {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Model.NumConstrs() != 1 {
+		t.Errorf("constrs = %d, want 1 (redundant row kept?)", res.Model.NumConstrs())
+	}
+}
+
+func TestFullySolvedModel(t *testing.T) {
+	m := milp.NewModel("solved")
+	x := m.AddContinuous(1, 1, 2, "x")
+	y := m.AddVar(3, 3, 1, milp.Integer, "y")
+	m.AddConstr(milp.Expr(x, 1.0, y, 1.0), milp.LE, 10, "c")
+	res, err := Apply(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusSolved {
+		t.Fatalf("status = %v, want solved", res.Status)
+	}
+	sol := res.FixedSolution()
+	if sol[x] != 1 || sol[y] != 3 {
+		t.Errorf("solution = %v", sol)
+	}
+}
+
+func TestCrossedBoundsInfeasible(t *testing.T) {
+	m := milp.NewModel("crossed")
+	m.AddContinuous(5, 2, 0, "x")
+	res, err := Apply(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestIntegerWindowWithoutIntegersInfeasible(t *testing.T) {
+	// Integer variable whose bounds collapse to an empty integer window.
+	m := milp.NewModel("intwin")
+	x := m.AddVar(0.2, 0.8, 0, milp.Integer, "x")
+	y := m.AddContinuous(0, 1, 0, "y")
+	m.AddConstr(milp.Expr(x, 1.0, y, 1.0), milp.LE, 5, "c")
+	res, err := Apply(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestGESenseNormalization(t *testing.T) {
+	m := milp.NewModel("ge")
+	x := m.AddContinuous(0, 10, 1, "x")
+	y := m.AddContinuous(0, 10, 1, "y")
+	m.AddConstr(milp.Expr(x, 1.0, y, 1.0), milp.GE, 4, "c")
+	res, err := Apply(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusReduced {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// Check that feasibility is preserved: x=4, y=0 must satisfy the
+	// reduced model after index mapping.
+	vals := make([]float64, res.Model.NumVars())
+	for j := 0; j < res.Model.NumVars(); j++ {
+		if res.Model.VarName(milp.Var(j)) == "x" {
+			vals[j] = 4
+		}
+	}
+	if err := res.Model.CheckFeasible(vals, 1e-7); err != nil {
+		t.Errorf("reduced model rejects feasible point: %v", err)
+	}
+}
+
+func TestBinaryTypePreserved(t *testing.T) {
+	m := milp.NewModel("bin")
+	b := m.AddBinary(1, "b")
+	c := m.AddContinuous(0, 5, 0, "c")
+	m.AddConstr(milp.Expr(b, 1.0, c, 1.0), milp.LE, 5, "r")
+	res, err := Apply(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusReduced {
+		t.Fatalf("status = %v", res.Status)
+	}
+	for j := 0; j < res.Model.NumVars(); j++ {
+		v := milp.Var(j)
+		if res.Model.VarName(v) == "b" && res.Model.VarType(v) != milp.Binary {
+			t.Errorf("b type = %v, want Binary", res.Model.VarType(v))
+		}
+	}
+	_ = b
+}
+
+func TestInfiniteBoundsSurvive(t *testing.T) {
+	m := milp.NewModel("inf")
+	x := m.AddContinuous(math.Inf(-1), math.Inf(1), 1, "x")
+	y := m.AddContinuous(0, 1, 0, "y")
+	m.AddConstr(milp.Expr(x, 1.0, y, 1.0), milp.GE, -3, "c")
+	res, err := Apply(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusReduced {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// x must still be present with an infinite upper bound.
+	found := false
+	for j := 0; j < res.Model.NumVars(); j++ {
+		if res.Model.VarName(milp.Var(j)) == "x" {
+			found = true
+			if _, u := res.Model.Bounds(milp.Var(j)); !math.IsInf(u, 1) {
+				t.Errorf("x upper bound = %g, want +inf", u)
+			}
+		}
+	}
+	if !found {
+		t.Error("x eliminated unexpectedly")
+	}
+}

@@ -1,0 +1,288 @@
+package simplex
+
+import (
+	"math"
+	"sort"
+)
+
+// dualOutcome classifies how the dual simplex loop ended.
+type dualOutcome int
+
+const (
+	// dualDone: the basis became primal feasible (caller continues with
+	// primal phase 2, which typically certifies optimality immediately).
+	dualDone dualOutcome = iota
+	// dualInfeasible: a row proved the problem infeasible.
+	dualInfeasible
+	// dualGiveUp: dual feasibility was lost or the budget ran out — the
+	// caller falls back to the composite primal phase 1.
+	dualGiveUp
+	// dualAborted: deadline or stop flag.
+	dualAborted
+)
+
+// dualFeasible reports whether the current reduced costs are sign-
+// consistent with the nonbasic statuses (within the optimality tolerance).
+// It prices all columns with y = B⁻ᵀ·c_B.
+func (s *solver) dualFeasible() bool {
+	s.loadBasicCosts(false)
+	copy(s.y, s.cB)
+	s.factor.btran(s.y)
+	for j := 0; j < s.n; j++ {
+		if s.status[j] == Basic || s.p.U[j]-s.p.L[j] <= 0 {
+			continue
+		}
+		d := s.p.C[j] - s.p.A.ColDot(j, s.y)
+		switch s.status[j] {
+		case NonbasicLower:
+			if d < -1e-6 {
+				return false
+			}
+		case NonbasicUpper:
+			if d > 1e-6 {
+				return false
+			}
+		case NonbasicFree:
+			if math.Abs(d) > 1e-6 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// dualCandidate is one eligible entering column in the long-step ratio test.
+type dualCandidate struct {
+	j     int
+	ratio float64 // |d_j| / |alpha_j|
+	alpha float64
+}
+
+// dualLoop runs bounded-variable dual simplex with the long-step
+// (bound-flipping) ratio test: while the basis is primal infeasible but
+// dual feasible, the most-violating basic variable is driven onto its
+// violated bound. Candidates whose own range is exhausted before the
+// violation is repaired are bound-flipped in bulk (one combined FTRAN);
+// the first candidate that can absorb the rest pivots into the basis.
+//
+// This is the method of choice for branch-and-bound node solves, where a
+// parent-optimal basis becomes primal infeasible through one bound change.
+// Assumes dual feasibility holds on entry.
+func (s *solver) dualLoop() dualOutcome {
+	rho := make([]float64, s.m)     // BTRAN row workspace
+	d := make([]float64, s.n)       // reduced costs, maintained incrementally
+	alpha := make([]float64, s.n)   // pivot row entries
+	flipAcc := make([]float64, s.m) // accumulated A·Δx over flips
+
+	reprice := func() {
+		s.loadBasicCosts(false)
+		copy(s.y, s.cB)
+		s.factor.btran(s.y)
+		for j := 0; j < s.n; j++ {
+			if s.status[j] == Basic {
+				d[j] = 0
+			} else {
+				d[j] = s.p.C[j] - s.p.A.ColDot(j, s.y)
+			}
+		}
+	}
+	reprice()
+
+	budget := s.m + 200
+	startIters := s.iters
+	var cands []dualCandidate
+
+	for {
+		if s.iters >= s.opts.MaxIter || s.iters-startIters > budget {
+			return dualGiveUp
+		}
+		if s.aborted() {
+			return dualAborted
+		}
+		if s.factor.numEtas() >= s.opts.RefactorEvery {
+			if err := s.refactorizeOrRepair(); err != nil {
+				return dualGiveUp
+			}
+			reprice()
+		}
+
+		// Leaving row: the basic variable with the largest violation.
+		leave := -1
+		var worst float64
+		var delta float64 // +1: below lower (must rise); −1: above upper
+		for k, j := range s.head {
+			if v := s.p.L[j] - s.x[j]; v > s.tolL[j] && v > worst {
+				worst, leave, delta = v, k, 1
+			}
+			if v := s.x[j] - s.p.U[j]; v > s.tolU[j] && v > worst {
+				worst, leave, delta = v, k, -1
+			}
+		}
+		if leave < 0 {
+			if !s.refreshed {
+				if err := s.refactorizeOrRepair(); err != nil {
+					return dualGiveUp
+				}
+				s.refreshed = true
+				continue
+			}
+			return dualDone
+		}
+
+		// Pivot row: rho = B⁻ᵀ·e_leave; alpha_j = rhoᵀ·a_j.
+		for i := range rho {
+			rho[i] = 0
+		}
+		rho[leave] = 1
+		s.factor.btran(rho)
+
+		// Collect eligible candidates: entering j whose feasible
+		// movement pushes x_leave toward its violated bound
+		// (∂x_leave/∂x_j = −alpha_j).
+		cands = cands[:0]
+		for j := 0; j < s.n; j++ {
+			st := s.status[j]
+			if st == Basic || s.p.U[j]-s.p.L[j] <= 0 {
+				continue
+			}
+			a := s.p.A.ColDot(j, rho)
+			alpha[j] = a
+			if math.Abs(a) < s.opts.PivotTol {
+				continue
+			}
+			var eligible bool
+			switch st {
+			case NonbasicLower: // x_j can only increase
+				eligible = -a*delta > 0
+			case NonbasicUpper: // x_j can only decrease
+				eligible = a*delta > 0
+			case NonbasicFree:
+				eligible = true
+			}
+			if eligible {
+				cands = append(cands, dualCandidate{j: j, ratio: math.Abs(d[j]) / math.Abs(a), alpha: a})
+			}
+		}
+		if len(cands) == 0 {
+			if !s.refreshed {
+				if err := s.refactorizeOrRepair(); err != nil {
+					return dualGiveUp
+				}
+				s.refreshed = true
+				continue
+			}
+			return dualInfeasible // the row certifies infeasibility
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].ratio < cands[b].ratio })
+
+		// Long-step walk: flip candidates whose own range is exhausted
+		// before the violation is repaired; stop at the pivot candidate.
+		jOut := s.head[leave]
+		var target float64
+		var outStatus VarStatus
+		if delta > 0 {
+			target, outStatus = s.p.L[jOut], NonbasicLower
+		} else {
+			target, outStatus = s.p.U[jOut], NonbasicUpper
+		}
+		remaining := math.Abs(s.x[jOut] - target)
+
+		pivot := -1
+		var flips []int
+		for _, c := range cands {
+			rng := s.p.U[c.j] - s.p.L[c.j]
+			if math.IsInf(rng, 1) || math.Abs(c.alpha)*rng >= remaining-1e-12 {
+				pivot = c.j
+				break
+			}
+			flips = append(flips, c.j)
+			remaining -= math.Abs(c.alpha) * rng
+		}
+		if pivot < 0 {
+			// Even flipping every candidate cannot repair the row.
+			if !s.refreshed {
+				if err := s.refactorizeOrRepair(); err != nil {
+					return dualGiveUp
+				}
+				s.refreshed = true
+				continue
+			}
+			return dualInfeasible
+		}
+
+		// Apply all flips with one combined FTRAN.
+		if len(flips) > 0 {
+			for i := range flipAcc {
+				flipAcc[i] = 0
+			}
+			for _, j := range flips {
+				var dx float64
+				if s.status[j] == NonbasicLower {
+					dx = s.p.U[j] - s.p.L[j]
+					s.status[j] = NonbasicUpper
+					s.x[j] = s.p.U[j]
+				} else {
+					dx = s.p.L[j] - s.p.U[j]
+					s.status[j] = NonbasicLower
+					s.x[j] = s.p.L[j]
+				}
+				rows, vals := s.p.A.Col(j)
+				for p, i := range rows {
+					flipAcc[i] += vals[p] * dx
+				}
+			}
+			s.factor.ftran(flipAcc)
+			for k, j := range s.head {
+				s.x[j] -= flipAcc[k]
+			}
+		}
+
+		// Pivot: entering variable absorbs the residual violation.
+		q := pivot
+		for i := range s.w {
+			s.w[i] = 0
+		}
+		rows, vals := s.p.A.Col(q)
+		for p, i := range rows {
+			s.w[i] = vals[p]
+		}
+		s.factor.ftran(s.w)
+
+		t := (s.x[jOut] - target) / alpha[q]
+		enterVal := s.x[q] + t
+		for k, j := range s.head {
+			s.x[j] -= t * s.w[k]
+		}
+		s.status[jOut] = outStatus
+		s.x[jOut] = target
+		s.head[leave] = q
+		s.status[q] = Basic
+		s.x[q] = enterVal
+
+		// Dual update: theta = d_q / alpha_q shifts the whole row.
+		theta := d[q] / alpha[q]
+		for j := 0; j < s.n; j++ {
+			if s.status[j] == Basic {
+				d[j] = 0
+				continue
+			}
+			if alpha[j] != 0 {
+				d[j] -= theta * alpha[j]
+			}
+		}
+		d[jOut] = -theta
+
+		if !s.factor.update(leave, s.w, s.opts.PivotTol) {
+			if err := s.refactorizeOrRepair(); err != nil {
+				return dualGiveUp
+			}
+			reprice()
+		}
+		s.refreshed = false
+		s.iters++
+
+		if math.Abs(theta) > 1e13 {
+			return dualGiveUp // numerical blow-up: let the primal repair
+		}
+	}
+}

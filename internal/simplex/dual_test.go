@@ -1,0 +1,157 @@
+package simplex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// warmWithDual re-solves a problem after bound changes, warm starting with
+// PreferDual, and cross-checks the result against a cold primal solve.
+func warmWithDual(t *testing.T, p *Problem, warm *Basis) {
+	t.Helper()
+	dual, err := Solve(p, warm, Options{PreferDual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Solve(p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dual.Status != cold.Status {
+		t.Fatalf("dual-warm status %v vs cold %v", dual.Status, cold.Status)
+	}
+	if dual.Status == StatusOptimal {
+		if math.Abs(dual.Obj-cold.Obj) > 1e-6*(1+math.Abs(cold.Obj)) {
+			t.Fatalf("dual-warm obj %g vs cold %g", dual.Obj, cold.Obj)
+		}
+		checkKKT(t, p, dual)
+	}
+}
+
+func TestDualSimplexAfterUpperBoundTightening(t *testing.T) {
+	p := buildProblem(
+		[][]float64{{1, 0}, {0, 2}, {3, 2}},
+		[]string{"<=", "<=", "<="},
+		[]float64{4, 12, 18},
+		[]float64{-3, -5},
+		[]float64{0, 0},
+		[]float64{pInf(), pInf()},
+	)
+	res, err := Solve(p, nil, Options{})
+	if err != nil || res.Status != StatusOptimal {
+		t.Fatalf("cold solve: %v %v", err, res.Status)
+	}
+	// Branching-style change: x ≤ 1 makes the optimal basis primal
+	// infeasible but dual feasible.
+	p.U[0] = 1
+	warmWithDual(t, p, res.Basis)
+}
+
+func TestDualSimplexAfterLowerBoundTightening(t *testing.T) {
+	p := buildProblem(
+		[][]float64{{1, 1}, {2, 1}},
+		[]string{"<=", "<="},
+		[]float64{8, 12},
+		[]float64{-2, -3},
+		[]float64{0, 0},
+		[]float64{6, 6},
+	)
+	res, err := Solve(p, nil, Options{})
+	if err != nil || res.Status != StatusOptimal {
+		t.Fatalf("cold solve: %v %v", err, res.Status)
+	}
+	p.L[0] = 3 // force x up
+	warmWithDual(t, p, res.Basis)
+}
+
+func TestDualSimplexDetectsInfeasibility(t *testing.T) {
+	p := buildProblem(
+		[][]float64{{1, 1}},
+		[]string{"<="},
+		[]float64{4},
+		[]float64{-1, -1},
+		[]float64{0, 0},
+		[]float64{10, 10},
+	)
+	res, err := Solve(p, nil, Options{})
+	if err != nil || res.Status != StatusOptimal {
+		t.Fatalf("cold solve: %v %v", err, res.Status)
+	}
+	// x ≥ 3 and y ≥ 3 cannot fit under x + y ≤ 4.
+	p.L[0], p.L[1] = 3, 3
+	dual, err := Solve(p, res.Basis, Options{PreferDual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dual.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", dual.Status)
+	}
+}
+
+func TestDualSimplexRandomBranchingSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		p := randomFeasibleLP(rng, 2+rng.Intn(4), 3+rng.Intn(5))
+		res, err := Solve(p, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != StatusOptimal {
+			continue
+		}
+		// Apply 1-3 random bound tightenings, warm starting each time.
+		basis := res.Basis
+		for step := 0; step < 1+rng.Intn(3); step++ {
+			j := rng.Intn(p.NumCols())
+			mid := res.X[j] + rng.NormFloat64()*0.5
+			if rng.Intn(2) == 0 {
+				if mid < p.U[j] {
+					p.U[j] = mid
+				}
+			} else {
+				if mid > p.L[j] {
+					p.L[j] = mid
+				}
+			}
+			dual, err := Solve(p, basis, Options{PreferDual: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := Solve(p, nil, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dual.Status != cold.Status {
+				t.Fatalf("trial %d step %d: dual %v vs cold %v", trial, step, dual.Status, cold.Status)
+			}
+			if dual.Status != StatusOptimal {
+				break
+			}
+			if math.Abs(dual.Obj-cold.Obj) > 1e-5*(1+math.Abs(cold.Obj)) {
+				t.Fatalf("trial %d step %d: dual obj %g vs cold %g", trial, step, dual.Obj, cold.Obj)
+			}
+			basis = dual.Basis
+		}
+	}
+}
+
+func TestDualFeasibleDetection(t *testing.T) {
+	p := buildProblem(
+		[][]float64{{1, 1}},
+		[]string{"<="},
+		[]float64{4},
+		[]float64{1, 1}, // minimizing positive costs: origin optimal
+		[]float64{0, 0},
+		[]float64{10, 10},
+	)
+	res, err := Solve(p, nil, Options{})
+	if err != nil || res.Status != StatusOptimal {
+		t.Fatalf("%v %v", err, res.Status)
+	}
+	s := &solver{p: p, opts: Options{}.withDefaults(p.NumRows(), p.NumCols()), m: p.NumRows(), n: p.NumCols()}
+	s.init(res.Basis)
+	if !s.dualFeasible() {
+		t.Error("optimal basis should be dual feasible")
+	}
+}

@@ -1,0 +1,106 @@
+package simplex
+
+import (
+	"math"
+
+	"milpjoin/internal/sparse"
+)
+
+// eta records one product-form-of-inverse update: the basis column at
+// position r was replaced, and w = B⁻¹·a_enter is the transformed entering
+// column. Applying the update to a vector costs O(nnz(w)).
+type eta struct {
+	r   int       // basis position that changed
+	wr  float64   // pivot element w[r]
+	ind []int     // indices i ≠ r with w[i] ≠ 0
+	val []float64 // matching values
+}
+
+// basisFactor maintains B = B₀·E₁···E_k as a sparse LU factorization of B₀
+// plus an eta file, and answers FTRAN/BTRAN solves against the current B.
+type basisFactor struct {
+	m       int
+	lu      *sparse.LU
+	etas    []eta
+	scratch []float64
+}
+
+func newBasisFactor(m int) *basisFactor {
+	return &basisFactor{m: m, scratch: make([]float64, m)}
+}
+
+// refactorize rebuilds the LU factorization from the basis columns of a
+// selected by head, clearing the eta file.
+func (f *basisFactor) refactorize(a *sparse.CSC, head []int) error {
+	tr := sparse.NewTriplet(f.m, f.m)
+	for k, j := range head {
+		rows, vals := a.Col(j)
+		for p, i := range rows {
+			tr.Add(i, k, vals[p])
+		}
+	}
+	lu, err := sparse.Factorize(tr.Compress(), sparse.FactorOptions{})
+	if err != nil {
+		return err
+	}
+	f.lu = lu
+	f.etas = f.etas[:0]
+	return nil
+}
+
+// numEtas returns the current eta-file length.
+func (f *basisFactor) numEtas() int { return len(f.etas) }
+
+// ftran solves B·x = v in place. v must have length m.
+//
+// B_k⁻¹ = E_k⁻¹···E₁⁻¹·B₀⁻¹, so the LU solve comes first and the eta
+// updates apply in creation order.
+func (f *basisFactor) ftran(v []float64) {
+	f.lu.SolveInPlace(v, f.scratch)
+	for e := range f.etas {
+		et := &f.etas[e]
+		vr := v[et.r] / et.wr
+		v[et.r] = vr
+		if vr == 0 {
+			continue
+		}
+		for k, i := range et.ind {
+			v[i] -= et.val[k] * vr
+		}
+	}
+}
+
+// btran solves Bᵀ·y = v in place. v must have length m.
+//
+// B_k⁻ᵀ = B₀⁻ᵀ·E₁⁻ᵀ···E_k⁻ᵀ, so the eta updates apply in reverse creation
+// order, followed by the transposed LU solve.
+func (f *basisFactor) btran(v []float64) {
+	for e := len(f.etas) - 1; e >= 0; e-- {
+		et := &f.etas[e]
+		s := v[et.r]
+		for k, i := range et.ind {
+			s -= et.val[k] * v[i]
+		}
+		v[et.r] = s / et.wr
+	}
+	f.lu.SolveTransposeInPlace(v, f.scratch)
+}
+
+// update appends an eta for a pivot at basis position r with transformed
+// entering column w (dense, length m). Returns false if the pivot element
+// is numerically unusable and a refactorization should happen instead.
+func (f *basisFactor) update(r int, w []float64, pivotTol float64) bool {
+	wr := w[r]
+	if math.Abs(wr) < pivotTol {
+		return false
+	}
+	et := eta{r: r, wr: wr}
+	for i, wi := range w {
+		if i != r && wi != 0 {
+			et.ind = append(et.ind, i)
+			et.val = append(et.val, wi)
+		}
+	}
+	f.etas = append(f.etas, et)
+	return true
+}

@@ -1,0 +1,664 @@
+package simplex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ErrNumerical reports that the solver lost numerical control (for example
+// a basis became singular and could not be repaired).
+var ErrNumerical = errors.New("simplex: numerical failure")
+
+// Solve minimizes the problem, optionally warm starting from basis. A nil
+// warm basis starts from the all-logical (slack) basis.
+func Solve(p *Problem, warm *Basis, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m, n := p.NumRows(), p.NumCols()
+	opts = opts.withDefaults(m, n)
+
+	// Crossed bounds make the problem trivially infeasible.
+	for j := 0; j < n; j++ {
+		if p.L[j] > p.U[j]+opts.FeasTol {
+			return &Result{Status: StatusInfeasible}, nil
+		}
+	}
+	if m == 0 {
+		return solveUnconstrained(p, opts)
+	}
+
+	s := &solver{p: p, opts: opts, m: m, n: n}
+	s.init(warm)
+
+	if opts.PreferDual && warm != nil && s.infeasibility() > 0 && s.dualFeasible() {
+		switch s.dualLoop() {
+		case dualInfeasible:
+			return s.finish(StatusInfeasible), nil
+		case dualAborted:
+			return s.finish(StatusAborted), nil
+		case dualDone, dualGiveUp:
+			// Continue with the primal method: after dualDone it
+			// certifies optimality in a handful of iterations; after
+			// dualGiveUp it repairs from composite phase 1.
+		}
+	}
+	return s.run()
+}
+
+type solver struct {
+	p    *Problem
+	opts Options
+	m, n int
+
+	status []VarStatus
+	head   []int
+	x      []float64 // values of all variables
+	factor *basisFactor
+
+	// Per-variable feasibility tolerances, relative to the bound
+	// magnitudes so that variables with very large bounds (for example
+	// cardinality approximations) are not held to absolute precision.
+	tolL, tolU []float64
+
+	y  []float64 // dual workspace (m)
+	w  []float64 // transformed entering column (m)
+	cB []float64 // basic objective workspace (m)
+
+	iters       int
+	pivotsSince int // pivots since last refactorization
+	degenStreak int
+	bland       bool
+	repairs     int  // emergency basis resets performed
+	refreshed   bool // fresh factorization since the last pivot
+
+	start time.Time
+}
+
+// init installs the warm basis when valid, otherwise the logical basis, and
+// computes initial variable values.
+func (s *solver) init(warm *Basis) {
+	s.status = make([]VarStatus, s.n)
+	s.head = make([]int, s.m)
+	s.x = make([]float64, s.n)
+	s.factor = newBasisFactor(s.m)
+	s.y = make([]float64, s.m)
+	s.w = make([]float64, s.m)
+	s.cB = make([]float64, s.m)
+	s.start = time.Now()
+	s.tolL = make([]float64, s.n)
+	s.tolU = make([]float64, s.n)
+	for j := 0; j < s.n; j++ {
+		s.tolL[j] = s.opts.FeasTol
+		s.tolU[j] = s.opts.FeasTol
+		if l := s.p.L[j]; !math.IsInf(l, 0) {
+			s.tolL[j] *= 1 + math.Abs(l)
+		}
+		if u := s.p.U[j]; !math.IsInf(u, 0) {
+			s.tolU[j] *= 1 + math.Abs(u)
+		}
+	}
+
+	if warm != nil && warm.valid(s.m, s.n) {
+		copy(s.status, warm.Status)
+		copy(s.head, warm.Head)
+		// Snap nonbasic statuses onto bounds that may have moved since
+		// the basis was recorded (branch-and-bound tightens bounds).
+		for j := 0; j < s.n; j++ {
+			if s.status[j] == Basic {
+				continue
+			}
+			s.status[j] = s.snapStatus(j, s.status[j])
+		}
+		if err := s.factor.refactorize(s.p.A, s.head); err == nil {
+			s.setNonbasicValues()
+			s.recomputeBasics()
+			return
+		}
+		// Warm basis is singular under current bounds: fall through.
+	}
+	s.installLogicalBasis()
+}
+
+// snapStatus adjusts a nonbasic status so that it refers to a finite bound.
+func (s *solver) snapStatus(j int, st VarStatus) VarStatus {
+	l, u := s.p.L[j], s.p.U[j]
+	switch st {
+	case NonbasicLower:
+		if math.IsInf(l, -1) {
+			if math.IsInf(u, 1) {
+				return NonbasicFree
+			}
+			return NonbasicUpper
+		}
+	case NonbasicUpper:
+		if math.IsInf(u, 1) {
+			if math.IsInf(l, -1) {
+				return NonbasicFree
+			}
+			return NonbasicLower
+		}
+	case NonbasicFree:
+		if !math.IsInf(l, -1) {
+			return NonbasicLower
+		}
+		if !math.IsInf(u, 1) {
+			return NonbasicUpper
+		}
+	}
+	return st
+}
+
+// installLogicalBasis resets to the all-logical basis with structural
+// variables at their nearest finite bound.
+func (s *solver) installLogicalBasis() {
+	ns := s.n - s.m // number of structural variables
+	for j := 0; j < ns; j++ {
+		s.status[j] = s.defaultNonbasicStatus(j)
+	}
+	for k := 0; k < s.m; k++ {
+		j := ns + k
+		s.status[j] = Basic
+		s.head[k] = j
+	}
+	if err := s.factor.refactorize(s.p.A, s.head); err != nil {
+		// The logical block is the identity; this cannot happen unless
+		// the caller violated the contract.
+		panic(fmt.Sprintf("simplex: logical basis singular: %v", err))
+	}
+	s.setNonbasicValues()
+	s.recomputeBasics()
+}
+
+func (s *solver) defaultNonbasicStatus(j int) VarStatus {
+	l, u := s.p.L[j], s.p.U[j]
+	lInf, uInf := math.IsInf(l, -1), math.IsInf(u, 1)
+	switch {
+	case lInf && uInf:
+		return NonbasicFree
+	case lInf:
+		return NonbasicUpper
+	case uInf:
+		return NonbasicLower
+	case math.Abs(l) <= math.Abs(u):
+		return NonbasicLower
+	default:
+		return NonbasicUpper
+	}
+}
+
+// setNonbasicValues places every nonbasic variable on its bound.
+func (s *solver) setNonbasicValues() {
+	for j := 0; j < s.n; j++ {
+		switch s.status[j] {
+		case NonbasicLower:
+			s.x[j] = s.p.L[j]
+		case NonbasicUpper:
+			s.x[j] = s.p.U[j]
+		case NonbasicFree:
+			s.x[j] = 0
+		}
+	}
+}
+
+// recomputeBasics solves for the basic variable values from scratch:
+// x_B = B⁻¹(b − A_N·x_N).
+func (s *solver) recomputeBasics() {
+	rhs := s.w // reuse workspace
+	copy(rhs, s.p.B)
+	for j := 0; j < s.n; j++ {
+		if s.status[j] == Basic || s.x[j] == 0 {
+			continue
+		}
+		xj := s.x[j]
+		rows, vals := s.p.A.Col(j)
+		for p, i := range rows {
+			rhs[i] -= vals[p] * xj
+		}
+	}
+	s.factor.ftran(rhs)
+	for k, j := range s.head {
+		s.x[j] = rhs[k]
+	}
+}
+
+// infeasibility returns the total bound violation of basic variables,
+// counting only violations beyond each variable's scaled tolerance.
+func (s *solver) infeasibility() float64 {
+	var sum float64
+	for _, j := range s.head {
+		if v := s.p.L[j] - s.x[j]; v > s.tolL[j] {
+			sum += v
+		}
+		if v := s.x[j] - s.p.U[j]; v > s.tolU[j] {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// run executes the two-phase primal simplex loop.
+func (s *solver) run() (*Result, error) {
+	for {
+		if s.iters >= s.opts.MaxIter {
+			return s.finish(StatusIterLimit), nil
+		}
+		if s.aborted() {
+			return s.finish(StatusAborted), nil
+		}
+		if s.factor.numEtas() >= s.opts.RefactorEvery {
+			if err := s.refactorizeOrRepair(); err != nil {
+				return nil, err
+			}
+		}
+
+		phase1 := s.infeasibility() > 0
+
+		// Pricing: y = B⁻ᵀ c_B with the phase-appropriate costs.
+		s.loadBasicCosts(phase1)
+		copy(s.y, s.cB)
+		s.factor.btran(s.y)
+
+		q, sigma := s.chooseEntering(phase1)
+		if q < 0 {
+			// Before declaring a final status, rebuild the
+			// factorization and recompute the basic values: the
+			// incremental eta updates drift, and a conclusion drawn
+			// from drifted values (false infeasibility, premature
+			// optimality) would be wrong. After a refresh the loop
+			// re-evaluates from exact-for-this-basis values.
+			if !s.refreshed {
+				if err := s.refactorizeOrRepair(); err != nil {
+					return nil, err
+				}
+				s.refreshed = true
+				continue
+			}
+			if phase1 {
+				// Phase-1 optimal with residual infeasibility.
+				return s.finish(StatusInfeasible), nil
+			}
+			return s.finish(StatusOptimal), nil
+		}
+
+		// Transformed entering column w = B⁻¹·a_q.
+		for i := range s.w {
+			s.w[i] = 0
+		}
+		rows, vals := s.p.A.Col(q)
+		for p, i := range rows {
+			s.w[i] = vals[p]
+		}
+		s.factor.ftran(s.w)
+
+		t, leave, leaveStatus, flip := s.ratioTest(q, sigma, phase1)
+		switch {
+		case math.IsInf(t, 1):
+			if !s.refreshed {
+				if err := s.refactorizeOrRepair(); err != nil {
+					return nil, err
+				}
+				s.refreshed = true
+				continue
+			}
+			if phase1 {
+				// A bounded-below phase-1 objective cannot be
+				// unbounded; numerical trouble. Try a repair.
+				if err := s.repair(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return s.finish(StatusUnbounded), nil
+		case flip:
+			s.applyBoundFlip(q, sigma, t)
+			s.refreshed = false
+		default:
+			if err := s.applyPivot(q, sigma, t, leave, leaveStatus); err != nil {
+				return nil, err
+			}
+			s.refreshed = false
+		}
+		s.iters++
+
+		if t <= s.opts.FeasTol {
+			s.degenStreak++
+			if s.degenStreak > s.opts.BlandAfter {
+				s.bland = true
+			}
+		} else {
+			s.degenStreak = 0
+			s.bland = false
+		}
+	}
+}
+
+func (s *solver) aborted() bool {
+	if s.iters%32 != 0 {
+		return false
+	}
+	if s.opts.Stop != nil && s.opts.Stop.Load() {
+		return true
+	}
+	if !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline) {
+		return true
+	}
+	return false
+}
+
+// loadBasicCosts fills cB with the basic objective: phase-1 infeasibility
+// gradients or phase-2 costs.
+func (s *solver) loadBasicCosts(phase1 bool) {
+	for k, j := range s.head {
+		if phase1 {
+			switch {
+			case s.x[j] < s.p.L[j]-s.tolL[j]:
+				s.cB[k] = -1
+			case s.x[j] > s.p.U[j]+s.tolU[j]:
+				s.cB[k] = 1
+			default:
+				s.cB[k] = 0
+			}
+		} else {
+			s.cB[k] = s.p.C[j]
+		}
+	}
+}
+
+// chooseEntering prices all nonbasic columns and returns the entering
+// variable and its direction (+1 increasing, −1 decreasing), or (-1, 0)
+// when no eligible column exists (phase optimal).
+func (s *solver) chooseEntering(phase1 bool) (int, float64) {
+	best, bestScore := -1, s.opts.OptTol
+	var bestSigma float64
+	for j := 0; j < s.n; j++ {
+		st := s.status[j]
+		if st == Basic {
+			continue
+		}
+		if s.p.U[j]-s.p.L[j] <= 0 {
+			continue // fixed variable can never move
+		}
+		cj := 0.0
+		if !phase1 {
+			cj = s.p.C[j]
+		}
+		d := cj - s.p.A.ColDot(j, s.y)
+		var score, sigma float64
+		switch st {
+		case NonbasicLower:
+			if d < -s.opts.OptTol {
+				score, sigma = -d, 1
+			}
+		case NonbasicUpper:
+			if d > s.opts.OptTol {
+				score, sigma = d, -1
+			}
+		case NonbasicFree:
+			if d < -s.opts.OptTol {
+				score, sigma = -d, 1
+			} else if d > s.opts.OptTol {
+				score, sigma = d, -1
+			}
+		}
+		if sigma == 0 {
+			continue
+		}
+		if s.bland {
+			// Bland's rule: first eligible index.
+			return j, sigma
+		}
+		if score > bestScore {
+			best, bestScore, bestSigma = j, score, sigma
+		}
+	}
+	return best, bestSigma
+}
+
+// ratioTest finds the maximum step t for entering variable q moving in
+// direction sigma. It returns the step, the blocking basis position (or -1),
+// the status the leaving variable assumes, and whether the step is a bound
+// flip of the entering variable itself.
+//
+// Phase-1 semantics: infeasible basic variables block only when they reach
+// the bound they violate (becoming feasible); feasible ones block at the
+// bound they would cross.
+func (s *solver) ratioTest(q int, sigma float64, phase1 bool) (t float64, leave int, leaveStatus VarStatus, flip bool) {
+	pivTol := s.opts.PivotTol
+
+	tEnter := math.Inf(1)
+	if !math.IsInf(s.p.L[q], -1) && !math.IsInf(s.p.U[q], 1) {
+		tEnter = s.p.U[q] - s.p.L[q]
+	}
+
+	// First pass: tightest blocking step.
+	tBest := math.Inf(1)
+	for k, j := range s.head {
+		wk := sigma * s.w[k]
+		var tk float64
+		if wk > pivTol { // x_j decreases
+			switch {
+			case phase1 && s.x[j] > s.p.U[j]+s.tolU[j]:
+				tk = (s.x[j] - s.p.U[j]) / wk
+			case s.x[j] >= s.p.L[j]-s.tolL[j]:
+				if math.IsInf(s.p.L[j], -1) {
+					continue
+				}
+				tk = (s.x[j] - s.p.L[j]) / wk
+			default:
+				continue // below lower and sinking: already counted in gradient
+			}
+		} else if wk < -pivTol { // x_j increases
+			switch {
+			case phase1 && s.x[j] < s.p.L[j]-s.tolL[j]:
+				tk = (s.p.L[j] - s.x[j]) / -wk
+			case s.x[j] <= s.p.U[j]+s.tolU[j]:
+				if math.IsInf(s.p.U[j], 1) {
+					continue
+				}
+				tk = (s.p.U[j] - s.x[j]) / -wk
+			default:
+				continue
+			}
+		} else {
+			continue
+		}
+		if tk < 0 {
+			tk = 0
+		}
+		if tk < tBest {
+			tBest = tk
+		}
+		_ = k
+	}
+
+	if tEnter <= tBest {
+		return tEnter, -1, 0, true
+	}
+	if math.IsInf(tBest, 1) {
+		return tBest, -1, 0, false
+	}
+
+	// Second pass: among blocks within a relative window of tBest, pick
+	// the largest pivot magnitude for numerical stability (Bland mode
+	// picks the smallest variable index instead).
+	window := tBest + 1e-9*(1+tBest)
+	leave = -1
+	var bestPiv float64
+	for k, j := range s.head {
+		wk := sigma * s.w[k]
+		var tk float64
+		var st VarStatus
+		if wk > pivTol {
+			switch {
+			case phase1 && s.x[j] > s.p.U[j]+s.tolU[j]:
+				tk, st = (s.x[j]-s.p.U[j])/wk, NonbasicUpper
+			case s.x[j] >= s.p.L[j]-s.tolL[j]:
+				if math.IsInf(s.p.L[j], -1) {
+					continue
+				}
+				tk, st = (s.x[j]-s.p.L[j])/wk, NonbasicLower
+			default:
+				continue
+			}
+		} else if wk < -pivTol {
+			switch {
+			case phase1 && s.x[j] < s.p.L[j]-s.tolL[j]:
+				tk, st = (s.p.L[j]-s.x[j])/-wk, NonbasicLower
+			case s.x[j] <= s.p.U[j]+s.tolU[j]:
+				if math.IsInf(s.p.U[j], 1) {
+					continue
+				}
+				tk, st = (s.p.U[j]-s.x[j])/-wk, NonbasicUpper
+			default:
+				continue
+			}
+		} else {
+			continue
+		}
+		if tk < 0 {
+			tk = 0
+		}
+		if tk > window {
+			continue
+		}
+		if s.bland {
+			if leave < 0 || j < s.head[leave] {
+				leave, leaveStatus = k, st
+			}
+		} else if p := math.Abs(s.w[k]); p > bestPiv {
+			bestPiv, leave, leaveStatus = p, k, st
+		}
+	}
+	if leave < 0 {
+		// All blocks evaporated inside the window; treat as tBest with
+		// no leave, forcing a conservative zero-length step pivot
+		// cannot happen — signal unbounded-like to trigger repair.
+		return math.Inf(1), -1, 0, false
+	}
+	return tBest, leave, leaveStatus, false
+}
+
+// applyBoundFlip moves the entering variable across to its opposite bound.
+func (s *solver) applyBoundFlip(q int, sigma, t float64) {
+	for k, j := range s.head {
+		s.x[j] -= sigma * t * s.w[k]
+	}
+	if sigma > 0 {
+		s.status[q] = NonbasicUpper
+		s.x[q] = s.p.U[q]
+	} else {
+		s.status[q] = NonbasicLower
+		s.x[q] = s.p.L[q]
+	}
+}
+
+// applyPivot executes a basis change: entering q, leaving head[leave].
+func (s *solver) applyPivot(q int, sigma, t float64, leave int, leaveStatus VarStatus) error {
+	enterVal := s.x[q] + sigma*t
+	for k, j := range s.head {
+		s.x[j] -= sigma * t * s.w[k]
+	}
+	jOut := s.head[leave]
+	s.status[jOut] = leaveStatus
+	if leaveStatus == NonbasicLower {
+		s.x[jOut] = s.p.L[jOut]
+	} else {
+		s.x[jOut] = s.p.U[jOut]
+	}
+	s.head[leave] = q
+	s.status[q] = Basic
+	s.x[q] = enterVal
+
+	if !s.factor.update(leave, s.w, s.opts.PivotTol) {
+		return s.refactorizeOrRepair()
+	}
+	s.pivotsSince++
+	return nil
+}
+
+// refactorizeOrRepair refactorizes the current basis; on singularity it
+// falls back to the logical basis (bounded number of times).
+func (s *solver) refactorizeOrRepair() error {
+	if err := s.factor.refactorize(s.p.A, s.head); err != nil {
+		return s.repair()
+	}
+	s.recomputeBasics()
+	return nil
+}
+
+// repair resets to the logical basis after numerical failure.
+func (s *solver) repair() error {
+	s.repairs++
+	if s.repairs > 3 {
+		return fmt.Errorf("%w: repeated basis repair", ErrNumerical)
+	}
+	s.installLogicalBasis()
+	s.bland = false
+	s.degenStreak = 0
+	return nil
+}
+
+// finish packages the current state into a Result.
+func (s *solver) finish(st Status) *Result {
+	res := &Result{
+		Status: st,
+		X:      append([]float64(nil), s.x...),
+		Iters:  s.iters,
+		Basis:  &Basis{Status: append([]VarStatus(nil), s.status...), Head: append([]int(nil), s.head...)},
+	}
+	var obj float64
+	for j := 0; j < s.n; j++ {
+		obj += s.p.C[j] * s.x[j]
+	}
+	res.Obj = obj
+	if st == StatusOptimal {
+		s.loadBasicCosts(false)
+		copy(s.y, s.cB)
+		s.factor.btran(s.y)
+		res.Y = append([]float64(nil), s.y...)
+	}
+	return res
+}
+
+// solveUnconstrained handles the m = 0 corner case directly.
+func solveUnconstrained(p *Problem, opts Options) (*Result, error) {
+	n := p.NumCols()
+	x := make([]float64, n)
+	status := make([]VarStatus, n)
+	var obj float64
+	for j := 0; j < n; j++ {
+		c := p.C[j]
+		switch {
+		case c > 0:
+			if math.IsInf(p.L[j], -1) {
+				return &Result{Status: StatusUnbounded}, nil
+			}
+			x[j], status[j] = p.L[j], NonbasicLower
+		case c < 0:
+			if math.IsInf(p.U[j], 1) {
+				return &Result{Status: StatusUnbounded}, nil
+			}
+			x[j], status[j] = p.U[j], NonbasicUpper
+		default:
+			switch {
+			case !math.IsInf(p.L[j], -1):
+				x[j], status[j] = p.L[j], NonbasicLower
+			case !math.IsInf(p.U[j], 1):
+				x[j], status[j] = p.U[j], NonbasicUpper
+			default:
+				x[j], status[j] = 0, NonbasicFree
+			}
+		}
+		obj += c * x[j]
+	}
+	return &Result{
+		Status: StatusOptimal,
+		Obj:    obj,
+		X:      x,
+		Y:      []float64{},
+		Basis:  &Basis{Status: status, Head: []int{}},
+	}, nil
+}

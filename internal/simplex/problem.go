@@ -1,0 +1,220 @@
+// Package simplex implements a revised primal simplex method for linear
+// programs in computational form with general variable bounds:
+//
+//	minimize    cᵀx
+//	subject to  A·x = b,   l ≤ x ≤ u
+//
+// where the last m columns of A are the identity (one logical variable per
+// row). The solver uses a sparse LU factorization of the basis with
+// product-form-of-inverse eta updates, a composite phase-1 for feasibility,
+// Dantzig pricing with a Bland anti-cycling fallback, and supports warm
+// starts from a caller-supplied basis — the workhorse configuration for
+// branch-and-bound node solves.
+package simplex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"milpjoin/internal/sparse"
+)
+
+// Problem is a linear program in computational (equality) form. The caller
+// guarantees that the last m columns of A form an identity block (logical
+// variables), which gives the solver a trivially nonsingular fallback basis.
+type Problem struct {
+	A *sparse.CSC // m×n constraint matrix, n ≥ m
+	B []float64   // right-hand side, length m
+	C []float64   // objective coefficients, length n
+	L []float64   // lower bounds, length n (may be -Inf)
+	U []float64   // upper bounds, length n (may be +Inf)
+}
+
+// NumRows returns the number of constraints m.
+func (p *Problem) NumRows() int { return p.A.Rows }
+
+// NumCols returns the number of variables n (structural + logical).
+func (p *Problem) NumCols() int { return p.A.Cols }
+
+// Validate checks structural consistency of the problem.
+func (p *Problem) Validate() error {
+	if p.A == nil {
+		return errors.New("simplex: nil constraint matrix")
+	}
+	m, n := p.A.Rows, p.A.Cols
+	if len(p.B) != m {
+		return fmt.Errorf("simplex: rhs length %d, want %d", len(p.B), m)
+	}
+	if len(p.C) != n || len(p.L) != n || len(p.U) != n {
+		return fmt.Errorf("simplex: c/l/u lengths %d/%d/%d, want %d", len(p.C), len(p.L), len(p.U), n)
+	}
+	if n < m {
+		return fmt.Errorf("simplex: %d variables for %d rows; logical columns missing", n, m)
+	}
+	for j := 0; j < n; j++ {
+		if p.L[j] > p.U[j] {
+			// Not an error: signals infeasibility, detected in Solve.
+			continue
+		}
+		if math.IsNaN(p.L[j]) || math.IsNaN(p.U[j]) || math.IsNaN(p.C[j]) {
+			return fmt.Errorf("simplex: NaN in column %d", j)
+		}
+	}
+	return nil
+}
+
+// VarStatus describes the role of a variable in the current basis.
+type VarStatus int8
+
+const (
+	// NonbasicLower marks a nonbasic variable resting at its lower bound.
+	NonbasicLower VarStatus = iota
+	// NonbasicUpper marks a nonbasic variable resting at its upper bound.
+	NonbasicUpper
+	// NonbasicFree marks a nonbasic free variable resting at zero.
+	NonbasicFree
+	// Basic marks a basic variable.
+	Basic
+)
+
+// Basis captures the state needed to warm start the simplex method.
+type Basis struct {
+	Status []VarStatus // per-variable status, length n
+	Head   []int       // indices of basic variables, length m
+}
+
+// Clone returns a deep copy of the basis.
+func (b *Basis) Clone() *Basis {
+	if b == nil {
+		return nil
+	}
+	c := &Basis{
+		Status: make([]VarStatus, len(b.Status)),
+		Head:   make([]int, len(b.Head)),
+	}
+	copy(c.Status, b.Status)
+	copy(c.Head, b.Head)
+	return c
+}
+
+// valid performs a cheap consistency check of a warm-start basis against a
+// problem of n variables and m rows.
+func (b *Basis) valid(m, n int) bool {
+	if b == nil || len(b.Status) != n || len(b.Head) != m {
+		return false
+	}
+	basics := 0
+	for _, s := range b.Status {
+		if s == Basic {
+			basics++
+		}
+	}
+	if basics != m {
+		return false
+	}
+	seen := make(map[int]bool, m)
+	for _, j := range b.Head {
+		if j < 0 || j >= n || b.Status[j] != Basic || seen[j] {
+			return false
+		}
+		seen[j] = true
+	}
+	return true
+}
+
+// Status is the outcome of a simplex solve.
+type Status int
+
+const (
+	// StatusOptimal means an optimal basic feasible solution was found.
+	StatusOptimal Status = iota
+	// StatusInfeasible means the problem has no feasible solution.
+	StatusInfeasible
+	// StatusUnbounded means the objective is unbounded below.
+	StatusUnbounded
+	// StatusIterLimit means the iteration limit was exhausted.
+	StatusIterLimit
+	// StatusAborted means a deadline or stop flag interrupted the solve.
+	StatusAborted
+)
+
+// String renders the status for logs.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration limit"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	Status Status
+	Obj    float64   // objective value of X (meaningful for Optimal)
+	X      []float64 // primal solution, length n
+	Y      []float64 // dual values (row prices), length m, for Optimal
+	Basis  *Basis    // final basis, usable for warm starts
+	Iters  int       // simplex iterations across both phases
+}
+
+// Options tune the solver.
+type Options struct {
+	// MaxIter bounds total simplex iterations; 0 means a generous
+	// default proportional to the problem size.
+	MaxIter int
+	// FeasTol is the primal feasibility tolerance (default 1e-7).
+	FeasTol float64
+	// OptTol is the reduced-cost optimality tolerance (default 1e-7).
+	OptTol float64
+	// PivotTol rejects ratio-test pivots smaller than this (default 1e-8).
+	PivotTol float64
+	// RefactorEvery bounds the eta file length before refactorization
+	// (default 64).
+	RefactorEvery int
+	// Deadline, when nonzero, aborts the solve once passed.
+	Deadline time.Time
+	// Stop, when non-nil, aborts the solve once set.
+	Stop *atomic.Bool
+	// BlandAfter switches to Bland's anti-cycling rule after this many
+	// consecutive degenerate iterations (default 200).
+	BlandAfter int
+	// PreferDual tries dual simplex iterations first when a warm-start
+	// basis is primal infeasible but dual feasible — the typical state
+	// of a branch-and-bound node after its parent's bound change. Falls
+	// back to the composite primal phase 1 automatically.
+	PreferDual bool
+}
+
+func (o Options) withDefaults(m, n int) Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200*(m+n) + 10000
+	}
+	if o.FeasTol <= 0 {
+		o.FeasTol = 1e-7
+	}
+	if o.OptTol <= 0 {
+		o.OptTol = 1e-7
+	}
+	if o.PivotTol <= 0 {
+		o.PivotTol = 1e-8
+	}
+	if o.RefactorEvery <= 0 {
+		o.RefactorEvery = 64
+	}
+	if o.BlandAfter <= 0 {
+		o.BlandAfter = 200
+	}
+	return o
+}

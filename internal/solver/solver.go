@@ -1,0 +1,232 @@
+// Package solver is the user-facing MILP solver facade: it presolves a
+// model, runs branch and bound on the reduced form, and maps solutions back
+// to the original variable space. It exposes the solver features the paper
+// obtains from Gurobi: anytime incumbents with optimality bounds, MIP-gap
+// and time-limit termination, and parallel search.
+package solver
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"milpjoin/internal/bb"
+	"milpjoin/internal/milp"
+	"milpjoin/internal/presolve"
+)
+
+// Status is the outcome of a solve.
+type Status int
+
+const (
+	// StatusOptimal means the returned solution is optimal within the
+	// configured gap tolerances.
+	StatusOptimal Status = iota
+	// StatusInfeasible means the model has no feasible solution.
+	StatusInfeasible
+	// StatusUnbounded means the objective is unbounded below.
+	StatusUnbounded
+	// StatusTimeLimit means the time limit expired before optimality was
+	// proven; Solution (if present) holds the best incumbent.
+	StatusTimeLimit
+	// StatusNodeLimit is the analogue for the node limit.
+	StatusNodeLimit
+	// StatusNoProgress means numerical failures prevented a proof of
+	// optimality; Solution (if present) is the best incumbent found.
+	StatusNoProgress
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusTimeLimit:
+		return "time limit"
+	case StatusNodeLimit:
+		return "node limit"
+	case StatusNoProgress:
+		return "no progress"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Progress is an anytime snapshot forwarded to OnImprovement callbacks.
+// Objective values include the model's objective constant.
+type Progress = bb.Progress
+
+// Params tune the solver.
+type Params struct {
+	// TimeLimit bounds wall-clock time (zero: none).
+	TimeLimit time.Duration
+	// GapTol is the relative MIP gap at which search stops (default 1e-6).
+	GapTol float64
+	// Threads is the number of parallel branch-and-bound workers.
+	Threads int
+	// MaxNodes bounds explored nodes (zero: none).
+	MaxNodes int
+	// DisablePresolve skips the presolve phase.
+	DisablePresolve bool
+	// CutRounds runs this many rounds of root Gomory mixed-integer cut
+	// generation before branch and bound (0: off).
+	CutRounds int
+	// Branching selects the branching rule.
+	Branching bb.BranchRule
+	// OnImprovement receives anytime progress (serialised).
+	OnImprovement func(Progress)
+	// InitialSolution optionally seeds the search with a known feasible
+	// assignment in model space (a "MIP start"), length NumVars. An
+	// infeasible start is ignored.
+	InitialSolution []float64
+}
+
+// Result reports the outcome.
+type Result struct {
+	Status   Status
+	Solution *milp.Solution // best solution found, nil if none
+	// Bound is the proven lower bound on the optimal objective,
+	// including the model constant.
+	Bound float64
+	// Gap is the relative gap between Solution and Bound.
+	Gap          float64
+	Nodes        int
+	SimplexIters int
+	Elapsed      time.Duration
+	// PresolveRounds reports how many presolve sweeps ran.
+	PresolveRounds int
+}
+
+// Solve minimizes the model.
+func Solve(m *milp.Model, params Params) (*Result, error) {
+	start := time.Now()
+	if params.GapTol <= 0 {
+		params.GapTol = 1e-6
+	}
+
+	work := m
+	var pre *presolve.Result
+	if !params.DisablePresolve {
+		var err error
+		pre, err = presolve.Apply(m, presolve.Options{})
+		if err != nil {
+			return nil, err
+		}
+		switch pre.Status {
+		case presolve.StatusInfeasible:
+			return &Result{
+				Status:  StatusInfeasible,
+				Bound:   math.Inf(1),
+				Elapsed: time.Since(start),
+			}, nil
+		case presolve.StatusSolved:
+			vals := pre.FixedSolution()
+			if err := m.CheckFeasible(vals, 1e-6); err != nil {
+				return &Result{Status: StatusInfeasible, Bound: math.Inf(1), Elapsed: time.Since(start)}, nil
+			}
+			obj := m.EvalObjective(vals)
+			return &Result{
+				Status:         StatusOptimal,
+				Solution:       &milp.Solution{Values: vals, Obj: obj},
+				Bound:          obj,
+				PresolveRounds: pre.Rounds,
+				Elapsed:        time.Since(start),
+			}, nil
+		}
+		work = pre.Model
+	}
+
+	if params.CutRounds > 0 {
+		work, _ = addGomoryCuts(work, params.CutRounds, 16)
+	}
+
+	comp := work.Compile()
+	objConst := work.ObjConstant()
+
+	bbParams := bb.Params{
+		TimeLimit: params.TimeLimit,
+		GapTol:    params.GapTol,
+		Threads:   params.Threads,
+		MaxNodes:  params.MaxNodes,
+		Branching: params.Branching,
+	}
+	if params.OnImprovement != nil {
+		bbParams.OnImprovement = func(p bb.Progress) {
+			p.Incumbent += objConst
+			p.Bound += objConst
+			params.OnImprovement(p)
+		}
+	}
+	if len(params.InitialSolution) == m.NumVars() {
+		start := params.InitialSolution
+		if pre != nil {
+			start = pre.Reduce(start)
+		}
+		if start != nil {
+			scaled := make([]float64, len(start))
+			for j := range start {
+				scaled[j] = start[j] / comp.ColScale[j]
+			}
+			bbParams.InitialIncumbent = scaled
+		}
+	}
+
+	res, err := bb.Solve(comp, bbParams)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Result{
+		Gap:          res.Gap,
+		Nodes:        res.Nodes,
+		SimplexIters: res.SimplexIters,
+		Elapsed:      time.Since(start),
+	}
+	if pre != nil {
+		out.PresolveRounds = pre.Rounds
+	}
+	out.Bound = res.Bound + objConst
+
+	switch res.Status {
+	case bb.StatusOptimal:
+		out.Status = StatusOptimal
+	case bb.StatusInfeasible:
+		out.Status = StatusInfeasible
+		out.Bound = math.Inf(1)
+	case bb.StatusUnbounded:
+		out.Status = StatusUnbounded
+		out.Bound = math.Inf(-1)
+	case bb.StatusTimeLimit:
+		out.Status = StatusTimeLimit
+	case bb.StatusNodeLimit:
+		out.Status = StatusNodeLimit
+	case bb.StatusNoProgress:
+		out.Status = StatusNoProgress
+	}
+
+	if res.HasIncumbent {
+		reduced := comp.Unscale(res.X[:work.NumVars()])
+		var vals []float64
+		if pre != nil {
+			vals = pre.Postsolve(reduced)
+		} else {
+			vals = reduced
+		}
+		// Prefer integral values where the rounding stays feasible.
+		rounded := append([]float64(nil), vals...)
+		for j := 0; j < m.NumVars(); j++ {
+			if m.IsIntegral(milp.Var(j)) {
+				rounded[j] = math.Round(rounded[j])
+			}
+		}
+		if m.CheckFeasible(rounded, 1e-5) == nil {
+			vals = rounded
+		}
+		out.Solution = &milp.Solution{Values: vals, Obj: m.EvalObjective(vals)}
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// DenseLU is a dense LU factorization with partial pivoting. It serves as a
+// correctness oracle for the sparse factorization in tests and handles very
+// small systems where sparse bookkeeping is not worthwhile.
+type DenseLU struct {
+	N    int
+	LU   [][]float64 // combined L (below diagonal, unit) and U (on/above)
+	Perm []int       // Perm[k] = original row at pivot position k
+}
+
+// FactorizeDense computes a dense LU factorization of the n×n matrix a
+// (row-major). The input is copied, not modified.
+func FactorizeDense(a [][]float64) (*DenseLU, error) {
+	n := len(a)
+	lu := make([][]float64, n)
+	for i := range lu {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("sparse: dense matrix is not square (row %d has %d entries, want %d)", i, len(a[i]), n)
+		}
+		lu[i] = append([]float64(nil), a[i]...)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivoting: largest magnitude in column k at/below row k.
+		piv, maxAbs := k, math.Abs(lu[k][k])
+		for i := k + 1; i < n; i++ {
+			if abs := math.Abs(lu[i][k]); abs > maxAbs {
+				piv, maxAbs = i, abs
+			}
+		}
+		if maxAbs < 1e-14 {
+			return nil, fmt.Errorf("%w: dense pivot at step %d", ErrSingular, k)
+		}
+		if piv != k {
+			lu[piv], lu[k] = lu[k], lu[piv]
+			perm[piv], perm[k] = perm[k], perm[piv]
+		}
+		inv := 1 / lu[k][k]
+		for i := k + 1; i < n; i++ {
+			l := lu[i][k] * inv
+			lu[i][k] = l
+			if l == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu[i][j] -= l * lu[k][j]
+			}
+		}
+	}
+	return &DenseLU{N: n, LU: lu, Perm: perm}, nil
+}
+
+// Solve solves A·x = b and returns x as a fresh slice.
+func (d *DenseLU) Solve(b []float64) []float64 {
+	n := d.N
+	x := make([]float64, n)
+	for k := 0; k < n; k++ {
+		x[k] = b[d.Perm[k]]
+	}
+	// Forward substitution with unit L.
+	for k := 0; k < n; k++ {
+		for j := 0; j < k; j++ {
+			x[k] -= d.LU[k][j] * x[j]
+		}
+	}
+	// Back substitution with U.
+	for k := n - 1; k >= 0; k-- {
+		for j := k + 1; j < n; j++ {
+			x[k] -= d.LU[k][j] * x[j]
+		}
+		x[k] /= d.LU[k][k]
+	}
+	return x
+}
+
+// SolveTranspose solves Aᵀ·y = c and returns y as a fresh slice.
+func (d *DenseLU) SolveTranspose(c []float64) []float64 {
+	n := d.N
+	y := append([]float64(nil), c...)
+	// Solve Uᵀ w = c (forward).
+	for k := 0; k < n; k++ {
+		for j := 0; j < k; j++ {
+			y[k] -= d.LU[j][k] * y[j]
+		}
+		y[k] /= d.LU[k][k]
+	}
+	// Solve Lᵀ v = w (backward, unit diagonal).
+	for k := n - 1; k >= 0; k-- {
+		for j := k + 1; j < n; j++ {
+			y[k] -= d.LU[j][k] * y[j]
+		}
+	}
+	// Undo row permutation: Aᵀ = (P⁻¹ L U)ᵀ ⇒ y = Pᵀ v.
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		out[d.Perm[k]] = y[k]
+	}
+	return out
+}

@@ -1,0 +1,350 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular reports that the matrix handed to Factorize is (numerically)
+// singular.
+var ErrSingular = errors.New("sparse: matrix is singular")
+
+// LU is a sparse LU factorization P·A·Q = L·U produced by Factorize.
+//
+// L is unit lower triangular and U upper triangular, both stored by columns
+// in pivot coordinates. P is the row permutation chosen by partial
+// pivoting; Q is the column order chosen up front for sparsity.
+type LU struct {
+	N int
+
+	// L: strictly lower triangular part, unit diagonal implicit.
+	Lp []int
+	Li []int
+	Lx []float64
+
+	// U: strictly upper triangular part plus a separate diagonal.
+	Up    []int
+	Ui    []int
+	Ux    []float64
+	Udiag []float64
+
+	// P and Q as permutation vectors: P[k] is the original row at pivot
+	// position k, Q[k] the original column at position k. Pinv and Qinv
+	// are the inverse maps.
+	P, Pinv []int
+	Q, Qinv []int
+}
+
+// FactorOptions control pivoting behaviour.
+type FactorOptions struct {
+	// PivotTol is the threshold partial pivoting tolerance in (0, 1].
+	// 1.0 gives classical partial pivoting (most stable); smaller values
+	// trade stability for sparsity. Zero means 0.1, the customary
+	// default for simplex basis factorization.
+	PivotTol float64
+	// DropTol drops entries with absolute value below it during the
+	// factorization. Zero keeps everything above 1e-14.
+	DropTol float64
+	// ColOrder optionally fixes the column order. When nil, columns are
+	// ordered by ascending nonzero count, a cheap heuristic that exposes
+	// the near-triangular structure of typical simplex bases.
+	ColOrder []int
+}
+
+// Factorize computes a sparse LU factorization of the square matrix a.
+func Factorize(a *CSC, opts FactorOptions) (*LU, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("sparse: cannot factorize %dx%d matrix", a.Rows, a.Cols)
+	}
+	pivTol := opts.PivotTol
+	if pivTol <= 0 || pivTol > 1 {
+		pivTol = 0.1
+	}
+	dropTol := opts.DropTol
+	if dropTol <= 0 {
+		dropTol = 1e-14
+	}
+
+	order := opts.ColOrder
+	if order == nil {
+		order = orderByColumnNnz(a)
+	} else if len(order) != n {
+		return nil, fmt.Errorf("sparse: column order has length %d, want %d", len(order), n)
+	}
+
+	lu := &LU{
+		N:     n,
+		Lp:    make([]int, 1, n+1),
+		Up:    make([]int, 1, n+1),
+		Udiag: make([]float64, n),
+		P:     make([]int, n),
+		Pinv:  make([]int, n),
+		Q:     make([]int, n),
+		Qinv:  make([]int, n),
+	}
+	for i := range lu.Pinv {
+		lu.Pinv[i] = -1
+	}
+
+	x := make([]float64, n) // dense accumulator
+	mark := make([]bool, n) // visited flags for the pattern DFS
+	pattern := make([]int, 0, n)
+	dfsStack := make([]int, 0, n)
+	posStack := make([]int, 0, n)
+
+	// Row nonzero counts of A, used as a Markowitz-style sparsity
+	// tie-break among numerically acceptable pivot candidates.
+	rowCount := make([]int, n)
+	for _, i := range a.RowInd {
+		rowCount[i]++
+	}
+
+	for k := 0; k < n; k++ {
+		cj := order[k]
+		lu.Q[k] = cj
+		lu.Qinv[cj] = k
+
+		// Pattern: reach of column cj's nonzeros in the graph of L,
+		// collected in postorder (so reverse order is topological).
+		pattern = pattern[:0]
+		bi, bv := a.Col(cj)
+		for _, root := range bi {
+			if mark[root] {
+				continue
+			}
+			// Iterative DFS with explicit position stack.
+			dfsStack = append(dfsStack[:0], root)
+			posStack = append(posStack[:0], 0)
+			mark[root] = true
+			for len(dfsStack) > 0 {
+				node := dfsStack[len(dfsStack)-1]
+				pos := posStack[len(posStack)-1]
+				expanded := false
+				if piv := lu.Pinv[node]; piv >= 0 {
+					lo, hi := lu.Lp[piv], lu.Lp[piv+1]
+					for p := lo + pos; p < hi; p++ {
+						child := lu.Li[p]
+						posStack[len(posStack)-1] = p - lo + 1
+						if !mark[child] {
+							mark[child] = true
+							dfsStack = append(dfsStack, child)
+							posStack = append(posStack, 0)
+							expanded = true
+							break
+						}
+					}
+				}
+				if !expanded {
+					pattern = append(pattern, node)
+					dfsStack = dfsStack[:len(dfsStack)-1]
+					posStack = posStack[:len(posStack)-1]
+				}
+			}
+		}
+
+		// Numeric sparse triangular solve x = L \ B(:, cj) over the
+		// pattern, in topological (reverse postorder) order.
+		for p, i := range bi {
+			x[i] = bv[p]
+		}
+		for t := len(pattern) - 1; t >= 0; t-- {
+			i := pattern[t]
+			piv := lu.Pinv[i]
+			if piv < 0 {
+				continue
+			}
+			xi := x[i]
+			if xi == 0 {
+				continue
+			}
+			for p := lu.Lp[piv]; p < lu.Lp[piv+1]; p++ {
+				x[lu.Li[p]] -= lu.Lx[p] * xi
+			}
+		}
+
+		// Pivot selection among unpivoted pattern rows: threshold
+		// partial pivoting. Any candidate within pivTol of the
+		// largest magnitude is numerically acceptable; among those we
+		// pick the row with the fewest nonzeros in A (Markowitz-style
+		// tie-break) to limit fill-in.
+		var maxAbs float64
+		for _, i := range pattern {
+			if lu.Pinv[i] >= 0 {
+				continue
+			}
+			if abs := math.Abs(x[i]); abs > maxAbs {
+				maxAbs = abs
+			}
+		}
+		if maxAbs < dropTol {
+			for _, i := range pattern {
+				x[i] = 0
+				mark[i] = false
+			}
+			return nil, fmt.Errorf("%w: no pivot in column %d (step %d)", ErrSingular, cj, k)
+		}
+		pivRow := -1
+		bestCount := math.MaxInt
+		for _, i := range pattern {
+			if lu.Pinv[i] >= 0 {
+				continue
+			}
+			if math.Abs(x[i]) >= pivTol*maxAbs && rowCount[i] < bestCount {
+				bestCount = rowCount[i]
+				pivRow = i
+			}
+		}
+
+		pivVal := x[pivRow]
+		lu.P[k] = pivRow
+		lu.Pinv[pivRow] = k
+		lu.Udiag[k] = pivVal
+
+		// Emit U column k (pivoted rows) and L column k (unpivoted).
+		for _, i := range pattern {
+			v := x[i]
+			x[i] = 0
+			mark[i] = false
+			if i == pivRow {
+				continue
+			}
+			if piv := lu.Pinv[i]; piv >= 0 && piv < k {
+				if math.Abs(v) > dropTol {
+					lu.Ui = append(lu.Ui, piv)
+					lu.Ux = append(lu.Ux, v)
+				}
+			} else {
+				l := v / pivVal
+				if math.Abs(l) > dropTol {
+					lu.Li = append(lu.Li, i) // original row index for now
+					lu.Lx = append(lu.Lx, l)
+				}
+			}
+		}
+		lu.Lp = append(lu.Lp, len(lu.Li))
+		lu.Up = append(lu.Up, len(lu.Ui))
+	}
+
+	// Remap L's row indices from original rows to pivot positions.
+	for p, i := range lu.Li {
+		lu.Li[p] = lu.Pinv[i]
+	}
+	return lu, nil
+}
+
+// orderByColumnNnz returns column indices sorted by ascending nonzero count
+// (stable on ties by index).
+func orderByColumnNnz(a *CSC) []int {
+	n := a.Cols
+	order := make([]int, n)
+	for j := range order {
+		order[j] = j
+	}
+	// Counting sort by nnz keeps this O(n + nnz).
+	maxNnz := 0
+	for j := 0; j < n; j++ {
+		if c := a.ColNnz(j); c > maxNnz {
+			maxNnz = c
+		}
+	}
+	buckets := make([]int, maxNnz+2)
+	for j := 0; j < n; j++ {
+		buckets[a.ColNnz(j)+1]++
+	}
+	for c := 1; c < len(buckets); c++ {
+		buckets[c] += buckets[c-1]
+	}
+	for j := 0; j < n; j++ {
+		c := a.ColNnz(j)
+		order[buckets[c]] = j
+		buckets[c]++
+	}
+	return order
+}
+
+// SolveInPlace solves A·x = b in pivot-free (original) coordinates. b is
+// overwritten with x. scratch must have length N and is clobbered.
+func (lu *LU) SolveInPlace(b, scratch []float64) {
+	n := lu.N
+	// y = P b
+	for k := 0; k < n; k++ {
+		scratch[k] = b[lu.P[k]]
+	}
+	lu.lowerSolve(scratch)
+	lu.upperSolve(scratch)
+	// x = Q z
+	for k := 0; k < n; k++ {
+		b[lu.Q[k]] = scratch[k]
+	}
+}
+
+// SolveTransposeInPlace solves Aᵀ·y = c in original coordinates. c is
+// overwritten with y. scratch must have length N and is clobbered.
+func (lu *LU) SolveTransposeInPlace(c, scratch []float64) {
+	n := lu.N
+	// c' = Qᵀ c
+	for k := 0; k < n; k++ {
+		scratch[k] = c[lu.Q[k]]
+	}
+	lu.upperTransposeSolve(scratch)
+	lu.lowerTransposeSolve(scratch)
+	// y = Pᵀ v
+	for k := 0; k < n; k++ {
+		c[lu.P[k]] = scratch[k]
+	}
+}
+
+// lowerSolve solves L·y = y in place (pivot coordinates, unit diagonal).
+func (lu *LU) lowerSolve(y []float64) {
+	for k := 0; k < lu.N; k++ {
+		yk := y[k]
+		if yk == 0 {
+			continue
+		}
+		for p := lu.Lp[k]; p < lu.Lp[k+1]; p++ {
+			y[lu.Li[p]] -= lu.Lx[p] * yk
+		}
+	}
+}
+
+// upperSolve solves U·z = z in place (pivot coordinates).
+func (lu *LU) upperSolve(z []float64) {
+	for k := lu.N - 1; k >= 0; k-- {
+		zk := z[k] / lu.Udiag[k]
+		z[k] = zk
+		if zk == 0 {
+			continue
+		}
+		for p := lu.Up[k]; p < lu.Up[k+1]; p++ {
+			z[lu.Ui[p]] -= lu.Ux[p] * zk
+		}
+	}
+}
+
+// upperTransposeSolve solves Uᵀ·w = w in place.
+func (lu *LU) upperTransposeSolve(w []float64) {
+	for k := 0; k < lu.N; k++ {
+		s := w[k]
+		for p := lu.Up[k]; p < lu.Up[k+1]; p++ {
+			s -= lu.Ux[p] * w[lu.Ui[p]]
+		}
+		w[k] = s / lu.Udiag[k]
+	}
+}
+
+// lowerTransposeSolve solves Lᵀ·v = v in place (unit diagonal).
+func (lu *LU) lowerTransposeSolve(v []float64) {
+	for k := lu.N - 1; k >= 0; k-- {
+		s := v[k]
+		for p := lu.Lp[k]; p < lu.Lp[k+1]; p++ {
+			s -= lu.Lx[p] * v[lu.Li[p]]
+		}
+		v[k] = s
+	}
+}
+
+// Nnz returns the total number of stored entries in L and U (including the
+// U diagonal).
+func (lu *LU) Nnz() int { return len(lu.Li) + len(lu.Ui) + lu.N }

@@ -1,0 +1,252 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Triplet accumulates matrix entries in coordinate form before compression.
+// Duplicate entries are summed during compression.
+type Triplet struct {
+	Rows, Cols int
+	RowInd     []int
+	ColInd     []int
+	Val        []float64
+}
+
+// NewTriplet returns an empty triplet accumulator of the given shape.
+func NewTriplet(rows, cols int) *Triplet {
+	return &Triplet{Rows: rows, Cols: cols}
+}
+
+// Add records entry (i, j) += v. Zero values are kept; compression drops
+// exact zeros after duplicate summation.
+func (t *Triplet) Add(i, j int, v float64) {
+	if i < 0 || i >= t.Rows || j < 0 || j >= t.Cols {
+		panic(fmt.Sprintf("sparse: triplet entry (%d,%d) outside %dx%d", i, j, t.Rows, t.Cols))
+	}
+	t.RowInd = append(t.RowInd, i)
+	t.ColInd = append(t.ColInd, j)
+	t.Val = append(t.Val, v)
+}
+
+// Compress converts the triplet form into a CSC matrix, summing duplicates
+// and dropping entries that cancel to exactly zero.
+func (t *Triplet) Compress() *CSC {
+	// Count entries per column.
+	count := make([]int, t.Cols+1)
+	for _, j := range t.ColInd {
+		count[j+1]++
+	}
+	for j := 0; j < t.Cols; j++ {
+		count[j+1] += count[j]
+	}
+	colPtr := make([]int, t.Cols+1)
+	copy(colPtr, count)
+	rowInd := make([]int, len(t.RowInd))
+	val := make([]float64, len(t.Val))
+	next := make([]int, t.Cols)
+	for j := range next {
+		next[j] = colPtr[j]
+	}
+	for k, j := range t.ColInd {
+		p := next[j]
+		rowInd[p] = t.RowInd[k]
+		val[p] = t.Val[k]
+		next[j]++
+	}
+	m := &CSC{Rows: t.Rows, Cols: t.Cols, ColPtr: colPtr, RowInd: rowInd, Val: val}
+	m.sortColumns()
+	m.sumDuplicates()
+	return m
+}
+
+// CSC is a compressed sparse column matrix. Column j's entries live in
+// positions ColPtr[j]..ColPtr[j+1]-1 of RowInd/Val, sorted by row index
+// with no duplicates (for matrices produced by Triplet.Compress).
+type CSC struct {
+	Rows, Cols int
+	ColPtr     []int
+	RowInd     []int
+	Val        []float64
+}
+
+// NewCSC builds a CSC matrix directly from raw compressed data. The caller
+// guarantees consistency; this is intended for tests and converters.
+func NewCSC(rows, cols int, colPtr, rowInd []int, val []float64) *CSC {
+	return &CSC{Rows: rows, Cols: cols, ColPtr: colPtr, RowInd: rowInd, Val: val}
+}
+
+// Nnz returns the number of stored entries.
+func (m *CSC) Nnz() int { return len(m.RowInd) }
+
+// ColNnz returns the number of stored entries in column j.
+func (m *CSC) ColNnz(j int) int { return m.ColPtr[j+1] - m.ColPtr[j] }
+
+// Col returns views (not copies) of column j's row indices and values.
+func (m *CSC) Col(j int) (rows []int, vals []float64) {
+	lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+	return m.RowInd[lo:hi], m.Val[lo:hi]
+}
+
+// At returns entry (i, j) by binary search over column j.
+func (m *CSC) At(i, j int) float64 {
+	lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+	rows := m.RowInd[lo:hi]
+	k := sort.SearchInts(rows, i)
+	if k < len(rows) && rows[k] == i {
+		return m.Val[lo+k]
+	}
+	return 0
+}
+
+// MulVec computes y = A*x for dense x, writing into a fresh slice.
+func (m *CSC) MulVec(x []float64) []float64 {
+	y := make([]float64, m.Rows)
+	m.MulVecTo(y, x)
+	return y
+}
+
+// MulVecTo computes y = A*x for dense x into caller-provided y.
+func (m *CSC) MulVecTo(y, x []float64) {
+	for i := range y {
+		y[i] = 0
+	}
+	for j := 0; j < m.Cols; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			y[m.RowInd[p]] += m.Val[p] * xj
+		}
+	}
+}
+
+// MulVecT computes y = Aᵀ*x for dense x, writing into a fresh slice.
+func (m *CSC) MulVecT(x []float64) []float64 {
+	y := make([]float64, m.Cols)
+	for j := 0; j < m.Cols; j++ {
+		var s float64
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			s += m.Val[p] * x[m.RowInd[p]]
+		}
+		y[j] = s
+	}
+	return y
+}
+
+// ColDot returns the inner product of column j with dense x.
+func (m *CSC) ColDot(j int, x []float64) float64 {
+	var s float64
+	for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+		s += m.Val[p] * x[m.RowInd[p]]
+	}
+	return s
+}
+
+// Transpose returns Aᵀ as a new CSC matrix (equivalently, A in CSR form).
+func (m *CSC) Transpose() *CSC {
+	count := make([]int, m.Rows+1)
+	for _, i := range m.RowInd {
+		count[i+1]++
+	}
+	for i := 0; i < m.Rows; i++ {
+		count[i+1] += count[i]
+	}
+	colPtr := make([]int, m.Rows+1)
+	copy(colPtr, count)
+	rowInd := make([]int, len(m.RowInd))
+	val := make([]float64, len(m.Val))
+	next := make([]int, m.Rows)
+	copy(next, colPtr[:m.Rows])
+	for j := 0; j < m.Cols; j++ {
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			i := m.RowInd[p]
+			q := next[i]
+			rowInd[q] = j
+			val[q] = m.Val[p]
+			next[i]++
+		}
+	}
+	return &CSC{Rows: m.Cols, Cols: m.Rows, ColPtr: colPtr, RowInd: rowInd, Val: val}
+}
+
+// Dense expands the matrix into a row-major dense representation; intended
+// for tests and small problems only.
+func (m *CSC) Dense() [][]float64 {
+	d := make([][]float64, m.Rows)
+	for i := range d {
+		d[i] = make([]float64, m.Cols)
+	}
+	for j := 0; j < m.Cols; j++ {
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			d[m.RowInd[p]][j] += m.Val[p]
+		}
+	}
+	return d
+}
+
+// MaxAbs returns the largest absolute value stored in the matrix.
+func (m *CSC) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Val {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// sortColumns sorts each column's entries by row index.
+func (m *CSC) sortColumns() {
+	for j := 0; j < m.Cols; j++ {
+		lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+		rows := m.RowInd[lo:hi]
+		vals := m.Val[lo:hi]
+		sort.Sort(&colSorter{rows, vals})
+	}
+}
+
+// sumDuplicates merges duplicate row entries within each (sorted) column
+// and drops entries that sum to exactly zero.
+func (m *CSC) sumDuplicates() {
+	out := 0
+	newPtr := make([]int, m.Cols+1)
+	for j := 0; j < m.Cols; j++ {
+		newPtr[j] = out
+		lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+		p := lo
+		for p < hi {
+			i := m.RowInd[p]
+			v := m.Val[p]
+			p++
+			for p < hi && m.RowInd[p] == i {
+				v += m.Val[p]
+				p++
+			}
+			if v != 0 {
+				m.RowInd[out] = i
+				m.Val[out] = v
+				out++
+			}
+		}
+	}
+	newPtr[m.Cols] = out
+	m.ColPtr = newPtr
+	m.RowInd = m.RowInd[:out]
+	m.Val = m.Val[:out]
+}
+
+type colSorter struct {
+	rows []int
+	vals []float64
+}
+
+func (s *colSorter) Len() int           { return len(s.rows) }
+func (s *colSorter) Less(i, j int) bool { return s.rows[i] < s.rows[j] }
+func (s *colSorter) Swap(i, j int) {
+	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}

@@ -1,0 +1,289 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ColumnRef is a qualified column: alias.column.
+type ColumnRef struct {
+	Qualifier string
+	Column    string
+}
+
+// Condition is one conjunct of the WHERE clause: either a join predicate
+// (RightColumn set) or a filter against a constant (RightValue set).
+type Condition struct {
+	Left        ColumnRef
+	Op          string
+	RightColumn *ColumnRef
+	RightValue  any // float64 or string
+}
+
+// FromItem is one table reference with its alias (the table name itself
+// when no alias is given).
+type FromItem struct {
+	Table string
+	Alias string
+}
+
+// SelectStatement is a parsed select-project-join query.
+type SelectStatement struct {
+	SelectAll bool
+	Select    []ColumnRef
+	From      []FromItem
+	Where     []Condition
+}
+
+// Parse parses a select-project-join statement of the form
+//
+//	SELECT r.a, s.b FROM R r, S s, T WHERE r.x = s.y AND s.k < 10
+//
+// Supported: SELECT * or a list of qualified columns; FROM with optional
+// aliases (with or without AS); WHERE as a conjunction of equi-join
+// predicates and column-vs-constant comparisons (= < > <= >= <>).
+func Parse(input string) (*SelectStatement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() && !(p.peek().kind == tokSymbol && p.peek().text == ";") {
+		return nil, fmt.Errorf("sql: unexpected %q after statement", p.peek().text)
+	}
+	return stmt, nil
+}
+
+// --- lexer ---
+
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		r := rune(input[i])
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		case unicode.IsDigit(r):
+			j := i
+			for j < len(input) && (unicode.IsDigit(rune(input[j])) || input[j] == '.' || input[j] == 'e' || input[j] == 'E' ||
+				((input[j] == '+' || input[j] == '-') && j > i && (input[j-1] == 'e' || input[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case r == '\'':
+			j := i + 1
+			for j < len(input) && input[j] != '\'' {
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("sql: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{tokString, input[i+1 : j], i})
+			i = j + 1
+		case strings.ContainsRune("<>=!", r):
+			j := i + 1
+			if j < len(input) && (input[j] == '=' || (r == '<' && input[j] == '>')) {
+				j++
+			}
+			toks = append(toks, token{tokSymbol, input[i:j], i})
+			i = j
+		case strings.ContainsRune(",.*();", r):
+			toks = append(toks, token{tokSymbol, string(r), i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", r, i)
+		}
+	}
+	return toks, nil
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) atEnd() bool    { return p.pos >= len(p.toks) }
+func (p *parser) peek() token    { return p.toks[p.pos] }
+func (p *parser) advance() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.atEnd() || p.peek().kind != tokIdent || !strings.EqualFold(p.peek().text, kw) {
+		got := "end of input"
+		if !p.atEnd() {
+			got = fmt.Sprintf("%q", p.peek().text)
+		}
+		return fmt.Errorf("sql: expected %s, got %s", strings.ToUpper(kw), got)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) matchKeyword(kw string) bool {
+	if !p.atEnd() && p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) matchSymbol(s string) bool {
+	if !p.atEnd() && p.peek().kind == tokSymbol && p.peek().text == s {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseSelect() (*SelectStatement, error) {
+	stmt := &SelectStatement{}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	if p.matchSymbol("*") {
+		stmt.SelectAll = true
+	} else {
+		for {
+			ref, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Select = append(stmt.Select, ref)
+			if !p.matchSymbol(",") {
+				break
+			}
+		}
+	}
+
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		if p.atEnd() || p.peek().kind != tokIdent {
+			return nil, fmt.Errorf("sql: expected table name in FROM")
+		}
+		item := FromItem{Table: p.advance().text}
+		item.Alias = item.Table
+		if p.matchKeyword("as") {
+			if p.atEnd() || p.peek().kind != tokIdent {
+				return nil, fmt.Errorf("sql: expected alias after AS")
+			}
+			item.Alias = p.advance().text
+		} else if !p.atEnd() && p.peek().kind == tokIdent && !isKeyword(p.peek().text) {
+			item.Alias = p.advance().text
+		}
+		stmt.From = append(stmt.From, item)
+		if !p.matchSymbol(",") {
+			break
+		}
+	}
+
+	if p.matchKeyword("where") {
+		for {
+			cond, err := p.parseCondition()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Where = append(stmt.Where, cond)
+			if !p.matchKeyword("and") {
+				break
+			}
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseColumnRef() (ColumnRef, error) {
+	if p.atEnd() || p.peek().kind != tokIdent {
+		return ColumnRef{}, fmt.Errorf("sql: expected column reference")
+	}
+	qual := p.advance().text
+	if !p.matchSymbol(".") {
+		return ColumnRef{}, fmt.Errorf("sql: column references must be qualified (got bare %q)", qual)
+	}
+	if p.atEnd() || p.peek().kind != tokIdent {
+		return ColumnRef{}, fmt.Errorf("sql: expected column name after %q.", qual)
+	}
+	return ColumnRef{Qualifier: qual, Column: p.advance().text}, nil
+}
+
+func (p *parser) parseCondition() (Condition, error) {
+	left, err := p.parseColumnRef()
+	if err != nil {
+		return Condition{}, err
+	}
+	if p.atEnd() || p.peek().kind != tokSymbol {
+		return Condition{}, fmt.Errorf("sql: expected comparison operator")
+	}
+	op := p.advance().text
+	switch op {
+	case "=", "<", ">", "<=", ">=", "<>", "!=":
+	default:
+		return Condition{}, fmt.Errorf("sql: unsupported operator %q", op)
+	}
+	cond := Condition{Left: left, Op: op}
+
+	if p.atEnd() {
+		return Condition{}, fmt.Errorf("sql: expected right-hand side after %q", op)
+	}
+	switch t := p.peek(); t.kind {
+	case tokIdent:
+		ref, err := p.parseColumnRef()
+		if err != nil {
+			return Condition{}, err
+		}
+		cond.RightColumn = &ref
+	case tokNumber:
+		p.advance()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Condition{}, fmt.Errorf("sql: bad number %q", t.text)
+		}
+		cond.RightValue = v
+	case tokString:
+		p.advance()
+		cond.RightValue = t.text
+	default:
+		return Condition{}, fmt.Errorf("sql: unexpected %q on right-hand side", t.text)
+	}
+	return cond, nil
+}
+
+func isKeyword(s string) bool {
+	switch strings.ToLower(s) {
+	case "select", "from", "where", "and", "as":
+		return true
+	}
+	return false
+}

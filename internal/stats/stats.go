@@ -1,0 +1,182 @@
+// Package stats collects optimizer statistics from data: exact distinct
+// counts and equi-depth histograms per column, plus a bridge that builds a
+// sql.Catalog from an exec.Database — closing the loop from synthesized
+// data back to the selectivity estimates the join-ordering encoder
+// optimizes against (the ANALYZE step of a real system).
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"milpjoin/internal/exec"
+	"milpjoin/internal/qopt"
+	"milpjoin/internal/sql"
+)
+
+// Histogram is an equi-depth histogram: Bounds[i] is the inclusive upper
+// bound of bucket i; each bucket holds ≈ Count/len(Bounds) values.
+type Histogram struct {
+	Bounds []int64
+	Depth  float64 // values per bucket (the last bucket may be lighter)
+}
+
+// ColumnSummary is the per-column statistics record.
+type ColumnSummary struct {
+	Count    int
+	Distinct int
+	Min, Max int64
+	Hist     *Histogram
+}
+
+// BuildColumn summarises a column of values.
+func BuildColumn(values []int64, buckets int) ColumnSummary {
+	s := ColumnSummary{Count: len(values)}
+	if len(values) == 0 {
+		return s
+	}
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+
+	distinct := 1
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] != sorted[i-1] {
+			distinct++
+		}
+	}
+	s.Distinct = distinct
+
+	if buckets > 0 {
+		if buckets > len(sorted) {
+			buckets = len(sorted)
+		}
+		h := &Histogram{Depth: float64(len(sorted)) / float64(buckets)}
+		for b := 1; b <= buckets; b++ {
+			idx := b*len(sorted)/buckets - 1
+			h.Bounds = append(h.Bounds, sorted[idx])
+		}
+		s.Hist = h
+	}
+	return s
+}
+
+// EqSelectivity estimates sel(col = const) under uniformity: 1/distinct.
+func (c ColumnSummary) EqSelectivity() float64 {
+	if c.Distinct <= 0 {
+		return 1
+	}
+	return 1 / float64(c.Distinct)
+}
+
+// LessSelectivity estimates sel(col < v) from the equi-depth histogram
+// (falling back to the min/max linear interpolation without one).
+func (c ColumnSummary) LessSelectivity(v int64) float64 {
+	if c.Count == 0 {
+		return 0
+	}
+	if v <= c.Min {
+		return 0
+	}
+	if v > c.Max {
+		return 1
+	}
+	if c.Hist == nil || len(c.Hist.Bounds) == 0 {
+		// Linear interpolation over [Min, Max].
+		return float64(v-c.Min) / float64(c.Max-c.Min+1)
+	}
+	// Count full buckets below v; interpolate within the straddling one.
+	full := sort.Search(len(c.Hist.Bounds), func(i int) bool { return c.Hist.Bounds[i] >= v })
+	frac := float64(full) / float64(len(c.Hist.Bounds))
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}
+
+// TableSummary aggregates a table's columns.
+type TableSummary struct {
+	Rows    int
+	Columns map[string]ColumnSummary
+}
+
+// Analyze summarises every column of a relation.
+func Analyze(rel *exec.Relation, buckets int) TableSummary {
+	out := TableSummary{Rows: rel.NumRows(), Columns: map[string]ColumnSummary{}}
+	for ci, name := range rel.Cols {
+		vals := make([]int64, rel.NumRows())
+		for ri, row := range rel.Rows {
+			vals[ri] = row[ci]
+		}
+		out.Columns[name] = BuildColumn(vals, buckets)
+	}
+	return out
+}
+
+// CatalogFromDatabase runs Analyze over every relation and assembles a
+// sql.Catalog whose estimates are derived from the data itself rather
+// than from the generator's parameters.
+func CatalogFromDatabase(db *exec.Database, buckets int) *sql.Catalog {
+	cat := sql.NewCatalog()
+	for ti, rel := range db.Relations {
+		summary := Analyze(rel, buckets)
+		cols := map[string]sql.ColumnStats{}
+		for name, cs := range summary.Columns {
+			cols[name] = sql.ColumnStats{Distinct: float64(cs.Distinct), Bytes: 8}
+		}
+		cat.AddTable(db.Query.TableName(ti), sql.TableStats{
+			Card:    float64(summary.Rows),
+			Columns: cols,
+		})
+	}
+	return cat
+}
+
+// EstimateQuery rebuilds a qopt.Query from data-derived statistics: table
+// cardinalities from row counts and binary-predicate selectivities as
+// 1/max(V(a), V(b)) over the measured distinct counts. The structure
+// (which tables each predicate connects) is taken from the original
+// query; only the numbers are re-estimated. This is what an optimizer
+// sees after ANALYZE instead of the generator's ground truth.
+func EstimateQuery(db *exec.Database, buckets int) (*qopt.Query, error) {
+	orig := db.Query
+	summaries := make([]TableSummary, len(db.Relations))
+	for ti, rel := range db.Relations {
+		summaries[ti] = Analyze(rel, buckets)
+	}
+	out := &qopt.Query{}
+	for ti := range orig.Tables {
+		card := float64(summaries[ti].Rows)
+		if card < 1 {
+			card = 1
+		}
+		out.Tables = append(out.Tables, qopt.Table{
+			Name: orig.TableName(ti),
+			Card: card,
+		})
+	}
+	for pi, p := range orig.Predicates {
+		if !p.IsBinary() {
+			return nil, fmt.Errorf("stats: predicate %d is not binary", pi)
+		}
+		a, b := p.Tables[0], p.Tables[1]
+		colA := fmt.Sprintf("T%d.p%d", a, pi)
+		colB := fmt.Sprintf("T%d.p%d", b, pi)
+		va := float64(summaries[a].Columns[colA].Distinct)
+		vb := float64(summaries[b].Columns[colB].Distinct)
+		v := va
+		if vb > v {
+			v = vb
+		}
+		sel := 1.0
+		if v > 0 {
+			sel = 1 / v
+		}
+		out.Predicates = append(out.Predicates, qopt.Predicate{
+			Name:   p.Name,
+			Tables: []int{a, b},
+			Sel:    sel,
+		})
+	}
+	return out, out.Validate()
+}

@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"milpjoin/internal/cost"
+	"milpjoin/internal/dp"
+	"milpjoin/internal/exec"
+	"milpjoin/internal/plan"
+	"milpjoin/internal/qopt"
+	"milpjoin/internal/workload"
+)
+
+func TestBuildColumnBasics(t *testing.T) {
+	c := BuildColumn([]int64{5, 1, 3, 3, 9, 1}, 3)
+	if c.Count != 6 || c.Distinct != 4 || c.Min != 1 || c.Max != 9 {
+		t.Fatalf("summary = %+v", c)
+	}
+	if math.Abs(c.EqSelectivity()-0.25) > 1e-12 {
+		t.Errorf("EqSelectivity = %g", c.EqSelectivity())
+	}
+	if c.Hist == nil || len(c.Hist.Bounds) != 3 {
+		t.Fatalf("histogram = %+v", c.Hist)
+	}
+}
+
+func TestBuildColumnEmpty(t *testing.T) {
+	c := BuildColumn(nil, 4)
+	if c.Count != 0 || c.Distinct != 0 {
+		t.Errorf("empty summary = %+v", c)
+	}
+	if c.EqSelectivity() != 1 {
+		t.Errorf("empty EqSelectivity = %g", c.EqSelectivity())
+	}
+	if c.LessSelectivity(5) != 0 {
+		t.Errorf("empty LessSelectivity = %g", c.LessSelectivity(5))
+	}
+}
+
+func TestLessSelectivityBoundaries(t *testing.T) {
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	c := BuildColumn(vals, 10)
+	if got := c.LessSelectivity(0); got != 0 {
+		t.Errorf("sel(< min) = %g", got)
+	}
+	if got := c.LessSelectivity(1000); got != 1 {
+		t.Errorf("sel(> max) = %g", got)
+	}
+	// v=500 over uniform 0..999 should estimate near 0.5.
+	if got := c.LessSelectivity(500); math.Abs(got-0.5) > 0.11 {
+		t.Errorf("sel(<500) = %g, want ≈0.5", got)
+	}
+	// Without a histogram, interpolation still works.
+	c.Hist = nil
+	if got := c.LessSelectivity(500); math.Abs(got-0.5) > 0.05 {
+		t.Errorf("interpolated sel(<500) = %g", got)
+	}
+}
+
+func TestHistogramEquiDepth(t *testing.T) {
+	// Heavily skewed data: equi-depth bounds concentrate where the mass is.
+	vals := make([]int64, 0, 1000)
+	for i := 0; i < 900; i++ {
+		vals = append(vals, 1)
+	}
+	for i := 0; i < 100; i++ {
+		vals = append(vals, int64(1000+i))
+	}
+	c := BuildColumn(vals, 10)
+	ones := 0
+	for _, b := range c.Hist.Bounds {
+		if b == 1 {
+			ones++
+		}
+	}
+	if ones < 8 {
+		t.Errorf("equi-depth histogram has %d buckets at the mode, want ≥ 8", ones)
+	}
+	// sel(< 1000) should be near 0.9.
+	if got := c.LessSelectivity(1000); math.Abs(got-0.9) > 0.11 {
+		t.Errorf("sel(<1000) = %g, want ≈0.9", got)
+	}
+}
+
+func TestAnalyzeAndCatalog(t *testing.T) {
+	q := workload.Generate(workload.Chain, 4, 3, workload.Config{
+		MinLogCard: 1.5, MaxLogCard: 2, MinSel: 0.05, MaxSel: 0.2,
+	})
+	db, err := exec.Synthesize(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := CatalogFromDatabase(db, 8)
+	for ti := range q.Tables {
+		ts, ok := cat.Tables[q.TableName(ti)]
+		if !ok {
+			t.Fatalf("table %s missing from catalog", q.TableName(ti))
+		}
+		if ts.Card != q.Tables[ti].Card {
+			t.Errorf("table %s card %g, want %g", q.TableName(ti), ts.Card, q.Tables[ti].Card)
+		}
+		if len(ts.Columns) == 0 {
+			t.Errorf("table %s has no column stats", q.TableName(ti))
+		}
+	}
+}
+
+// TestEstimatedSelectivitiesTrackTruth: selectivities re-estimated from
+// synthesized data must approximate the generator's ground truth (the key
+// ANALYZE property).
+func TestEstimatedSelectivitiesTrackTruth(t *testing.T) {
+	q := workload.Generate(workload.Star, 5, 7, workload.Config{
+		MinLogCard: 2.3, MaxLogCard: 2.7, // 200 … 500 rows: enough samples
+		MinSel: 0.02, MaxSel: 0.2,
+	})
+	db, err := exec.Synthesize(q, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateQuery(db, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, p := range q.Predicates {
+		got := est.Predicates[pi].Sel
+		want := p.Sel
+		if got < want/3 || got > want*3 {
+			t.Errorf("predicate %d: estimated sel %g, true %g (outside factor 3)", pi, got, want)
+		}
+	}
+}
+
+// TestOptimizeOnEstimatedStats: the estimated query optimizes to a plan
+// that is also good under the true statistics — the full ANALYZE →
+// optimize loop.
+func TestOptimizeOnEstimatedStats(t *testing.T) {
+	q := workload.Generate(workload.Chain, 5, 9, workload.Config{
+		MinLogCard: 2, MaxLogCard: 2.5, MinSel: 0.02, MaxSel: 0.15,
+	})
+	db, err := exec.Synthesize(q, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateQuery(db, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estPlan, _, err := dp.OptimizeLeftDeep(est, cost.CoutSpec(), dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Price the estimated-stats plan under TRUE statistics; it should be
+	// within a small factor of the true optimum.
+	_, trueOpt, err := dp.OptimizeLeftDeep(q, cost.CoutSpec(), dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	estUnderTrue, err := plan.Cost(q, estPlan, cost.CoutSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estUnderTrue > trueOpt*10 {
+		t.Errorf("estimated-stats plan costs %g under truth, optimum %g", estUnderTrue, trueOpt)
+	}
+}
+
+func TestEstimateQueryRejectsNary(t *testing.T) {
+	q := workload.Generate(workload.Chain, 3, 1, workload.Config{})
+	db, err := exec.Synthesize(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Query = &qopt.Query{
+		Tables:     q.Tables,
+		Predicates: append(q.Predicates, qopt.Predicate{Tables: []int{0, 1, 2}, Sel: 0.5}),
+	}
+	if _, err := EstimateQuery(db, 4); err == nil {
+		t.Error("n-ary predicate accepted")
+	}
+}

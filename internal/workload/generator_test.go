@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestShapesEdgeCounts(t *testing.T) {
+	for _, tc := range []struct {
+		shape GraphShape
+		n     int
+		want  int
+	}{
+		{Chain, 5, 4},
+		{Cycle, 5, 5},
+		{Star, 5, 4},
+		{Clique, 5, 10},
+		{Chain, 2, 1},
+		{Cycle, 2, 2}, // degenerate cycle: two parallel predicates
+		{Star, 2, 1},
+	} {
+		q := Generate(tc.shape, tc.n, 1, Config{})
+		if got := len(q.Predicates); got != tc.want {
+			t.Errorf("%v n=%d: %d predicates, want %d", tc.shape, tc.n, got, tc.want)
+		}
+		if err := q.Validate(); err != nil {
+			t.Errorf("%v n=%d: invalid query: %v", tc.shape, tc.n, err)
+		}
+	}
+}
+
+func TestChainStructure(t *testing.T) {
+	q := Generate(Chain, 6, 3, Config{})
+	for i, p := range q.Predicates {
+		if p.Tables[0] != i || p.Tables[1] != i+1 {
+			t.Errorf("chain predicate %d connects %v", i, p.Tables)
+		}
+	}
+}
+
+func TestStarStructure(t *testing.T) {
+	q := Generate(Star, 6, 3, Config{})
+	for i, p := range q.Predicates {
+		if p.Tables[0] != 0 {
+			t.Errorf("star predicate %d does not touch hub: %v", i, p.Tables)
+		}
+		if p.Tables[1] != i+1 {
+			t.Errorf("star predicate %d connects %v", i, p.Tables)
+		}
+	}
+}
+
+func TestCycleClosesLoop(t *testing.T) {
+	q := Generate(Cycle, 6, 3, Config{})
+	last := q.Predicates[len(q.Predicates)-1]
+	if last.Tables[0] != 5 || last.Tables[1] != 0 {
+		t.Errorf("cycle closing edge = %v", last.Tables)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Star, 8, 42, Config{})
+	b := Generate(Star, 8, 42, Config{})
+	for i := range a.Tables {
+		if a.Tables[i].Card != b.Tables[i].Card {
+			t.Fatalf("table %d cardinality differs across runs with same seed", i)
+		}
+	}
+	for i := range a.Predicates {
+		if a.Predicates[i].Sel != b.Predicates[i].Sel {
+			t.Fatalf("predicate %d selectivity differs across runs with same seed", i)
+		}
+	}
+	c := Generate(Star, 8, 43, Config{})
+	same := true
+	for i := range a.Tables {
+		if a.Tables[i].Card != c.Tables[i].Card {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical cardinalities")
+	}
+}
+
+func TestConfigBoundsRespected(t *testing.T) {
+	cfg := Config{MinLogCard: 2, MaxLogCard: 3, MinSel: 0.5, MaxSel: 0.9}
+	for seed := int64(0); seed < 20; seed++ {
+		q := Generate(Chain, 10, seed, cfg)
+		for _, tb := range q.Tables {
+			if tb.Card < 99 || tb.Card > 1001 {
+				t.Fatalf("cardinality %g outside [100, 1000]", tb.Card)
+			}
+		}
+		for _, p := range q.Predicates {
+			if p.Sel < 0.5 || p.Sel > 0.9 {
+				t.Fatalf("selectivity %g outside [0.5, 0.9]", p.Sel)
+			}
+		}
+	}
+}
+
+func TestDefaultsProducePaperLikeRanges(t *testing.T) {
+	q := Generate(Chain, 30, 7, Config{})
+	minC, maxC := math.Inf(1), math.Inf(-1)
+	for _, tb := range q.Tables {
+		minC = math.Min(minC, tb.Card)
+		maxC = math.Max(maxC, tb.Card)
+	}
+	if minC < 10 || maxC > 100000 {
+		t.Errorf("cardinalities [%g, %g] outside default [10, 100000]", minC, maxC)
+	}
+}
+
+func TestColumnsGeneration(t *testing.T) {
+	q := Generate(Star, 5, 9, Config{Columns: true})
+	if len(q.Columns) == 0 {
+		t.Fatal("no columns generated")
+	}
+	perTable := map[int]int{}
+	required := map[int]bool{}
+	for _, c := range q.Columns {
+		perTable[c.Table]++
+		if c.Required {
+			required[c.Table] = true
+		}
+		if c.Bytes <= 0 {
+			t.Errorf("column %s has bytes %g", c.Name, c.Bytes)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if perTable[i] < 2 {
+			t.Errorf("table %d has %d columns, want ≥ 2", i, perTable[i])
+		}
+		if !required[i] {
+			t.Errorf("table %d has no required column", i)
+		}
+	}
+}
+
+func TestGeneratePanicsOnTinyQuery(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n < 2")
+		}
+	}()
+	Generate(Chain, 1, 0, Config{})
+}
+
+func TestShapeStrings(t *testing.T) {
+	if Chain.String() != "chain" || Cycle.String() != "cycle" || Star.String() != "star" || Clique.String() != "clique" {
+		t.Error("shape strings wrong")
+	}
+	if len(Shapes()) != 3 {
+		t.Error("Shapes() should list the paper's three structures")
+	}
+}
+
+// TestShapesConnectedProperty: every generated join graph is connected —
+// required for plans without cross products to exist at all.
+func TestShapesConnectedProperty(t *testing.T) {
+	for _, shape := range []GraphShape{Chain, Cycle, Star, Clique} {
+		for seed := int64(0); seed < 10; seed++ {
+			n := 2 + int(seed)%12
+			q := Generate(shape, n, seed, Config{})
+			adj := make([][]int, n)
+			for _, e := range q.JoinGraphEdges() {
+				adj[e[0]] = append(adj[e[0]], e[1])
+				adj[e[1]] = append(adj[e[1]], e[0])
+			}
+			seen := make([]bool, n)
+			stack := []int{0}
+			seen[0] = true
+			count := 1
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, w := range adj[v] {
+					if !seen[w] {
+						seen[w] = true
+						count++
+						stack = append(stack, w)
+					}
+				}
+			}
+			if count != n {
+				t.Fatalf("%v n=%d seed %d: join graph disconnected (%d of %d reachable)", shape, n, seed, count, n)
+			}
+		}
+	}
+}
