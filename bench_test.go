@@ -9,6 +9,7 @@
 package milpjoin_test
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -72,7 +73,7 @@ func benchmarkFigure2Cell(b *testing.B, shape workload.GraphShape, n int, prec c
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		q := workload.Generate(shape, n, int64(i%5)+1, workload.Config{})
-		res, err := core.Optimize(q, opts, solver.Params{TimeLimit: budget, Threads: 2})
+		res, err := core.Optimize(context.Background(), q, opts, solver.Params{TimeLimit: budget, Threads: 2})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,7 +118,7 @@ func benchmarkFigure2DP(b *testing.B, shape workload.GraphShape, n int, budget t
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		q := workload.Generate(shape, n, int64(i%5)+1, workload.Config{})
-		_, _, err := dp.OptimizeLeftDeep(q, cost.DefaultSpec(), dp.Options{
+		_, _, err := dp.OptimizeLeftDeep(context.Background(), q, cost.DefaultSpec(), dp.Options{
 			Deadline: time.Now().Add(budget),
 		})
 		if err == nil {
@@ -148,7 +149,7 @@ func benchmarkPrecisionAblation(b *testing.B, prec core.Precision) {
 	opts := core.Options{Precision: prec, Metric: cost.OperatorCost, Op: cost.HashJoin}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := core.Optimize(q, opts, solver.Params{TimeLimit: 30 * time.Second, Threads: 2})
+		res, err := core.Optimize(context.Background(), q, opts, solver.Params{TimeLimit: 30 * time.Second, Threads: 2})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -170,7 +171,7 @@ func benchmarkThreads(b *testing.B, threads int) {
 	opts := core.Options{Precision: core.PrecisionMedium, Metric: cost.OperatorCost, Op: cost.HashJoin}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Optimize(q, opts, solver.Params{TimeLimit: 30 * time.Second, Threads: threads}); err != nil {
+		if _, err := core.Optimize(context.Background(), q, opts, solver.Params{TimeLimit: 30 * time.Second, Threads: threads}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -188,7 +189,7 @@ func benchmarkPresolve(b *testing.B, disable bool) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := solver.Solve(enc.Model, solver.Params{TimeLimit: 30 * time.Second, DisablePresolve: disable, Threads: 2}); err != nil {
+		if _, err := solver.Solve(context.Background(), enc.Model, solver.Params{TimeLimit: 30 * time.Second, DisablePresolve: disable, Threads: 2}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -202,7 +203,7 @@ func benchmarkDPScaling(b *testing.B, n int) {
 	q := workload.Generate(workload.Star, n, 1, workload.Config{})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := dp.OptimizeLeftDeep(q, cost.DefaultSpec(), dp.Options{}); err != nil {
+		if _, _, err := dp.OptimizeLeftDeep(context.Background(), q, cost.DefaultSpec(), dp.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -220,7 +221,7 @@ func benchmarkCuts(b *testing.B, rounds int) {
 	opts := core.Options{Precision: core.PrecisionMedium, Metric: cost.OperatorCost, Op: cost.HashJoin}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := core.Optimize(q, opts, solver.Params{TimeLimit: 10 * time.Second, Threads: 2, CutRounds: rounds})
+		res, err := core.Optimize(context.Background(), q, opts, solver.Params{TimeLimit: 10 * time.Second, Threads: 2, CutRounds: rounds})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -241,7 +242,7 @@ func BenchmarkAblationMIPStartOn(b *testing.B) {
 	opts := core.Options{Precision: core.PrecisionMedium, Metric: cost.OperatorCost, Op: cost.HashJoin}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := core.Optimize(q, opts, solver.Params{TimeLimit: 2 * time.Second, Threads: 2})
+		res, err := core.Optimize(context.Background(), q, opts, solver.Params{TimeLimit: 2 * time.Second, Threads: 2})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -259,7 +260,7 @@ func BenchmarkAblationMIPStartOff(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := solver.Solve(enc.Model, solver.Params{TimeLimit: 2 * time.Second, Threads: 2})
+		res, err := solver.Solve(context.Background(), enc.Model, solver.Params{TimeLimit: 2 * time.Second, Threads: 2})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -37,9 +39,13 @@ func main() {
 		fatal(err)
 	}
 
+	// Ctrl-C cancels the run; in-flight optimizations unwind promptly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	switch *figure {
 	case 3: // extra experiment: MILP vs randomized algorithms
-		rows, err := experiments.HeuristicComparison(experiments.HeuristicComparisonConfig{
+		rows, err := experiments.HeuristicComparison(ctx, experiments.HeuristicComparisonConfig{
 			Tables:  firstOr(sz, 12),
 			Queries: *queries,
 			Budget:  *timeout,
@@ -87,7 +93,7 @@ func main() {
 		perCell := time.Duration(eff.QueriesPerCell*(len(eff.Precisions)+1)) * eff.Timeout
 		fmt.Fprintf(os.Stderr, "figure 2: %d cells, worst-case ~%v per cell\n",
 			len(eff.Shapes)*len(eff.Sizes), perCell)
-		cells, err := experiments.Figure2(cfg, func(cell experiments.Figure2Cell) {
+		cells, err := experiments.Figure2(ctx, cfg, func(cell experiments.Figure2Cell) {
 			fmt.Fprintf(os.Stderr, "  done: %s, %d tables\n", cell.Shape, cell.Tables)
 		})
 		if err != nil {

@@ -1,28 +1,35 @@
-// Command joinopt optimizes a join query via the MILP encoding and prints
-// the resulting plan with its anytime quality trace.
+// Command joinopt optimizes a join query through the public joinorder API
+// and prints the resulting plan, with the anytime quality trace when the
+// strategy streams one. Ctrl-C cancels the optimization context: the MILP
+// strategy then returns the best plan found so far with its proven bound —
+// the paper's anytime property, live.
 //
-// Queries come either from a JSON file (-query) or from the built-in
-// Steinbrunn-style generator (-tables/-shape/-seed). Example:
+// Queries come either from a JSON file (-query), SQL text (-sql with
+// -catalog), or from the built-in Steinbrunn-style generator
+// (-tables/-shape/-seed). Examples:
 //
 //	joinopt -tables 20 -shape star -precision medium -timeout 10s
+//	joinopt -strategy dp-leftdeep -tables 14 -shape chain
 //	joinopt -query q.json -metric cout -lp model.lp
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"milpjoin/internal/core"
-	"milpjoin/internal/cost"
-	"milpjoin/internal/dp"
 	"milpjoin/internal/qopt"
-	"milpjoin/internal/solver"
 	"milpjoin/internal/sql"
 	"milpjoin/internal/workload"
+	"milpjoin/joinorder"
 )
 
 func main() {
@@ -32,17 +39,31 @@ func main() {
 		catFile   = flag.String("catalog", "", "JSON catalog with table statistics for -sql")
 		tables    = flag.Int("tables", 10, "number of tables for the generator")
 		shapeName = flag.String("shape", "star", "join graph shape: chain, cycle, star, clique")
-		seed      = flag.Int64("seed", 1, "generator seed")
+		seed      = flag.Int64("seed", 1, "generator seed (also drives randomized strategies)")
+		strat     = flag.String("strategy", joinorder.DefaultStrategy,
+			"optimization strategy: "+strings.Join(joinorder.Strategies(), ", "))
 		precision = flag.String("precision", "medium", "cardinality approximation: high, medium, low")
 		metric    = flag.String("metric", "hash", "cost metric: cout, hash, smj, bnl, choose")
 		timeout   = flag.Duration("timeout", 30*time.Second, "optimization time budget")
 		gap       = flag.Float64("gap", 1e-6, "relative MIP gap at which to stop")
 		threads   = flag.Int("threads", 4, "parallel branch-and-bound workers")
 		lpFile    = flag.String("lp", "", "also write the MILP in LP format to this file")
-		runDP     = flag.Bool("dp", false, "also run the dynamic programming baseline")
 		quiet     = flag.Bool("quiet", false, "suppress the anytime trace")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags]\n\nflags:\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nstrategies:\n")
+		for _, name := range joinorder.Strategies() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", name, joinorder.Describe(name))
+		}
+	}
 	flag.Parse()
+
+	// Ctrl-C cancels the context; the solver stack unwinds promptly and
+	// anytime strategies still report their best incumbent.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	q, err := loadQuery(*queryFile, *sqlText, *catFile, *shapeName, *tables, *seed)
 	if err != nil {
@@ -52,32 +73,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-
-	if *lpFile != "" {
-		enc, err := core.Encode(q, opts)
-		if err != nil {
-			fatal(err)
-		}
-		f, err := os.Create(*lpFile)
-		if err != nil {
-			fatal(err)
-		}
-		if err := enc.Model.WriteLP(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %s\n", *lpFile)
-	}
-
-	params := solver.Params{
-		TimeLimit: *timeout,
-		GapTol:    *gap,
-		Threads:   *threads,
-	}
+	opts.Strategy = *strat
+	opts.TimeLimit = *timeout
+	opts.GapTol = *gap
+	opts.Threads = *threads
+	opts.Seed = *seed
 	if !*quiet {
-		params.OnImprovement = func(p solver.Progress) {
+		opts.OnProgress = func(p joinorder.Progress) {
 			inc := "-"
 			if p.HasIncumbent {
 				inc = fmt.Sprintf("%.6g", p.Incumbent)
@@ -87,40 +89,71 @@ func main() {
 		}
 	}
 
-	fmt.Printf("optimizing %d tables, %d predicates (%s metric, %s precision)\n",
-		q.NumTables(), len(q.Predicates), *metric, *precision)
+	if *lpFile != "" {
+		if err := writeLP(*lpFile, q, opts); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *lpFile)
+	}
+
+	fmt.Printf("optimizing %d tables, %d predicates (%s strategy, %s metric, %s precision)\n",
+		q.NumTables(), len(q.Predicates), *strat, *metric, *precision)
 	start := time.Now()
-	res, err := core.Optimize(q, opts, params)
-	if err != nil {
+	res, err := joinorder.Optimize(ctx, q, opts)
+	switch {
+	case errors.Is(err, joinorder.ErrCanceled), errors.Is(err, joinorder.ErrNoPlan):
+		fmt.Printf("no plan found within the budget (%v)\n", err)
+		os.Exit(2)
+	case err != nil:
 		fatal(err)
 	}
-	fmt.Printf("status: %v after %v (%d nodes, %d simplex iterations)\n",
-		res.Solver.Status, time.Since(start).Truncate(time.Millisecond), res.Solver.Nodes, res.Solver.SimplexIters)
-	if res.Plan == nil {
-		fmt.Println("no plan found within the budget")
-		os.Exit(2)
+	fmt.Printf("status: %v after %v", res.Status, time.Since(start).Truncate(time.Millisecond))
+	if res.Nodes > 0 {
+		fmt.Printf(" (%d nodes)", res.Nodes)
 	}
-	fmt.Printf("plan:       %s\n", res.Plan)
-	if res.Plan.Operators != nil {
-		ops := make([]string, len(res.Plan.Operators))
-		for i, op := range res.Plan.Operators {
-			ops[i] = op.String()
+	fmt.Println()
+	switch {
+	case res.Plan != nil:
+		fmt.Printf("plan:       %s\n", res.Plan)
+		if res.Plan.Operators != nil {
+			ops := make([]string, len(res.Plan.Operators))
+			for i, op := range res.Plan.Operators {
+				ops[i] = op.String()
+			}
+			fmt.Printf("operators:  %s\n", strings.Join(ops, ", "))
 		}
-		fmt.Printf("operators:  %s\n", strings.Join(ops, ", "))
+	case res.Tree != nil:
+		fmt.Printf("tree:       %s\n", res.Tree)
 	}
-	fmt.Printf("milp obj:   %.6g (bound %.6g, gap %.4f)\n", res.MILPObj, res.Solver.Bound, res.Solver.Gap)
-	fmt.Printf("exact cost: %.6g\n", res.ExactCost)
+	fmt.Printf("exact cost: %.6g\n", res.Cost)
+	if !math.IsInf(res.Bound, -1) { // strategy proves a lower bound
+		fmt.Printf("objective:  %.6g (bound %.6g, gap %.4f)\n", res.Objective, res.Bound, res.Gap)
+	}
+}
 
-	if *runDP {
-		spec := opts.Spec()
-		dpStart := time.Now()
-		pl, c, err := dp.OptimizeLeftDeep(q, spec, dp.Options{Deadline: dpStart.Add(*timeout)})
-		if err != nil {
-			fmt.Printf("dp:         no plan (%v)\n", err)
-		} else {
-			fmt.Printf("dp:         %s cost %.6g in %v\n", pl, c, time.Since(dpStart).Truncate(time.Millisecond))
-		}
+// writeLP encodes the query with the MILP encoder and writes the model in
+// LP text format — inspection tooling on top of the public options.
+func writeLP(path string, q *qopt.Query, opts joinorder.Options) error {
+	enc, err := core.Encode(q, core.Options{
+		Precision:       opts.Precision,
+		ThresholdRatio:  opts.ThresholdRatio,
+		CardCap:         opts.CardCap,
+		Metric:          opts.Metric,
+		Op:              opts.Op,
+		ChooseOperators: opts.ChooseOperators,
+	})
+	if err != nil {
+		return err
 	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := enc.Model.WriteLP(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadQuery(file, sqlText, catFile, shapeName string, tables int, seed int64) (*qopt.Query, error) {
@@ -176,34 +209,34 @@ func parseShape(s string) (workload.GraphShape, error) {
 	}
 }
 
-func buildOptions(precision, metric string) (core.Options, error) {
-	opts := core.Options{}
+func buildOptions(precision, metric string) (joinorder.Options, error) {
+	opts := joinorder.Options{}
 	switch precision {
 	case "high":
-		opts.Precision = core.PrecisionHigh
+		opts.Precision = joinorder.PrecisionHigh
 	case "medium":
-		opts.Precision = core.PrecisionMedium
+		opts.Precision = joinorder.PrecisionMedium
 	case "low":
-		opts.Precision = core.PrecisionLow
+		opts.Precision = joinorder.PrecisionLow
 	default:
 		return opts, fmt.Errorf("unknown precision %q", precision)
 	}
 	switch metric {
 	case "cout":
-		opts.Metric = cost.Cout
+		opts.Metric = joinorder.Cout
 	case "hash":
-		opts.Metric = cost.OperatorCost
-		opts.Op = cost.HashJoin
+		opts.Metric = joinorder.OperatorCost
+		opts.Op = joinorder.HashJoin
 	case "smj":
-		opts.Metric = cost.OperatorCost
-		opts.Op = cost.SortMergeJoin
+		opts.Metric = joinorder.OperatorCost
+		opts.Op = joinorder.SortMergeJoin
 	case "bnl":
-		opts.Metric = cost.OperatorCost
-		opts.Op = cost.BlockNestedLoopJoin
+		opts.Metric = joinorder.OperatorCost
+		opts.Op = joinorder.BlockNestedLoopJoin
 		opts.CardCap = 1e8
 	case "choose":
-		opts.Metric = cost.OperatorCost
-		opts.Op = cost.HashJoin
+		opts.Metric = joinorder.OperatorCost
+		opts.Op = joinorder.HashJoin
 		opts.ChooseOperators = true
 		opts.CardCap = 1e8
 	default:

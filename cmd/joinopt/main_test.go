@@ -5,8 +5,8 @@ import (
 	"path/filepath"
 	"testing"
 
-	"milpjoin/internal/cost"
 	"milpjoin/internal/workload"
+	"milpjoin/joinorder"
 )
 
 func TestParseShape(t *testing.T) {
@@ -26,7 +26,7 @@ func TestParseShape(t *testing.T) {
 
 func TestBuildOptions(t *testing.T) {
 	opts, err := buildOptions("high", "cout")
-	if err != nil || opts.Metric != cost.Cout {
+	if err != nil || opts.Metric != joinorder.Cout {
 		t.Fatalf("cout: %+v %v", opts, err)
 	}
 	opts, err = buildOptions("low", "choose")

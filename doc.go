@@ -3,8 +3,20 @@
 // of left-deep join ordering into MILP, solved by a from-scratch pure-Go MILP
 // solver (sparse revised simplex + branch and bound) standing in for Gurobi.
 //
-// The library lives under internal/: see internal/core for the encoder (the
-// paper's contribution), internal/solver for the MILP solver facade, and
-// internal/experiments for the harnesses regenerating the paper's figures.
-// Entry points: cmd/joinopt, cmd/figures, and the examples/ directory.
+// The public API is the joinorder package: a context-aware, strategy-agnostic
+// entry point over the MILP approach and every baseline the paper compares
+// against. Cancel the context mid-solve and the MILP strategy returns its
+// best incumbent with a proven optimality bound — the paper's anytime
+// property as a Go idiom:
+//
+//	res, err := joinorder.Optimize(ctx, query, joinorder.Options{
+//		Strategy:  "milp",                 // or dp-leftdeep, dp-bushy, ikkbz, greedy, ...
+//		TimeLimit: 10 * time.Second,       // composes with the ctx deadline (min wins)
+//	})
+//
+// Everything under internal/ is implementation detail: internal/core holds
+// the encoder (the paper's contribution), internal/solver the MILP solver
+// facade, and internal/experiments the harnesses regenerating the paper's
+// figures. Entry points: the joinorder package, cmd/joinopt, cmd/figures,
+// and the examples/ directory.
 package milpjoin

@@ -1,22 +1,22 @@
 // Anytime optimization: the property the paper gets for free from MILP
-// solvers. On a 20-table chain query — beyond what dynamic programming
-// finishes in this budget — the solver streams plans of improving quality
-// together with a proven bound on how far they can be from the optimum,
-// and stops early once the plan is provably within 50% of optimal.
+// solvers, surfaced in the public API as context cancellation. On a
+// 30-table chain query — beyond what dynamic programming finishes in this
+// budget — the solver streams plans of improving quality together with a
+// proven bound; when the context deadline fires mid-solve, the API still
+// returns the best plan found with its quality guarantee.
 //
 //	go run ./examples/anytime
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
 
-	"milpjoin/internal/core"
-	"milpjoin/internal/cost"
-	"milpjoin/internal/dp"
-	"milpjoin/internal/solver"
 	"milpjoin/internal/workload"
+	"milpjoin/joinorder"
 )
 
 func main() {
@@ -27,16 +27,19 @@ func main() {
 	fmt.Printf("chain query, %d tables — anytime MILP optimization (budget %v)\n", tables, budget)
 	fmt.Printf("%-10s %-14s %-14s %s\n", "time", "incumbent", "lower bound", "proven Cost/LB")
 
-	opts := core.Options{
-		Precision: core.PrecisionMedium,
-		Metric:    cost.OperatorCost,
-		Op:        cost.HashJoin,
-	}
-	res, err := core.Optimize(query, opts, solver.Params{
-		TimeLimit: budget,
-		GapTol:    0.5, // stop once provably within 50% of the optimum
+	// The context deadline composes with Options.TimeLimit: the solver
+	// stops at whichever budget expires first — here the context's.
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+
+	res, err := joinorder.Optimize(ctx, query, joinorder.Options{
+		Precision: joinorder.PrecisionMedium,
+		Metric:    joinorder.OperatorCost,
+		Op:        joinorder.HashJoin,
+		TimeLimit: time.Minute, // the context deadline is tighter and wins
+		GapTol:    0.5,         // stop once provably within 50% of the optimum
 		Threads:   4,
-		OnImprovement: func(p solver.Progress) {
+		OnProgress: func(p joinorder.Progress) {
 			if !p.HasIncumbent {
 				return
 			}
@@ -49,26 +52,29 @@ func main() {
 		},
 	})
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("no plan (%v)", err)
 	}
-	if res.Plan == nil {
-		log.Fatalf("no plan (status %v)", res.Solver.Status)
-	}
-	fmt.Printf("\nfinal: %v — plan %s\n", res.Solver.Status, res.Plan)
+	fmt.Printf("\nfinal: %v — plan %s\n", res.Status, res.Plan)
 	fmt.Printf("guarantee: cost ≤ %.3f × optimal (MILP objective %.4g, bound %.4g)\n",
-		res.MILPObj/res.Solver.Bound, res.MILPObj, res.Solver.Bound)
+		res.Objective/res.Bound, res.Objective, res.Bound)
 
 	// The baseline the paper compares against: dynamic programming gets
 	// the same budget and produces nothing until it finishes.
 	fmt.Printf("\ndynamic programming with the same budget: ")
+	dpCtx, dpCancel := context.WithTimeout(context.Background(), budget)
+	defer dpCancel()
 	start := time.Now()
-	_, dpCost, err := dp.OptimizeLeftDeep(query, opts.Spec(), dp.Options{
-		Deadline: start.Add(budget),
+	dpRes, err := joinorder.Optimize(dpCtx, query, joinorder.Options{
+		Strategy: "dp-leftdeep",
+		Metric:   joinorder.OperatorCost,
+		Op:       joinorder.HashJoin,
 	})
 	switch {
-	case err != nil:
+	case errors.Is(err, joinorder.ErrCanceled), errors.Is(err, joinorder.ErrNoPlan):
 		fmt.Printf("no plan after %v (%v)\n", time.Since(start).Truncate(time.Millisecond), err)
+	case err != nil:
+		log.Fatal(err)
 	default:
-		fmt.Printf("optimal plan, cost %.4g, in %v\n", dpCost, time.Since(start).Truncate(time.Millisecond))
+		fmt.Printf("optimal plan, cost %.4g, in %v\n", dpRes.Cost, time.Since(start).Truncate(time.Millisecond))
 	}
 }

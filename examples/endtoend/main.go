@@ -8,16 +8,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"milpjoin/internal/core"
 	"milpjoin/internal/cost"
 	"milpjoin/internal/exec"
 	"milpjoin/internal/plan"
-	"milpjoin/internal/solver"
 	"milpjoin/internal/workload"
+	"milpjoin/joinorder"
 )
 
 func main() {
@@ -35,17 +35,16 @@ func main() {
 		fmt.Println()
 	}
 
-	res, err := core.Optimize(query, core.Options{
-		Precision: core.PrecisionHigh,
-		Metric:    cost.Cout,
-	}, solver.Params{TimeLimit: 10 * time.Second, Threads: 2})
+	res, err := joinorder.Optimize(context.Background(), query, joinorder.Options{
+		Precision: joinorder.PrecisionHigh,
+		Metric:    joinorder.Cout,
+		TimeLimit: 10 * time.Second,
+		Threads:   2,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if res.Plan == nil {
-		log.Fatalf("no plan (status %v)", res.Solver.Status)
-	}
-	fmt.Printf("\nMILP-optimal plan: %s (estimated C_out %.0f)\n", res.Plan, res.ExactCost)
+	fmt.Printf("\nMILP-optimal plan: %s (estimated C_out %.0f)\n", res.Plan, res.Cost)
 
 	db, err := exec.Synthesize(query, 99)
 	if err != nil {

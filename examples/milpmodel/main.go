@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func knapsack() {
 	}
 	m.AddConstr(capacity, milp.LE, 26, "capacity")
 
-	res, err := solver.Solve(m, solver.Params{Threads: 2})
+	res, err := solver.Solve(context.Background(), m, solver.Params{Threads: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func assignment() {
 		m.AddConstr(col, milp.EQ, 1, fmt.Sprintf("task%d", t))
 	}
 
-	res, err := solver.Solve(m, solver.Params{Threads: 2})
+	res, err := solver.Solve(context.Background(), m, solver.Params{Threads: 2})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,41 +1,38 @@
-// Quickstart: encode a join query as a MILP, solve it, and print the plan.
+// Quickstart: optimize a join query through the public joinorder API and
+// print the plan with its proven optimality bound.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"milpjoin/internal/core"
-	"milpjoin/internal/cost"
-	"milpjoin/internal/qopt"
-	"milpjoin/internal/solver"
+	"milpjoin/joinorder"
 )
 
 func main() {
 	// The paper's running example: R ⋈ S ⋈ T with one predicate R–S.
-	query := &qopt.Query{
-		Tables: []qopt.Table{
+	query := &joinorder.Query{
+		Tables: []joinorder.Table{
 			{Name: "R", Card: 10},
 			{Name: "S", Card: 1000},
 			{Name: "T", Card: 100},
 		},
-		Predicates: []qopt.Predicate{
+		Predicates: []joinorder.Predicate{
 			{Name: "R.id = S.rid", Tables: []int{0, 1}, Sel: 0.1},
 		},
 	}
 
-	// Encode with the high-precision threshold ladder (cardinalities
-	// approximated within a factor of 3) and minimize the C_out metric:
-	// the sum of intermediate result sizes.
-	opts := core.Options{
-		Precision: core.PrecisionHigh,
-		Metric:    cost.Cout,
-	}
-
-	result, err := core.Optimize(query, opts, solver.Params{
+	// The default strategy is the paper's MILP encoding: cardinalities
+	// approximated on a geometric threshold ladder (here within a factor
+	// of 3) and minimized under the C_out metric — the sum of
+	// intermediate result sizes.
+	result, err := joinorder.Optimize(context.Background(), query, joinorder.Options{
+		Precision: joinorder.PrecisionHigh,
+		Metric:    joinorder.Cout,
 		TimeLimit: 10 * time.Second,
 		Threads:   2,
 	})
@@ -43,14 +40,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("solver status:  %v\n", result.Solver.Status)
+	fmt.Printf("status:         %v\n", result.Status)
 	fmt.Printf("join order:     %s\n", result.Plan)
-	fmt.Printf("approx. C_out:  %.0f (MILP objective)\n", result.MILPObj)
-	fmt.Printf("exact C_out:    %.0f\n", result.ExactCost)
-	fmt.Printf("proven bound:   %.0f (gap %.4f)\n", result.Solver.Bound, result.Solver.Gap)
+	fmt.Printf("approx. C_out:  %.0f (MILP objective)\n", result.Objective)
+	fmt.Printf("exact C_out:    %.0f\n", result.Cost)
+	fmt.Printf("proven bound:   %.0f (gap %.4f)\n", result.Bound, result.Gap)
 
-	// The encoding itself is inspectable: Table 1/2 of the paper in code.
-	stats := result.Encoding.Stats()
-	fmt.Printf("MILP size:      %d variables (%d binary), %d constraints\n",
-		stats.Vars, stats.IntVars, stats.Constrs)
+	// Every strategy answers through the same interface; compare against
+	// the exact dynamic programming baseline.
+	exact, err := joinorder.Optimize(context.Background(), query, joinorder.Options{
+		Strategy: "dp-leftdeep",
+		Metric:   joinorder.Cout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dp-leftdeep:    %s cost %.0f (%v)\n", exact.Plan, exact.Cost, exact.Status)
 }

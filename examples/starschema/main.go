@@ -8,20 +8,19 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"milpjoin/internal/core"
 	"milpjoin/internal/cost"
 	"milpjoin/internal/plan"
-	"milpjoin/internal/qopt"
-	"milpjoin/internal/solver"
+	"milpjoin/joinorder"
 )
 
 func main() {
-	query := &qopt.Query{
-		Tables: []qopt.Table{
+	query := &joinorder.Query{
+		Tables: []joinorder.Table{
 			{Name: "sales", Card: 500000},
 			{Name: "date_dim", Card: 3650, Sorted: true},
 			{Name: "store", Card: 120},
@@ -29,7 +28,7 @@ func main() {
 			{Name: "customer", Card: 80000},
 			{Name: "promo", Card: 300},
 		},
-		Predicates: []qopt.Predicate{
+		Predicates: []joinorder.Predicate{
 			{Name: "sales.date = date_dim.id", Tables: []int{0, 1}, Sel: 1.0 / 3650},
 			{Name: "sales.store = store.id", Tables: []int{0, 2}, Sel: 1.0 / 120},
 			{Name: "sales.item = item.id", Tables: []int{0, 3}, Sel: 1.0 / 40000},
@@ -38,29 +37,24 @@ func main() {
 		},
 	}
 
-	opts := core.Options{
-		Precision:         core.PrecisionHigh,
-		Metric:            cost.OperatorCost,
-		Op:                cost.HashJoin,
+	res, err := joinorder.Optimize(context.Background(), query, joinorder.Options{
+		Precision:         joinorder.PrecisionHigh,
+		Metric:            joinorder.OperatorCost,
+		Op:                joinorder.HashJoin,
 		CardCap:           1e9,
 		ChooseOperators:   true,
 		InterestingOrders: true,
-	}
-
-	res, err := core.Optimize(query, opts, solver.Params{
-		TimeLimit: 30 * time.Second,
-		Threads:   4,
+		TimeLimit:         30 * time.Second,
+		Threads:           4,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if res.Plan == nil {
-		log.Fatalf("no plan (status %v)", res.Solver.Status)
-	}
 
-	fmt.Printf("status: %v (gap %.4f, %d nodes)\n", res.Solver.Status, res.Solver.Gap, res.Solver.Nodes)
+	fmt.Printf("status: %v (gap %.4f, %d nodes)\n", res.Status, res.Gap, res.Nodes)
 	fmt.Println("plan, join by join:")
-	eval, err := plan.Evaluate(query, res.Plan, opts.Spec())
+	spec := cost.Spec{Metric: cost.OperatorCost, Op: cost.HashJoin, Params: cost.Params{}.WithDefaults()}
+	eval, err := plan.Evaluate(query, res.Plan, spec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,5 +65,5 @@ func main() {
 			step.OuterCard, step.InnerCard, step.ResultCard)
 		outer = outer + " ⋈ " + query.TableName(step.Inner)
 	}
-	fmt.Printf("exact operator cost: %.0f page I/Os\n", res.ExactCost)
+	fmt.Printf("exact operator cost: %.0f page I/Os\n", res.Cost)
 }

@@ -107,6 +107,9 @@ const (
 	// StatusNoProgress means the solver stopped due to repeated
 	// numerical failures.
 	StatusNoProgress
+	// StatusCanceled means the caller's context was canceled; the
+	// incumbent (if any) carries the best solution found.
+	StatusCanceled
 )
 
 // String renders the status.
@@ -124,6 +127,8 @@ func (s Status) String() string {
 		return "node limit"
 	case StatusNoProgress:
 		return "no progress"
+	case StatusCanceled:
+		return "canceled"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}

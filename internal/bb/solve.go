@@ -2,6 +2,7 @@ package bb
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -14,10 +15,20 @@ import (
 // Solve runs branch and bound on a compiled model. The returned solution
 // (when HasIncumbent) is in computational-form coordinates: the first
 // NumStructural entries are model variables.
-func Solve(comp *milp.Computational, params Params) (*Result, error) {
+//
+// Cancelling ctx stops the search promptly: the worker loops observe the
+// cancellation between nodes and the simplex iteration loops poll it, so
+// the call returns with StatusCanceled (context.Canceled) or
+// StatusTimeLimit (context.DeadlineExceeded) carrying the best incumbent
+// and proven bound found so far.
+func Solve(ctx context.Context, comp *milp.Computational, params Params) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	params = params.withDefaults()
 	s := &searcher{
 		comp:      comp,
+		ctx:       ctx,
 		params:    params,
 		start:     time.Now(),
 		incObj:    math.Inf(1),
@@ -26,6 +37,11 @@ func Solve(comp *milp.Computational, params Params) (*Result, error) {
 	s.cond = sync.NewCond(&s.mu)
 	if params.TimeLimit > 0 {
 		s.deadline = s.start.Add(params.TimeLimit)
+	}
+	if err := ctx.Err(); err != nil {
+		// Already ended: report without exploring a single node.
+		s.setStop(ctxStatus(err))
+		return s.finish(), nil
 	}
 	n := comp.Problem.NumCols()
 	s.rootL = append([]float64(nil), comp.Problem.L...)
@@ -44,6 +60,21 @@ func Solve(comp *milp.Computational, params Params) (*Result, error) {
 		s.completeAndOffer(params.InitialIncumbent)
 	}
 
+	// The watcher translates context cancellation into the shared stop
+	// flag so that workers blocked on the condition variable, busy in a
+	// node LP, or diving all notice promptly.
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.mu.Lock()
+			s.setStop(ctxStatus(ctx.Err()))
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		case <-watchDone:
+		}
+	}()
+
 	var wg sync.WaitGroup
 	for w := 0; w < params.Threads; w++ {
 		wg.Add(1)
@@ -53,12 +84,22 @@ func Solve(comp *milp.Computational, params Params) (*Result, error) {
 		}(w)
 	}
 	wg.Wait()
+	close(watchDone)
 
 	return s.finish(), nil
 }
 
+// ctxStatus maps a context error to the matching termination status.
+func ctxStatus(err error) Status {
+	if err == context.DeadlineExceeded {
+		return StatusTimeLimit
+	}
+	return StatusCanceled
+}
+
 type searcher struct {
 	comp   *milp.Computational
+	ctx    context.Context
 	params Params
 
 	rootL, rootU []float64
@@ -341,6 +382,7 @@ func (s *searcher) solveLP(l, u []float64, warm *simplex.Basis) (*simplex.Result
 	res, err := simplex.Solve(prob, warm, simplex.Options{
 		Deadline:   s.deadline,
 		Stop:       &s.stopFlag,
+		Ctx:        s.ctx,
 		PreferDual: s.params.UseDualSimplex && warm != nil,
 	})
 	if err != nil {
@@ -576,7 +618,7 @@ func (s *searcher) finish() *Result {
 	switch {
 	case s.stopSet && s.stopStatus == StatusUnbounded:
 		res.Status = StatusUnbounded
-	case s.stopSet && (s.stopStatus == StatusTimeLimit || s.stopStatus == StatusNodeLimit):
+	case s.stopSet && (s.stopStatus == StatusTimeLimit || s.stopStatus == StatusNodeLimit || s.stopStatus == StatusCanceled):
 		res.Status = s.stopStatus
 	case !s.hasInc:
 		if s.failures > 0 {

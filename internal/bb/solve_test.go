@@ -1,6 +1,7 @@
 package bb
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -11,7 +12,7 @@ import (
 
 func solveModel(t *testing.T, m *milp.Model, p Params) *Result {
 	t.Helper()
-	res, err := Solve(m.Compile(), p)
+	res, err := Solve(context.Background(), m.Compile(), p)
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -192,7 +193,7 @@ func TestRandomMILPsAgainstBruteForce(t *testing.T) {
 		m := randomMILP(rng, 2+rng.Intn(4), 1+rng.Intn(4))
 		want, feasible := bruteForceMILP(m)
 
-		res, err := Solve(m.Compile(), Params{})
+		res, err := Solve(context.Background(), m.Compile(), Params{})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -224,11 +225,11 @@ func TestParallelMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewSource(32))
 	for trial := 0; trial < 25; trial++ {
 		m := randomMILP(rng, 3+rng.Intn(4), 2+rng.Intn(3))
-		serial, err := Solve(m.Compile(), Params{Threads: 1})
+		serial, err := Solve(context.Background(), m.Compile(), Params{Threads: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		parallel, err := Solve(m.Compile(), Params{Threads: 4})
+		parallel, err := Solve(context.Background(), m.Compile(), Params{Threads: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -245,11 +246,11 @@ func TestBranchingRulesAgree(t *testing.T) {
 	rng := rand.New(rand.NewSource(33))
 	for trial := 0; trial < 20; trial++ {
 		m := randomMILP(rng, 3+rng.Intn(3), 2+rng.Intn(3))
-		a, err := Solve(m.Compile(), Params{Branching: BranchPseudocost})
+		a, err := Solve(context.Background(), m.Compile(), Params{Branching: BranchPseudocost})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := Solve(m.Compile(), Params{Branching: BranchMostFractional})
+		b, err := Solve(context.Background(), m.Compile(), Params{Branching: BranchMostFractional})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -370,7 +371,7 @@ func TestBoundsNeverExceedIncumbent(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		m := randomMILP(rng, 5, 3)
 		var bounds []float64
-		res, err := Solve(m.Compile(), Params{
+		res, err := Solve(context.Background(), m.Compile(), Params{
 			OnImprovement: func(p Progress) { bounds = append(bounds, p.Bound) },
 		})
 		if err != nil {
@@ -428,11 +429,11 @@ func TestDualSimplexNodeRepairAgrees(t *testing.T) {
 	rng := rand.New(rand.NewSource(38))
 	for trial := 0; trial < 30; trial++ {
 		m := randomMILP(rng, 3+rng.Intn(4), 2+rng.Intn(3))
-		primal, err := Solve(m.Compile(), Params{})
+		primal, err := Solve(context.Background(), m.Compile(), Params{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		dual, err := Solve(m.Compile(), Params{UseDualSimplex: true})
+		dual, err := Solve(context.Background(), m.Compile(), Params{UseDualSimplex: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -457,7 +458,7 @@ func TestInitialIncumbentInstalled(t *testing.T) {
 
 	var first Progress
 	seen := false
-	res, err := Solve(comp, Params{
+	res, err := Solve(context.Background(), comp, Params{
 		InitialIncumbent: []float64{1, 0, 1}, // value 17, feasible
 		OnImprovement: func(p Progress) {
 			if !seen {
@@ -475,7 +476,7 @@ func TestInitialIncumbentInstalled(t *testing.T) {
 		t.Errorf("first incumbent %v, want ≤ -17 from the MIP start", first.Incumbent)
 	}
 	// Infeasible starts must be ignored, not installed.
-	res2, err := Solve(m.Compile(), Params{InitialIncumbent: []float64{1, 1, 1}})
+	res2, err := Solve(context.Background(), m.Compile(), Params{InitialIncumbent: []float64{1, 1, 1}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -60,7 +60,10 @@ func Encode(q *qopt.Query, opts Options) (*Encoding, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	if opts.InterestingOrders && !opts.ChooseOperators {
 		return nil, fmt.Errorf("core: InterestingOrders requires ChooseOperators")
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -58,7 +59,7 @@ func TestEncodePaperExampleShapes(t *testing.T) {
 
 func TestPaperExampleOptimalPlan(t *testing.T) {
 	q := paperQuery()
-	res, err := Optimize(q, Options{Metric: cost.Cout, Precision: PrecisionHigh}, solver.Params{})
+	res, err := Optimize(context.Background(), q, Options{Metric: cost.Cout, Precision: PrecisionHigh}, solver.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestPaperExampleOptimalPlan(t *testing.T) {
 // plan must cost within the approximation tolerance of the DP optimum.
 func milpVsDP(t *testing.T, q *qopt.Query, opts Options, spec cost.Spec) {
 	t.Helper()
-	res, err := Optimize(q, opts, solver.Params{Threads: 2})
+	res, err := Optimize(context.Background(), q, opts, solver.Params{Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func milpVsDP(t *testing.T, q *qopt.Query, opts Options, spec cost.Spec) {
 	if err := res.Plan.Validate(q); err != nil {
 		t.Fatalf("invalid plan: %v", err)
 	}
-	_, optCost, err := dp.OptimizeLeftDeep(q, spec, dp.Options{})
+	_, optCost, err := dp.OptimizeLeftDeep(context.Background(), q, spec, dp.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestMILPWithUnaryPredicateFolded(t *testing.T) {
 	q.Predicates = append(q.Predicates, qopt.Predicate{
 		Name: "filter", Tables: []int{1}, Sel: 0.01, // S shrinks to 10
 	})
-	res, err := Optimize(q, Options{Metric: cost.Cout, Precision: PrecisionHigh}, solver.Params{})
+	res, err := Optimize(context.Background(), q, Options{Metric: cost.Cout, Precision: PrecisionHigh}, solver.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,8 +285,17 @@ func TestEncodingWritesLP(t *testing.T) {
 }
 
 func TestPrecisionAccessors(t *testing.T) {
-	if PrecisionHigh.Ratio() != 3 || PrecisionMedium.Ratio() != 10 || PrecisionLow.Ratio() != 100 {
-		t.Error("precision ratios wrong")
+	for _, tc := range []struct {
+		p    Precision
+		want float64
+	}{{PrecisionHigh, 3}, {PrecisionMedium, 10}, {PrecisionLow, 100}} {
+		r, err := tc.p.Ratio()
+		if err != nil || r != tc.want {
+			t.Errorf("%v.Ratio() = %v, %v; want %v", tc.p, r, err, tc.want)
+		}
+	}
+	if _, err := Precision(99).Ratio(); err == nil {
+		t.Error("unknown precision should yield an error, not a ratio")
 	}
 	if PrecisionHigh.String() != "high" || PrecisionLow.String() != "low" {
 		t.Error("precision strings wrong")
@@ -293,9 +303,15 @@ func TestPrecisionAccessors(t *testing.T) {
 	if len(Precisions()) != 3 {
 		t.Error("Precisions() should list three configurations")
 	}
-	opts := Options{ThresholdRatio: 7}.withDefaults()
+	opts, err := Options{ThresholdRatio: 7}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if opts.ratio() != 7 {
 		t.Error("explicit ratio ignored")
+	}
+	if _, err := (Options{ThresholdRatio: 0.5}).withDefaults(); err == nil {
+		t.Error("ThresholdRatio <= 1 should be rejected")
 	}
 }
 
@@ -305,11 +321,11 @@ func TestGomoryCutsValidForPlans(t *testing.T) {
 	for seed := int64(0); seed < 3; seed++ {
 		q := workload.Generate(workload.Star, 6, seed, workload.Config{})
 		opts := Options{Metric: cost.OperatorCost, Op: cost.HashJoin, Precision: PrecisionMedium}
-		plain, err := Optimize(q, opts, solver.Params{Threads: 2})
+		plain, err := Optimize(context.Background(), q, opts, solver.Params{Threads: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
-		withCuts, err := Optimize(q, opts, solver.Params{Threads: 2, CutRounds: 2})
+		withCuts, err := Optimize(context.Background(), q, opts, solver.Params{Threads: 2, CutRounds: 2})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -25,7 +26,7 @@ func operatorOpts() Options {
 func TestOperatorSelectionDecodesAndBeatsFixed(t *testing.T) {
 	for seed := int64(0); seed < 3; seed++ {
 		q := workload.Generate(workload.Star, 4, seed, workload.Config{})
-		res, err := Optimize(q, operatorOpts(), solver.Params{Threads: 2})
+		res, err := Optimize(context.Background(), q, operatorOpts(), solver.Params{Threads: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -37,7 +38,7 @@ func TestOperatorSelectionDecodesAndBeatsFixed(t *testing.T) {
 		}
 		// The chosen mix must cost at most the DP optimum over fixed
 		// hash joins, within the approximation tolerance.
-		_, hashOpt, err := dp.OptimizeLeftDeep(q, cost.DefaultSpec(), dp.Options{})
+		_, hashOpt, err := dp.OptimizeLeftDeep(context.Background(), q, cost.DefaultSpec(), dp.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,14 +55,14 @@ func TestOperatorSelectionDecodesAndBeatsFixed(t *testing.T) {
 
 func TestOperatorSelectionMatchesDPWithOperators(t *testing.T) {
 	q := workload.Generate(workload.Chain, 4, 1, workload.Config{})
-	res, err := Optimize(q, operatorOpts(), solver.Params{Threads: 2})
+	res, err := Optimize(context.Background(), q, operatorOpts(), solver.Params{Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Solver.Status != solver.StatusOptimal {
 		t.Fatalf("status %v", res.Solver.Status)
 	}
-	_, optCost, err := dp.OptimizeLeftDeep(q, cost.DefaultSpec(), dp.Options{ChooseOperators: true})
+	_, optCost, err := dp.OptimizeLeftDeep(context.Background(), q, cost.DefaultSpec(), dp.Options{ChooseOperators: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestInterestingOrdersEncodeAndSolve(t *testing.T) {
 	}
 	opts := operatorOpts()
 	opts.InterestingOrders = true
-	res, err := Optimize(q, opts, solver.Params{Threads: 2})
+	res, err := Optimize(context.Background(), q, opts, solver.Params{Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestInterestingOrdersFavorsSortMergeOnSortedInputs(t *testing.T) {
 	}
 	opts := operatorOpts()
 	opts.InterestingOrders = true
-	res, err := Optimize(q, opts, solver.Params{Threads: 2})
+	res, err := Optimize(context.Background(), q, opts, solver.Params{Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestExpensivePredicatesEvaluatedExactlyOnce(t *testing.T) {
 	q.Predicates[0].EvalCostPerTuple = 5
 	q.Predicates[2].EvalCostPerTuple = 2
 	opts := Options{Metric: cost.Cout, Precision: PrecisionMedium, ExpensivePredicates: true, CardCap: 1e9}
-	res, err := Optimize(q, opts, solver.Params{Threads: 2})
+	res, err := Optimize(context.Background(), q, opts, solver.Params{Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,13 +171,13 @@ func TestExpensivePredicateEvaluationCostCounted(t *testing.T) {
 	// Identical plans, but one predicate becomes expensive: the MILP
 	// objective must grow.
 	q := paperQuery()
-	cheap, err := Optimize(q, Options{Metric: cost.Cout, Precision: PrecisionHigh, ExpensivePredicates: true}, solver.Params{})
+	cheap, err := Optimize(context.Background(), q, Options{Metric: cost.Cout, Precision: PrecisionHigh, ExpensivePredicates: true}, solver.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	q2 := paperQuery()
 	q2.Predicates[0].EvalCostPerTuple = 100
-	dear, err := Optimize(q2, Options{Metric: cost.Cout, Precision: PrecisionHigh, ExpensivePredicates: true}, solver.Params{})
+	dear, err := Optimize(context.Background(), q2, Options{Metric: cost.Cout, Precision: PrecisionHigh, ExpensivePredicates: true}, solver.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestProjectionSolvesAndKeepsRequiredColumns(t *testing.T) {
 		CardCap:    1e8,
 		Projection: true,
 	}
-	res, err := Optimize(q, opts, solver.Params{Threads: 2})
+	res, err := Optimize(context.Background(), q, opts, solver.Params{Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestProjectionKeepsPredicateColumnsAlive(t *testing.T) {
 		CardCap:    1e8,
 		Projection: true,
 	}
-	res, err := Optimize(q, opts, solver.Params{Threads: 2})
+	res, err := Optimize(context.Background(), q, opts, solver.Params{Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestOperatorSelectionWithExpensivePredicates(t *testing.T) {
 	q.Predicates[1].EvalCostPerTuple = 3
 	opts := operatorOpts()
 	opts.ExpensivePredicates = true
-	res, err := Optimize(q, opts, solver.Params{Threads: 2})
+	res, err := Optimize(context.Background(), q, opts, solver.Params{Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"milpjoin/internal/cost"
@@ -46,7 +47,12 @@ func (o Options) Spec() cost.Spec {
 // order is injected as a MIP start where the encoding supports it, so the
 // solver has an incumbent (and hence a bounded Cost/LB ratio) from the
 // first moment — mirroring the primal heuristics commercial solvers run.
-func Optimize(q *qopt.Query, opts Options, params solver.Params) (*Result, error) {
+//
+// The context is honored throughout the solver stack: cancelling it
+// mid-solve returns promptly with solver.StatusCanceled and the best
+// incumbent plan found so far, and a context deadline composes with
+// params.TimeLimit as the minimum of the two.
+func Optimize(ctx context.Context, q *qopt.Query, opts Options, params solver.Params) (*Result, error) {
 	enc, err := Encode(q, opts)
 	if err != nil {
 		return nil, err
@@ -60,7 +66,7 @@ func Optimize(q *qopt.Query, opts Options, params solver.Params) (*Result, error
 			}
 		}
 	}
-	sres, err := solver.Solve(enc.Model, params)
+	sres, err := solver.Solve(ctx, enc.Model, params)
 	if err != nil {
 		return nil, err
 	}

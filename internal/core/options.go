@@ -11,11 +11,18 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"milpjoin/internal/cost"
 )
+
+// ErrInvalidOptions reports encoder options a caller could not legally
+// construct results from: unknown precision values, threshold ratios ≤ 1,
+// and similar input mistakes. It wraps the detail message so callers can
+// test with errors.Is.
+var ErrInvalidOptions = errors.New("core: invalid options")
 
 // Precision selects the cardinality approximation tolerance, matching the
 // three configurations of the paper's evaluation.
@@ -30,17 +37,18 @@ const (
 	PrecisionLow
 )
 
-// Ratio returns the geometric threshold spacing (= tolerance factor).
-func (p Precision) Ratio() float64 {
+// Ratio returns the geometric threshold spacing (= tolerance factor). An
+// unknown precision yields an error wrapping ErrInvalidOptions.
+func (p Precision) Ratio() (float64, error) {
 	switch p {
 	case PrecisionHigh:
-		return 3
+		return 3, nil
 	case PrecisionMedium:
-		return 10
+		return 10, nil
 	case PrecisionLow:
-		return 100
+		return 100, nil
 	default:
-		panic(fmt.Sprintf("core: unknown precision %d", int(p)))
+		return 0, fmt.Errorf("%w: unknown precision %d", ErrInvalidOptions, int(p))
 	}
 }
 
@@ -100,23 +108,43 @@ type Options struct {
 	Projection bool
 }
 
-func (o Options) withDefaults() Options {
+// Validate checks the caller-supplied option values, returning an error
+// wrapping ErrInvalidOptions on bad input. A library must not panic on
+// caller mistakes: every public entry point validates before encoding.
+func (o Options) Validate() error {
 	if o.ThresholdRatio != 0 && o.ThresholdRatio <= 1 {
-		panic(fmt.Sprintf("core: threshold ratio %g must exceed 1", o.ThresholdRatio))
+		return fmt.Errorf("%w: threshold ratio %g must exceed 1", ErrInvalidOptions, o.ThresholdRatio)
+	}
+	if o.ThresholdRatio == 0 {
+		if _, err := o.Precision.Ratio(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if err := o.Validate(); err != nil {
+		return o, err
 	}
 	if o.CardCap <= 0 {
 		o.CardCap = 1e12
 	}
 	o.CostParams = o.CostParams.WithDefaults()
-	return o
+	return o, nil
 }
 
-// ratio returns the effective threshold spacing.
+// ratio returns the effective threshold spacing. Options are validated
+// before encoding, so the unknown-precision fallback is unreachable there;
+// it defaults to the medium spacing for robustness.
 func (o Options) ratio() float64 {
 	if o.ThresholdRatio > 1 {
 		return o.ThresholdRatio
 	}
-	return o.Precision.Ratio()
+	if r, err := o.Precision.Ratio(); err == nil {
+		return r
+	}
+	return 10
 }
 
 // thresholds builds the geometric cardinality ladder θ_r = ratio^(r+1),

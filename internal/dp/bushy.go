@@ -1,6 +1,7 @@
 package dp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -15,9 +16,17 @@ import (
 // allowed) by dynamic programming over table subsets, enumerating every
 // split of each subset — the O(3^n) DPsub algorithm of Moerkotte & Neumann
 // that the paper cites. It measures what the left-deep restriction costs.
-func OptimizeBushy(q *qopt.Query, spec cost.Spec, opts Options) (*plan.Tree, float64, error) {
+// The subset loop polls the context; a canceled context aborts with its
+// error.
+func OptimizeBushy(ctx context.Context, q *qopt.Query, spec cost.Spec, opts Options) (*plan.Tree, float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := q.Validate(); err != nil {
 		return nil, 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, fmt.Errorf("dp: %w", err)
 	}
 	opts = opts.withDefaults()
 	if opts.MaxTables > 20 {
@@ -69,8 +78,13 @@ func OptimizeBushy(q *qopt.Query, spec cost.Spec, opts Options) (*plan.Tree, flo
 	full := size - 1
 	check := 0
 	for s := 1; s < size; s++ {
-		if check++; check&0x3FFF == 0 && !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
-			return nil, 0, ErrTimeout
+		if check++; check&0x3FFF == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, fmt.Errorf("dp: %w", err)
+			}
+			if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+				return nil, 0, ErrTimeout
+			}
 		}
 		if bits.OnesCount(uint(s)) == 1 {
 			t := bits.TrailingZeros(uint(s))

@@ -9,6 +9,7 @@
 package dp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -46,10 +47,18 @@ func (o Options) withDefaults() Options {
 }
 
 // OptimizeLeftDeep finds the cost-minimal left-deep plan (cross products
-// allowed) by dynamic programming over table subsets.
-func OptimizeLeftDeep(q *qopt.Query, spec cost.Spec, opts Options) (*plan.Plan, float64, error) {
+// allowed) by dynamic programming over table subsets. The subset loop
+// polls the context periodically; a canceled context aborts with its error
+// (DP has no anytime behaviour, so no partial plan is returned).
+func OptimizeLeftDeep(ctx context.Context, q *qopt.Query, spec cost.Spec, opts Options) (*plan.Plan, float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := q.Validate(); err != nil {
 		return nil, 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, fmt.Errorf("dp: %w", err)
 	}
 	opts = opts.withDefaults()
 	n := q.NumTables()
@@ -100,8 +109,13 @@ func OptimizeLeftDeep(q *qopt.Query, spec cost.Spec, opts Options) (*plan.Plan, 
 	full := size - 1
 	deadlineCheck := 0
 	for s := 1; s < size; s++ {
-		if deadlineCheck++; deadlineCheck&0xFFFF == 0 && !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
-			return nil, 0, ErrTimeout
+		if deadlineCheck++; deadlineCheck&0xFFFF == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, fmt.Errorf("dp: %w", err)
+			}
+			if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+				return nil, 0, ErrTimeout
+			}
 		}
 		if bits.OnesCount(uint(s)) == 1 {
 			t := bits.TrailingZeros(uint(s))

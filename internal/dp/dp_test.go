@@ -1,6 +1,7 @@
 package dp
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -18,7 +19,7 @@ func TestDPMatchesExhaustive(t *testing.T) {
 		for seed := int64(0); seed < 8; seed++ {
 			q := workload.Generate(shape, 6, seed, workload.Config{})
 			for _, spec := range specs {
-				dpPlan, dpCost, err := OptimizeLeftDeep(q, spec, Options{})
+				dpPlan, dpCost, err := OptimizeLeftDeep(context.Background(), q, spec, Options{})
 				if err != nil {
 					t.Fatalf("%v seed %d: %v", shape, seed, err)
 				}
@@ -48,7 +49,7 @@ func TestDPWithCorrelatedGroups(t *testing.T) {
 	q.Correlated = []qopt.CorrelatedGroup{
 		{Predicates: []int{0, 1}, CorrectionSel: 4},
 	}
-	dpPlan, dpCost, err := OptimizeLeftDeep(q, cost.CoutSpec(), Options{})
+	dpPlan, dpCost, err := OptimizeLeftDeep(context.Background(), q, cost.CoutSpec(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestDPWithNaryPredicate(t *testing.T) {
 	q.Predicates = append(q.Predicates, qopt.Predicate{
 		Name: "tri", Tables: []int{0, 2, 4}, Sel: 0.25,
 	})
-	_, dpCost, err := OptimizeLeftDeep(q, cost.CoutSpec(), Options{})
+	_, dpCost, err := OptimizeLeftDeep(context.Background(), q, cost.CoutSpec(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestDPWithNaryPredicate(t *testing.T) {
 
 func TestDPTooLarge(t *testing.T) {
 	q := workload.Generate(workload.Chain, 30, 1, workload.Config{})
-	_, _, err := OptimizeLeftDeep(q, cost.CoutSpec(), Options{})
+	_, _, err := OptimizeLeftDeep(context.Background(), q, cost.CoutSpec(), Options{})
 	if !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("err = %v, want ErrTooLarge", err)
 	}
@@ -92,7 +93,7 @@ func TestDPTooLarge(t *testing.T) {
 
 func TestDPTimeout(t *testing.T) {
 	q := workload.Generate(workload.Chain, 20, 1, workload.Config{})
-	_, _, err := OptimizeLeftDeep(q, cost.CoutSpec(), Options{
+	_, _, err := OptimizeLeftDeep(context.Background(), q, cost.CoutSpec(), Options{
 		Deadline: time.Now().Add(time.Millisecond),
 	})
 	if !errors.Is(err, ErrTimeout) {
@@ -102,7 +103,7 @@ func TestDPTimeout(t *testing.T) {
 
 func TestDPChooseOperators(t *testing.T) {
 	q := workload.Generate(workload.Star, 6, 5, workload.Config{})
-	pl, c, err := OptimizeLeftDeep(q, cost.DefaultSpec(), Options{ChooseOperators: true})
+	pl, c, err := OptimizeLeftDeep(context.Background(), q, cost.DefaultSpec(), Options{ChooseOperators: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestDPChooseOperators(t *testing.T) {
 		t.Fatal("no operators assigned")
 	}
 	// Mixed-operator cost can only be ≤ the fixed hash-join optimum.
-	_, fixedCost, err := OptimizeLeftDeep(q, cost.DefaultSpec(), Options{})
+	_, fixedCost, err := OptimizeLeftDeep(context.Background(), q, cost.DefaultSpec(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestGreedyValidAndBoundedByOptimal(t *testing.T) {
 		if err := gPlan.Validate(q); err != nil {
 			t.Fatalf("seed %d: greedy plan invalid: %v", seed, err)
 		}
-		_, optCost, err := OptimizeLeftDeep(q, cost.CoutSpec(), Options{})
+		_, optCost, err := OptimizeLeftDeep(context.Background(), q, cost.CoutSpec(), Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -156,7 +157,7 @@ func TestExhaustiveGuard(t *testing.T) {
 
 func TestDPInvalidQuery(t *testing.T) {
 	q := &qopt.Query{Tables: []qopt.Table{{Card: 10}}}
-	if _, _, err := OptimizeLeftDeep(q, cost.CoutSpec(), Options{}); err == nil {
+	if _, _, err := OptimizeLeftDeep(context.Background(), q, cost.CoutSpec(), Options{}); err == nil {
 		t.Fatal("expected validation error")
 	}
 	if _, _, err := GreedyLeftDeep(q, cost.CoutSpec()); err == nil {
@@ -167,7 +168,7 @@ func TestDPInvalidQuery(t *testing.T) {
 func TestDPPlanIsValid(t *testing.T) {
 	for _, n := range []int{2, 3, 5, 10, 14} {
 		q := workload.Generate(workload.Star, n, int64(n), workload.Config{})
-		pl, _, err := OptimizeLeftDeep(q, cost.DefaultSpec(), Options{})
+		pl, _, err := OptimizeLeftDeep(context.Background(), q, cost.DefaultSpec(), Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,7 +183,7 @@ func BenchmarkDP15Tables(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := OptimizeLeftDeep(q, cost.DefaultSpec(), Options{}); err != nil {
+		if _, _, err := OptimizeLeftDeep(context.Background(), q, cost.DefaultSpec(), Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -193,11 +194,11 @@ func TestBushyNeverWorseThanLeftDeep(t *testing.T) {
 		for seed := int64(0); seed < 5; seed++ {
 			q := workload.Generate(shape, 7, seed, workload.Config{})
 			for _, spec := range []cost.Spec{cost.CoutSpec(), cost.DefaultSpec()} {
-				_, ldCost, err := OptimizeLeftDeep(q, spec, Options{})
+				_, ldCost, err := OptimizeLeftDeep(context.Background(), q, spec, Options{})
 				if err != nil {
 					t.Fatal(err)
 				}
-				tree, bCost, err := OptimizeBushy(q, spec, Options{})
+				tree, bCost, err := OptimizeBushy(context.Background(), q, spec, Options{})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -223,11 +224,11 @@ func TestBushyNeverWorseThanLeftDeep(t *testing.T) {
 
 func TestBushyMatchesLeftDeepOnTwoTables(t *testing.T) {
 	q := workload.Generate(workload.Chain, 2, 1, workload.Config{})
-	_, ld, err := OptimizeLeftDeep(q, cost.CoutSpec(), Options{})
+	_, ld, err := OptimizeLeftDeep(context.Background(), q, cost.CoutSpec(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, b, err := OptimizeBushy(q, cost.CoutSpec(), Options{})
+	_, b, err := OptimizeBushy(context.Background(), q, cost.CoutSpec(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,11 +239,11 @@ func TestBushyMatchesLeftDeepOnTwoTables(t *testing.T) {
 
 func TestBushyGuards(t *testing.T) {
 	q := workload.Generate(workload.Chain, 22, 1, workload.Config{})
-	if _, _, err := OptimizeBushy(q, cost.CoutSpec(), Options{}); !errors.Is(err, ErrTooLarge) {
+	if _, _, err := OptimizeBushy(context.Background(), q, cost.CoutSpec(), Options{}); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("err = %v, want ErrTooLarge", err)
 	}
 	q2 := workload.Generate(workload.Chain, 16, 1, workload.Config{})
-	if _, _, err := OptimizeBushy(q2, cost.CoutSpec(), Options{Deadline: time.Now().Add(time.Millisecond)}); !errors.Is(err, ErrTimeout) {
+	if _, _, err := OptimizeBushy(context.Background(), q2, cost.CoutSpec(), Options{Deadline: time.Now().Add(time.Millisecond)}); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
 }

@@ -1,6 +1,7 @@
 package dp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -23,8 +24,12 @@ var ErrNotAcyclic = errors.New("dp: IKKBZ requires an acyclic join graph")
 // plans in O(n² log n).
 //
 // The returned cost is the plan's exact C_out (final result excluded),
-// matching plan.Cost with cost.CoutSpec().
-func IKKBZ(q *qopt.Query) (*plan.Plan, float64, error) {
+// matching plan.Cost with cost.CoutSpec(). The per-root loop polls the
+// context; a canceled context aborts with its error.
+func IKKBZ(ctx context.Context, q *qopt.Query) (*plan.Plan, float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := q.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -72,6 +77,9 @@ func IKKBZ(q *qopt.Query) (*plan.Plan, float64, error) {
 	bestCost := math.Inf(1)
 	var bestOrder []int
 	for root := 0; root < n; root++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, fmt.Errorf("dp: %w", err)
+		}
 		order := ikkbzForRoot(root, adj, card, n)
 		c := coutOfOrder(q, order)
 		if c < bestCost {

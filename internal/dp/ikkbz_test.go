@@ -1,6 +1,7 @@
 package dp
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -72,7 +73,7 @@ func TestIKKBZMatchesConnectedOptimum(t *testing.T) {
 		for seed := int64(0); seed < 10; seed++ {
 			for _, n := range []int{4, 6, 8} {
 				q := workload.Generate(shape, n, seed, workload.Config{})
-				pl, got, err := IKKBZ(q)
+				pl, got, err := IKKBZ(context.Background(), q)
 				if err != nil {
 					t.Fatalf("%v n=%d seed %d: %v", shape, n, seed, err)
 				}
@@ -92,11 +93,11 @@ func TestIKKBZMatchesConnectedOptimum(t *testing.T) {
 func TestIKKBZNeverBeatsCrossProductDP(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		q := workload.Generate(workload.Chain, 7, seed, workload.Config{})
-		_, ik, err := IKKBZ(q)
+		_, ik, err := IKKBZ(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, dpCost, err := OptimizeLeftDeep(q, cost.CoutSpec(), Options{})
+		_, dpCost, err := OptimizeLeftDeep(context.Background(), q, cost.CoutSpec(), Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -109,7 +110,7 @@ func TestIKKBZNeverBeatsCrossProductDP(t *testing.T) {
 
 func TestIKKBZRejectsCycles(t *testing.T) {
 	q := workload.Generate(workload.Cycle, 5, 1, workload.Config{})
-	if _, _, err := IKKBZ(q); !errors.Is(err, ErrNotAcyclic) {
+	if _, _, err := IKKBZ(context.Background(), q); !errors.Is(err, ErrNotAcyclic) {
 		t.Fatalf("err = %v, want ErrNotAcyclic", err)
 	}
 }
@@ -124,7 +125,7 @@ func TestIKKBZRejectsDisconnected(t *testing.T) {
 	}
 	// Two components: 2 edges for 4 tables fails the tree check...
 	// actually edges = 2 ≠ 3 → not acyclic-connected.
-	if _, _, err := IKKBZ(q); !errors.Is(err, ErrNotAcyclic) {
+	if _, _, err := IKKBZ(context.Background(), q); !errors.Is(err, ErrNotAcyclic) {
 		t.Fatalf("err = %v, want ErrNotAcyclic", err)
 	}
 }
@@ -132,7 +133,7 @@ func TestIKKBZRejectsDisconnected(t *testing.T) {
 func TestIKKBZRejectsNaryPredicates(t *testing.T) {
 	q := workload.Generate(workload.Chain, 4, 1, workload.Config{})
 	q.Predicates = append(q.Predicates[:2], qopt.Predicate{Tables: []int{1, 2, 3}, Sel: 0.5})
-	if _, _, err := IKKBZ(q); err == nil {
+	if _, _, err := IKKBZ(context.Background(), q); err == nil {
 		t.Fatal("n-ary predicate accepted")
 	}
 }
@@ -140,7 +141,7 @@ func TestIKKBZRejectsNaryPredicates(t *testing.T) {
 func TestIKKBZUnaryPredicatesFolded(t *testing.T) {
 	q := workload.Generate(workload.Chain, 5, 2, workload.Config{})
 	q.Predicates = append(q.Predicates, qopt.Predicate{Tables: []int{2}, Sel: 0.01})
-	pl, got, err := IKKBZ(q)
+	pl, got, err := IKKBZ(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestIKKBZUnaryPredicatesFolded(t *testing.T) {
 
 func TestIKKBZTwoTables(t *testing.T) {
 	q := workload.Generate(workload.Chain, 2, 3, workload.Config{})
-	pl, _, err := IKKBZ(q)
+	pl, _, err := IKKBZ(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -86,7 +87,7 @@ func smallFigure2Config() Figure2Config {
 }
 
 func TestFigure2SmallGrid(t *testing.T) {
-	cells, err := Figure2(smallFigure2Config(), nil)
+	cells, err := Figure2(context.Background(), smallFigure2Config(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestFormatRatio(t *testing.T) {
 }
 
 func TestHeuristicComparisonSmall(t *testing.T) {
-	rows, err := HeuristicComparison(HeuristicComparisonConfig{
+	rows, err := HeuristicComparison(context.Background(), HeuristicComparisonConfig{
 		Shape:   workload.Star,
 		Tables:  6,
 		Queries: 2,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -98,7 +99,10 @@ type Figure2Cell struct {
 
 // Figure2 regenerates the data behind Figure 2. Cells are processed in
 // order; the optional progress callback is invoked after each cell.
-func Figure2(cfg Figure2Config, progress func(cell Figure2Cell)) ([]Figure2Cell, error) {
+func Figure2(ctx context.Context, cfg Figure2Config, progress func(cell Figure2Cell)) ([]Figure2Cell, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.WithDefaults()
 	times := make([]time.Duration, cfg.Samples)
 	for i := range times {
@@ -116,13 +120,16 @@ func Figure2(cfg Figure2Config, progress func(cell Figure2Cell)) ([]Figure2Cell,
 			}
 			ratios := map[string][][]float64{} // name → per-query ratio rows
 			for qi := 0; qi < cfg.QueriesPerCell; qi++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				q := workload.Generate(shape, n, cfg.Seed+int64(qi), workload.Config{})
 
-				tr := runDP(q, cfg)
+				tr := runDP(ctx, q, cfg)
 				ratios[DPName] = append(ratios[DPName], sampleTrace(tr, times))
 
 				for _, prec := range cfg.Precisions {
-					tr, err := runMILP(q, cfg, prec)
+					tr, err := runMILP(ctx, q, cfg, prec)
 					if err != nil {
 						return nil, err
 					}
@@ -153,11 +160,11 @@ func Figure2(cfg Figure2Config, progress func(cell Figure2Cell)) ([]Figure2Cell,
 // runDP runs the dynamic programming baseline under the timeout. DP has no
 // anytime behaviour: the trace is empty until DP finishes, then the plan is
 // optimal (ratio 1).
-func runDP(q *qopt.Query, cfg Figure2Config) *Trace {
+func runDP(ctx context.Context, q *qopt.Query, cfg Figure2Config) *Trace {
 	tr := &Trace{}
 	spec := cost.Spec{Metric: cfg.Metric, Op: cfg.Op, Params: cost.Params{}.WithDefaults()}
 	start := time.Now()
-	_, optCost, err := dp.OptimizeLeftDeep(q, spec, dp.Options{
+	_, optCost, err := dp.OptimizeLeftDeep(ctx, q, spec, dp.Options{
 		Deadline:  start.Add(cfg.Timeout),
 		MaxTables: cfg.DPMaxTables,
 	})
@@ -170,14 +177,14 @@ func runDP(q *qopt.Query, cfg Figure2Config) *Trace {
 }
 
 // runMILP optimizes via the MILP encoding, recording anytime events.
-func runMILP(q *qopt.Query, cfg Figure2Config, prec core.Precision) (*Trace, error) {
+func runMILP(ctx context.Context, q *qopt.Query, cfg Figure2Config, prec core.Precision) (*Trace, error) {
 	tr := &Trace{}
 	opts := core.Options{
 		Precision: prec,
 		Metric:    cfg.Metric,
 		Op:        cfg.Op,
 	}
-	res, err := core.Optimize(q, opts, solver.Params{
+	res, err := core.Optimize(ctx, q, opts, solver.Params{
 		TimeLimit: cfg.Timeout,
 		Threads:   cfg.Threads,
 		OnImprovement: func(p solver.Progress) {

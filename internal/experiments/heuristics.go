@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -64,7 +65,10 @@ type HeuristicComparisonRow struct {
 // HeuristicComparison runs the MILP optimizer and the randomized baselines
 // under equal time budgets and reports plan quality relative to the best
 // plan any of them found.
-func HeuristicComparison(cfg HeuristicComparisonConfig) ([]HeuristicComparisonRow, error) {
+func HeuristicComparison(ctx context.Context, cfg HeuristicComparisonConfig) ([]HeuristicComparisonRow, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.WithDefaults()
 	spec := cost.DefaultSpec()
 	opts := core.Options{Precision: core.PrecisionMedium, Metric: cost.OperatorCost, Op: cost.HashJoin}
@@ -76,7 +80,7 @@ func HeuristicComparison(cfg HeuristicComparisonConfig) ([]HeuristicComparisonRo
 	}
 	algos := []algo{
 		{"ILP (medium precision)", true, func(q *qopt.Query, seed int64) (float64, float64, error) {
-			res, err := core.Optimize(q, opts, solver.Params{TimeLimit: cfg.Budget, Threads: cfg.Threads})
+			res, err := core.Optimize(ctx, q, opts, solver.Params{TimeLimit: cfg.Budget, Threads: cfg.Threads})
 			if err != nil {
 				return 0, 0, err
 			}
@@ -90,25 +94,25 @@ func HeuristicComparison(cfg HeuristicComparisonConfig) ([]HeuristicComparisonRo
 			return res.ExactCost, factor, nil
 		}},
 		{"iterative improvement", false, func(q *qopt.Query, seed int64) (float64, float64, error) {
-			_, c, err := heuristic.IterativeImprovement(q, spec, heuristic.Options{
+			_, c, err := heuristic.IterativeImprovement(ctx, q, spec, heuristic.Options{
 				Seed: seed, Deadline: time.Now().Add(cfg.Budget), Restarts: 1 << 20,
 			})
 			return c, math.Inf(1), err
 		}},
 		{"simulated annealing", false, func(q *qopt.Query, seed int64) (float64, float64, error) {
-			_, c, err := heuristic.SimulatedAnnealing(q, spec, heuristic.Options{
+			_, c, err := heuristic.SimulatedAnnealing(ctx, q, spec, heuristic.Options{
 				Seed: seed, Deadline: time.Now().Add(cfg.Budget),
 			})
 			return c, math.Inf(1), err
 		}},
 		{"two-phase (2PO)", false, func(q *qopt.Query, seed int64) (float64, float64, error) {
-			_, c, err := heuristic.TwoPhase(q, spec, heuristic.Options{
+			_, c, err := heuristic.TwoPhase(ctx, q, spec, heuristic.Options{
 				Seed: seed, Deadline: time.Now().Add(cfg.Budget),
 			})
 			return c, math.Inf(1), err
 		}},
 		{"random sampling", false, func(q *qopt.Query, seed int64) (float64, float64, error) {
-			_, c, err := heuristic.RandomSampling(q, spec, 1<<30, heuristic.Options{
+			_, c, err := heuristic.RandomSampling(ctx, q, spec, 1<<30, heuristic.Options{
 				Seed: seed, Deadline: time.Now().Add(cfg.Budget),
 			})
 			return c, math.Inf(1), err
@@ -118,6 +122,9 @@ func HeuristicComparison(cfg HeuristicComparisonConfig) ([]HeuristicComparisonRo
 	costs := make([][]float64, len(algos))   // [algo][query]
 	factors := make([][]float64, len(algos)) // [algo][query]
 	for qi := 0; qi < cfg.Queries; qi++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		q := workload.Generate(cfg.Shape, cfg.Tables, cfg.Seed+int64(qi), workload.Config{})
 		best := math.Inf(1)
 		row := make([]float64, len(algos))

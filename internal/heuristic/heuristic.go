@@ -10,6 +10,7 @@
 package heuristic
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -55,6 +56,7 @@ func (o Options) withDefaults(n int) Options {
 
 // search carries shared state for the randomized algorithms.
 type search struct {
+	ctx   context.Context
 	q     *qopt.Query
 	spec  cost.Spec
 	opts  Options
@@ -65,11 +67,15 @@ type search struct {
 	bestCost float64
 }
 
-func newSearch(q *qopt.Query, spec cost.Spec, opts Options) (*search, error) {
+func newSearch(ctx context.Context, q *qopt.Query, spec cost.Spec, opts Options) (*search, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	return &search{
+		ctx:      ctx,
 		q:        q,
 		spec:     spec,
 		opts:     opts.withDefaults(q.NumTables()),
@@ -79,7 +85,13 @@ func newSearch(q *qopt.Query, spec cost.Spec, opts Options) (*search, error) {
 	}, nil
 }
 
+// expired reports whether the search budget is exhausted: the configured
+// deadline passed or the caller's context ended. The algorithms are
+// anytime, so an expired search still returns the best plan found.
 func (s *search) expired() bool {
+	if s.ctx.Err() != nil {
+		return true
+	}
 	return !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline)
 }
 
@@ -140,8 +152,8 @@ func (s *search) result() (*plan.Plan, float64, error) {
 
 // IterativeImprovement runs random-restart local search: from random
 // starts, apply improving moves until a local optimum, keep the best.
-func IterativeImprovement(q *qopt.Query, spec cost.Spec, opts Options) (*plan.Plan, float64, error) {
-	s, err := newSearch(q, spec, opts)
+func IterativeImprovement(ctx context.Context, q *qopt.Query, spec cost.Spec, opts Options) (*plan.Plan, float64, error) {
+	s, err := newSearch(ctx, q, spec, opts)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -167,8 +179,8 @@ func IterativeImprovement(q *qopt.Query, spec cost.Spec, opts Options) (*plan.Pl
 
 // SimulatedAnnealing runs Metropolis-accepted local search with geometric
 // cooling, per Steinbrunn's SA configuration.
-func SimulatedAnnealing(q *qopt.Query, spec cost.Spec, opts Options) (*plan.Plan, float64, error) {
-	s, err := newSearch(q, spec, opts)
+func SimulatedAnnealing(ctx context.Context, q *qopt.Query, spec cost.Spec, opts Options) (*plan.Plan, float64, error) {
+	s, err := newSearch(ctx, q, spec, opts)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -211,14 +223,14 @@ func SimulatedAnnealing(q *qopt.Query, spec cost.Spec, opts Options) (*plan.Plan
 
 // TwoPhase is Steinbrunn's 2PO: iterative improvement to find a good local
 // optimum, then low-temperature annealing around it.
-func TwoPhase(q *qopt.Query, spec cost.Spec, opts Options) (*plan.Plan, float64, error) {
-	s, err := newSearch(q, spec, opts)
+func TwoPhase(ctx context.Context, q *qopt.Query, spec cost.Spec, opts Options) (*plan.Plan, float64, error) {
+	s, err := newSearch(ctx, q, spec, opts)
 	if err != nil {
 		return nil, 0, err
 	}
 	iiOpts := s.opts
 	iiOpts.Restarts = int(math.Max(1, float64(s.opts.Restarts)/2))
-	iiPlan, iiCost, err := IterativeImprovement(q, spec, iiOpts)
+	iiPlan, iiCost, err := IterativeImprovement(ctx, q, spec, iiOpts)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -227,7 +239,7 @@ func TwoPhase(q *qopt.Query, spec cost.Spec, opts Options) (*plan.Plan, float64,
 	saOpts := s.opts
 	saOpts.InitialTemperature = math.Max(iiCost*0.05, 1) // low temperature
 	saOpts.Seed = s.opts.Seed + 1
-	saPlan, saCost, err := SimulatedAnnealing(q, spec, saOpts)
+	saPlan, saCost, err := SimulatedAnnealing(ctx, q, spec, saOpts)
 	if err == nil {
 		s.offer(saPlan.Order, saCost)
 	}
@@ -235,8 +247,8 @@ func TwoPhase(q *qopt.Query, spec cost.Spec, opts Options) (*plan.Plan, float64,
 }
 
 // RandomSampling evaluates independent random orders; the weakest baseline.
-func RandomSampling(q *qopt.Query, spec cost.Spec, samples int, opts Options) (*plan.Plan, float64, error) {
-	s, err := newSearch(q, spec, opts)
+func RandomSampling(ctx context.Context, q *qopt.Query, spec cost.Spec, samples int, opts Options) (*plan.Plan, float64, error) {
+	s, err := newSearch(ctx, q, spec, opts)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,6 +1,7 @@
 package heuristic
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -14,7 +15,7 @@ import (
 
 type algo struct {
 	name string
-	run  func(q *qopt.Query, spec cost.Spec, opts Options) (*plan.Plan, float64, error)
+	run  func(ctx context.Context, q *qopt.Query, spec cost.Spec, opts Options) (*plan.Plan, float64, error)
 }
 
 func algorithms() []algo {
@@ -22,8 +23,8 @@ func algorithms() []algo {
 		{"II", IterativeImprovement},
 		{"SA", SimulatedAnnealing},
 		{"2PO", TwoPhase},
-		{"RS", func(q *qopt.Query, spec cost.Spec, opts Options) (*plan.Plan, float64, error) {
-			return RandomSampling(q, spec, 500, opts)
+		{"RS", func(ctx context.Context, q *qopt.Query, spec cost.Spec, opts Options) (*plan.Plan, float64, error) {
+			return RandomSampling(ctx, q, spec, 500, opts)
 		}},
 	}
 }
@@ -32,7 +33,7 @@ func TestHeuristicsProduceValidPlans(t *testing.T) {
 	for _, shape := range workload.Shapes() {
 		q := workload.Generate(shape, 8, 3, workload.Config{})
 		for _, a := range algorithms() {
-			pl, c, err := a.run(q, cost.CoutSpec(), Options{Seed: 1})
+			pl, c, err := a.run(context.Background(), q, cost.CoutSpec(), Options{Seed: 1})
 			if err != nil {
 				t.Fatalf("%v %s: %v", shape, a.name, err)
 			}
@@ -53,12 +54,12 @@ func TestHeuristicsProduceValidPlans(t *testing.T) {
 func TestHeuristicsNeverBeatOptimal(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		q := workload.Generate(workload.Cycle, 7, seed, workload.Config{})
-		_, opt, err := dp.OptimizeLeftDeep(q, cost.CoutSpec(), dp.Options{})
+		_, opt, err := dp.OptimizeLeftDeep(context.Background(), q, cost.CoutSpec(), dp.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, a := range algorithms() {
-			_, c, err := a.run(q, cost.CoutSpec(), Options{Seed: seed})
+			_, c, err := a.run(context.Background(), q, cost.CoutSpec(), Options{Seed: seed})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -73,11 +74,11 @@ func TestIterativeImprovementFindsSmallOptimum(t *testing.T) {
 	// On tiny queries random-restart local search should reach the
 	// optimum with a deterministic seed.
 	q := workload.Generate(workload.Star, 5, 9, workload.Config{})
-	_, opt, err := dp.OptimizeLeftDeep(q, cost.CoutSpec(), dp.Options{})
+	_, opt, err := dp.OptimizeLeftDeep(context.Background(), q, cost.CoutSpec(), dp.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, c, err := IterativeImprovement(q, cost.CoutSpec(), Options{Seed: 2, Restarts: 20})
+	_, c, err := IterativeImprovement(context.Background(), q, cost.CoutSpec(), Options{Seed: 2, Restarts: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,11 +90,11 @@ func TestIterativeImprovementFindsSmallOptimum(t *testing.T) {
 func TestDeterministicGivenSeed(t *testing.T) {
 	q := workload.Generate(workload.Chain, 9, 4, workload.Config{})
 	for _, a := range algorithms() {
-		_, c1, err := a.run(q, cost.CoutSpec(), Options{Seed: 11})
+		_, c1, err := a.run(context.Background(), q, cost.CoutSpec(), Options{Seed: 11})
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, c2, err := a.run(q, cost.CoutSpec(), Options{Seed: 11})
+		_, c2, err := a.run(context.Background(), q, cost.CoutSpec(), Options{Seed: 11})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func TestDeterministicGivenSeed(t *testing.T) {
 func TestDeadlineRespected(t *testing.T) {
 	q := workload.Generate(workload.Chain, 16, 5, workload.Config{})
 	start := time.Now()
-	_, _, err := SimulatedAnnealing(q, cost.CoutSpec(), Options{
+	_, _, err := SimulatedAnnealing(context.Background(), q, cost.CoutSpec(), Options{
 		Seed:     1,
 		Deadline: start.Add(50 * time.Millisecond),
 	})
@@ -121,7 +122,7 @@ func TestDeadlineRespected(t *testing.T) {
 func TestOnImprovementMonotone(t *testing.T) {
 	q := workload.Generate(workload.Cycle, 10, 6, workload.Config{})
 	var costs []float64
-	_, _, err := IterativeImprovement(q, cost.CoutSpec(), Options{
+	_, _, err := IterativeImprovement(context.Background(), q, cost.CoutSpec(), Options{
 		Seed: 3,
 		OnImprovement: func(p *plan.Plan, c float64, _ time.Duration) {
 			costs = append(costs, c)
@@ -143,7 +144,7 @@ func TestOnImprovementMonotone(t *testing.T) {
 func TestInvalidQueryRejected(t *testing.T) {
 	bad := &qopt.Query{Tables: []qopt.Table{{Card: 5}}}
 	for _, a := range algorithms() {
-		if _, _, err := a.run(bad, cost.CoutSpec(), Options{}); err == nil {
+		if _, _, err := a.run(context.Background(), bad, cost.CoutSpec(), Options{}); err == nil {
 			t.Errorf("%s accepted an invalid query", a.name)
 		}
 	}
@@ -151,11 +152,11 @@ func TestInvalidQueryRejected(t *testing.T) {
 
 func TestTwoPhaseAtLeastAsGoodAsIIHalf(t *testing.T) {
 	q := workload.Generate(workload.Star, 10, 8, workload.Config{})
-	_, ii, err := IterativeImprovement(q, cost.CoutSpec(), Options{Seed: 5, Restarts: 5})
+	_, ii, err := IterativeImprovement(context.Background(), q, cost.CoutSpec(), Options{Seed: 5, Restarts: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, tp, err := TwoPhase(q, cost.CoutSpec(), Options{Seed: 5, Restarts: 10})
+	_, tp, err := TwoPhase(context.Background(), q, cost.CoutSpec(), Options{Seed: 5, Restarts: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

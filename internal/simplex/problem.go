@@ -13,6 +13,7 @@
 package simplex
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -187,6 +188,10 @@ type Options struct {
 	Deadline time.Time
 	// Stop, when non-nil, aborts the solve once set.
 	Stop *atomic.Bool
+	// Ctx, when non-nil, aborts the solve once the context ends. The
+	// iteration loops poll it periodically, so long solves return
+	// StatusAborted shortly after cancellation.
+	Ctx context.Context
 	// BlandAfter switches to Bland's anti-cycling rule after this many
 	// consecutive degenerate iterations (default 200).
 	BlandAfter int

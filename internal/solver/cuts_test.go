@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -39,7 +40,7 @@ func TestGomoryCutClosesClassicGap(t *testing.T) {
 		t.Fatalf("cut did not tighten the relaxation: %g → %g", gotBefore, gotAfter)
 	}
 	// Integer optimum unchanged.
-	res, err := Solve(build(), Params{CutRounds: 1})
+	res, err := Solve(context.Background(), build(), Params{CutRounds: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,11 +72,11 @@ func TestGomoryCutsPreserveOptimum(t *testing.T) {
 			m.AddConstr(e, sense, float64(rng.Intn(9)-3), "")
 		}
 
-		plain, err := Solve(m, Params{})
+		plain, err := Solve(context.Background(), m, Params{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		withCuts, err := Solve(m, Params{CutRounds: 3})
+		withCuts, err := Solve(context.Background(), m, Params{CutRounds: 3})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,11 +105,11 @@ func TestGomoryCutsWithContinuousVariables(t *testing.T) {
 		m.AddConstr(milp.Expr(x, 2.0, y, 3.0, z, 1.0), milp.LE, float64(4+rng.Intn(6)), "c1")
 		m.AddConstr(milp.Expr(x, 1.0, y, -1.0), milp.GE, float64(rng.Intn(3)-1), "c2")
 
-		plain, err := Solve(m, Params{})
+		plain, err := Solve(context.Background(), m, Params{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		withCuts, err := Solve(m, Params{CutRounds: 2})
+		withCuts, err := Solve(context.Background(), m, Params{CutRounds: 2})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -34,6 +35,11 @@ const (
 	// StatusNoProgress means numerical failures prevented a proof of
 	// optimality; Solution (if present) is the best incumbent found.
 	StatusNoProgress
+	// StatusCanceled means the caller's context was canceled before the
+	// solve finished; Solution (if present) holds the best incumbent.
+	// A context whose *deadline* expires reports StatusTimeLimit
+	// instead: deadlines and Params.TimeLimit compose as one budget.
+	StatusCanceled
 )
 
 // String renders the status.
@@ -51,6 +57,8 @@ func (s Status) String() string {
 		return "node limit"
 	case StatusNoProgress:
 		return "no progress"
+	case StatusCanceled:
+		return "canceled"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -101,12 +109,53 @@ type Result struct {
 	PresolveRounds int
 }
 
-// Solve minimizes the model.
-func Solve(m *milp.Model, params Params) (*Result, error) {
+// ctxStatus maps a context error to the matching termination status.
+func ctxStatus(err error) Status {
+	if err == context.DeadlineExceeded {
+		return StatusTimeLimit
+	}
+	return StatusCanceled
+}
+
+// effectiveTimeLimit combines the configured time limit with the context
+// deadline: the effective budget is the minimum of the two, measured from
+// now. A zero configured limit means "no limit", in which case the context
+// deadline (if any) governs alone.
+func effectiveTimeLimit(ctx context.Context, now time.Time, configured time.Duration) time.Duration {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return configured
+	}
+	remaining := dl.Sub(now)
+	if remaining < time.Nanosecond {
+		// Deadline already passed; keep a strictly positive limit so
+		// "zero" does not read as "unlimited" downstream.
+		remaining = time.Nanosecond
+	}
+	if configured <= 0 || remaining < configured {
+		return remaining
+	}
+	return configured
+}
+
+// Solve minimizes the model. The context governs cancellation: cancelling
+// it mid-solve returns promptly with StatusCanceled and the best incumbent
+// and bound found so far, and a context deadline composes with
+// Params.TimeLimit as the minimum of the two budgets (StatusTimeLimit). A
+// context that has already ended returns immediately, before presolve or
+// branch and bound start.
+func Solve(ctx context.Context, m *milp.Model, params Params) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	if params.GapTol <= 0 {
 		params.GapTol = 1e-6
 	}
+	if err := ctx.Err(); err != nil {
+		return &Result{Status: ctxStatus(err), Bound: math.Inf(-1)}, nil
+	}
+	params.TimeLimit = effectiveTimeLimit(ctx, start, params.TimeLimit)
 
 	work := m
 	var pre *presolve.Result
@@ -175,7 +224,7 @@ func Solve(m *milp.Model, params Params) (*Result, error) {
 		}
 	}
 
-	res, err := bb.Solve(comp, bbParams)
+	res, err := bb.Solve(ctx, comp, bbParams)
 	if err != nil {
 		return nil, err
 	}
@@ -206,6 +255,8 @@ func Solve(m *milp.Model, params Params) (*Result, error) {
 		out.Status = StatusNodeLimit
 	case bb.StatusNoProgress:
 		out.Status = StatusNoProgress
+	case bb.StatusCanceled:
+		out.Status = StatusCanceled
 	}
 
 	if res.HasIncumbent {

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -18,7 +19,7 @@ func TestKnapsackThroughFacade(t *testing.T) {
 	d := m.AddBinary(-4, "d")
 	m.AddConstr(milp.Expr(a, 3.0, b, 4.0, c, 2.0, d, 1.0), milp.LE, 6, "cap")
 
-	res, err := Solve(m, Params{})
+	res, err := Solve(context.Background(), m, Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestPresolveOnlySolve(t *testing.T) {
 	m.AddConstr(milp.Expr(x, 1.0), milp.EQ, 4, "fx")
 	m.AddConstr(milp.Expr(y, 2.0), milp.EQ, 6, "fy")
 
-	res, err := Solve(m, Params{})
+	res, err := Solve(context.Background(), m, Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestObjectiveConstantPropagates(t *testing.T) {
 	m.AddConstr(milp.Expr(x, 1.0, y, 1.0), milp.LE, 5, "c")
 	m.AddObjConstant(100)
 
-	res, err := Solve(m, Params{})
+	res, err := Solve(context.Background(), m, Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestInfeasibleThroughPresolve(t *testing.T) {
 	m := milp.NewModel("inf")
 	x := m.AddBinary(0, "x")
 	m.AddConstr(milp.Expr(x, 1.0), milp.GE, 3, "imposs")
-	res, err := Solve(m, Params{})
+	res, err := Solve(context.Background(), m, Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestInfeasibleWithPresolveDisabled(t *testing.T) {
 	x := m.AddBinary(0, "x")
 	y := m.AddBinary(0, "y")
 	m.AddConstr(milp.Expr(x, 1.0, y, 1.0), milp.EQ, 1.5, "half")
-	res, err := Solve(m, Params{DisablePresolve: true})
+	res, err := Solve(context.Background(), m, Params{DisablePresolve: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestUnbounded(t *testing.T) {
 	x := m.AddContinuous(0, math.Inf(1), -1, "x")
 	y := m.AddContinuous(0, math.Inf(1), 0, "y")
 	m.AddConstr(milp.Expr(x, 1.0, y, -1.0), milp.LE, 0, "c")
-	res, err := Solve(m, Params{})
+	res, err := Solve(context.Background(), m, Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,11 +149,11 @@ func TestPresolveOnOffAgree(t *testing.T) {
 			sense := []milp.Sense{milp.LE, milp.GE, milp.EQ}[rng.Intn(3)]
 			m.AddConstr(e, sense, float64(rng.Intn(9)-3), "")
 		}
-		with, err := Solve(m, Params{})
+		with, err := Solve(context.Background(), m, Params{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		without, err := Solve(m, Params{DisablePresolve: true})
+		without, err := Solve(context.Background(), m, Params{DisablePresolve: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,7 +178,7 @@ func TestAnytimeCallbackIncludesConstant(t *testing.T) {
 	m.AddConstr(e, milp.LE, 22, "cap")
 
 	var seen []Progress
-	res, err := Solve(m, Params{OnImprovement: func(p Progress) { seen = append(seen, p) }})
+	res, err := Solve(context.Background(), m, Params{OnImprovement: func(p Progress) { seen = append(seen, p) }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestTimeLimitStatus(t *testing.T) {
 		e = e.Add(v, w)
 	}
 	m.AddConstr(e, milp.LE, 100, "cap")
-	res, err := Solve(m, Params{TimeLimit: 30 * time.Millisecond})
+	res, err := Solve(context.Background(), m, Params{TimeLimit: 30 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestMaxNodesStatus(t *testing.T) {
 		e = e.Add(v, 1+rng.Float64()*10)
 	}
 	m.AddConstr(e, milp.LE, 40, "cap")
-	res, err := Solve(m, Params{MaxNodes: 2, DisablePresolve: true})
+	res, err := Solve(context.Background(), m, Params{MaxNodes: 2, DisablePresolve: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestBranchRulePassthrough(t *testing.T) {
 	m := milp.NewModel("branch")
 	x := m.AddVar(0, 10, -1, milp.Integer, "x")
 	m.AddConstr(milp.Expr(x, 2.0), milp.LE, 7, "c")
-	res, err := Solve(m, Params{Branching: bb.BranchMostFractional})
+	res, err := Solve(context.Background(), m, Params{Branching: bb.BranchMostFractional})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -124,7 +125,7 @@ func TestTranslatedQueryOptimizes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pl, c, err := dp.OptimizeLeftDeep(q, cost.CoutSpec(), dp.Options{})
+	pl, c, err := dp.OptimizeLeftDeep(context.Background(), q, cost.CoutSpec(), dp.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

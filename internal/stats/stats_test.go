@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -149,13 +150,13 @@ func TestOptimizeOnEstimatedStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	estPlan, _, err := dp.OptimizeLeftDeep(est, cost.CoutSpec(), dp.Options{})
+	estPlan, _, err := dp.OptimizeLeftDeep(context.Background(), est, cost.CoutSpec(), dp.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Price the estimated-stats plan under TRUE statistics; it should be
 	// within a small factor of the true optimum.
-	_, trueOpt, err := dp.OptimizeLeftDeep(q, cost.CoutSpec(), dp.Options{})
+	_, trueOpt, err := dp.OptimizeLeftDeep(context.Background(), q, cost.CoutSpec(), dp.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

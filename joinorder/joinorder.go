@@ -1,0 +1,290 @@
+// Package joinorder is the public entry point of the milpjoin library: a
+// unified, context-aware API over every join-ordering strategy the
+// repository implements — the paper's MILP encoding (Trummer & Koch,
+// SIGMOD 2017) solved by the built-in branch-and-bound solver, the
+// classical dynamic-programming baselines, IKKBZ, and the randomized
+// heuristics of Steinbrunn et al.
+//
+// The one-call form dispatches through the strategy registry:
+//
+//	res, err := joinorder.Optimize(ctx, query, joinorder.Options{
+//		Strategy:  "milp",
+//		TimeLimit: 5 * time.Second,
+//	})
+//
+// Cancellation is first-class, matching the paper's anytime selling
+// point: cancel the context mid-solve and the MILP strategy returns
+// promptly with StatusCanceled carrying the best plan found so far plus a
+// proven lower bound on the optimum. A context deadline composes with
+// Options.TimeLimit as the minimum of the two budgets. Strategies without
+// anytime behaviour (the DP baselines) return ErrCanceled instead.
+//
+// The internal/ packages (encoder, solver, simplex, baselines) are
+// implementation detail; their APIs may change freely between versions.
+package joinorder
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"milpjoin/internal/core"
+	"milpjoin/internal/cost"
+	"milpjoin/internal/plan"
+	"milpjoin/internal/qopt"
+	"milpjoin/internal/solver"
+)
+
+// Query describes a select-project-join query: base tables with
+// cardinalities and join predicates with selectivities. It is the
+// library's query representation, re-exported from the internal model so
+// external callers can construct queries directly.
+type Query = qopt.Query
+
+// Table is a base relation of a Query.
+type Table = qopt.Table
+
+// Predicate is a join or selection predicate of a Query.
+type Predicate = qopt.Predicate
+
+// Plan is a left-deep join plan: a permutation of the query's tables,
+// optionally annotated with a join operator per join.
+type Plan = plan.Plan
+
+// Tree is a (possibly bushy) join tree, produced by the dp-bushy strategy
+// and derivable from any Plan via Plan.LeftDeep.
+type Tree = plan.Tree
+
+// Metric selects how plans are priced.
+type Metric = cost.Metric
+
+// Operator is a join operator implementation.
+type Operator = cost.Operator
+
+// Precision selects the MILP cardinality approximation tolerance.
+type Precision = core.Precision
+
+// Re-exported cost-model and precision constants.
+const (
+	// Cout minimizes the sum of intermediate result cardinalities.
+	Cout = cost.Cout
+	// OperatorCost minimizes summed per-join operator costs.
+	OperatorCost = cost.OperatorCost
+
+	// HashJoin, SortMergeJoin, and BlockNestedLoopJoin select the
+	// operator priced under OperatorCost.
+	HashJoin            = cost.HashJoin
+	SortMergeJoin       = cost.SortMergeJoin
+	BlockNestedLoopJoin = cost.BlockNestedLoopJoin
+
+	// PrecisionHigh/Medium/Low approximate cardinalities within a
+	// factor of 3, 10, and 100 respectively (MILP strategy only).
+	PrecisionHigh   = core.PrecisionHigh
+	PrecisionMedium = core.PrecisionMedium
+	PrecisionLow    = core.PrecisionLow
+)
+
+// Progress is an anytime snapshot surfaced by strategies that stream
+// incumbents (currently the MILP strategy): the best objective so far, the
+// proven lower bound, and the relative gap.
+type Progress = solver.Progress
+
+// Options configure an optimization run. The zero value asks the default
+// strategy ("milp") for a C_out-optimal plan with no time limit.
+type Options struct {
+	// Strategy names the registered optimizer to run (default "milp").
+	// Strategies() lists the available names.
+	Strategy string
+
+	// Metric selects the objective (default Cout).
+	Metric Metric
+	// Op is the operator priced when Metric is OperatorCost and
+	// operator selection is off (default HashJoin).
+	Op Operator
+
+	// TimeLimit bounds wall-clock time (zero: none). It composes with
+	// the context deadline: the effective budget is the minimum.
+	TimeLimit time.Duration
+	// Threads is the parallel worker count for strategies that support
+	// it (MILP branch and bound; default 1).
+	Threads int
+
+	// Precision selects the MILP threshold spacing (default
+	// PrecisionMedium; MILP strategy only).
+	Precision Precision
+	// ThresholdRatio, when > 1, overrides Precision with an explicit
+	// geometric spacing (MILP strategy only).
+	ThresholdRatio float64
+	// CardCap bounds the representable cardinality range (default 1e12;
+	// MILP strategy only).
+	CardCap float64
+	// GapTol is the relative optimality gap at which the MILP search
+	// stops (default 1e-6).
+	GapTol float64
+	// MaxNodes bounds explored branch-and-bound nodes (zero: none).
+	MaxNodes int
+
+	// ChooseOperators lets the optimizer pick a join operator per join
+	// (MILP Section 5.3 extension and the DP baselines).
+	ChooseOperators bool
+	// InterestingOrders enables the Section 5.4 extension: tuple-order
+	// properties and a pre-sorted sort-merge variant. Requires
+	// ChooseOperators (MILP strategy only).
+	InterestingOrders bool
+	// ExpensivePredicates enables the Section 5.1 evaluation-cost
+	// extension (MILP strategy only).
+	ExpensivePredicates bool
+
+	// MaxDPTables guards the DP strategies against the 2^n memory
+	// blow-up (default 24 left-deep, 20 bushy).
+	MaxDPTables int
+
+	// Seed drives the randomized heuristics (deterministic per seed).
+	Seed int64
+
+	// OnProgress, when non-nil, receives anytime snapshots from
+	// strategies that stream incumbents (serialised).
+	OnProgress func(Progress)
+}
+
+// Validate checks the caller-supplied option values. Every public entry
+// point validates before optimizing, so no panic is reachable from bad
+// API input.
+func (o Options) Validate() error {
+	if o.ThresholdRatio != 0 && o.ThresholdRatio <= 1 {
+		return fmt.Errorf("%w: threshold ratio %g must exceed 1", ErrInvalidOptions, o.ThresholdRatio)
+	}
+	if o.ThresholdRatio == 0 {
+		if _, err := o.Precision.Ratio(); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+		}
+	}
+	if o.Metric != Cout && o.Metric != OperatorCost {
+		return fmt.Errorf("%w: unknown metric %d", ErrInvalidOptions, int(o.Metric))
+	}
+	switch o.Op {
+	case HashJoin, SortMergeJoin, BlockNestedLoopJoin:
+	default:
+		return fmt.Errorf("%w: unknown operator %d", ErrInvalidOptions, int(o.Op))
+	}
+	if o.TimeLimit < 0 {
+		return fmt.Errorf("%w: negative time limit %v", ErrInvalidOptions, o.TimeLimit)
+	}
+	if o.Threads < 0 {
+		return fmt.Errorf("%w: negative thread count %d", ErrInvalidOptions, o.Threads)
+	}
+	if o.GapTol < 0 {
+		return fmt.Errorf("%w: negative gap tolerance %g", ErrInvalidOptions, o.GapTol)
+	}
+	if o.InterestingOrders && !o.ChooseOperators {
+		return fmt.Errorf("%w: InterestingOrders requires ChooseOperators", ErrInvalidOptions)
+	}
+	return nil
+}
+
+// spec is the exact-costing specification the options describe.
+func (o Options) spec() cost.Spec {
+	op := o.Op
+	if o.Metric == cost.OperatorCost && !o.ChooseOperators && op == 0 {
+		op = cost.HashJoin
+	}
+	return cost.Spec{Metric: o.Metric, Op: op, Params: cost.Params{}.WithDefaults()}
+}
+
+// deadline converts TimeLimit into an absolute deadline (zero when no
+// limit is configured).
+func (o Options) deadline(now time.Time) time.Time {
+	if o.TimeLimit <= 0 {
+		return time.Time{}
+	}
+	return now.Add(o.TimeLimit)
+}
+
+// Status classifies the outcome of a successful optimization (err == nil).
+type Status int
+
+const (
+	// StatusOptimal means the plan is proven optimal for the strategy's
+	// search space within the configured tolerances.
+	StatusOptimal Status = iota
+	// StatusFeasible means the plan carries no optimality proof: it
+	// came from a heuristic, or the search stopped early on a limit.
+	StatusFeasible
+	// StatusTimeLimit means the time budget (Options.TimeLimit or the
+	// context deadline) expired; Plan is the best incumbent found.
+	StatusTimeLimit
+	// StatusCanceled means the context was canceled mid-solve; Plan is
+	// the best incumbent found before cancellation.
+	StatusCanceled
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusFeasible:
+		return "feasible"
+	case StatusTimeLimit:
+		return "time limit"
+	case StatusCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Result is the outcome of an optimization run. When the strategy returned
+// without error, Tree is non-nil; Plan is additionally non-nil for every
+// left-deep strategy (all but dp-bushy).
+type Result struct {
+	// Strategy is the name of the optimizer that produced the result.
+	Strategy string
+	// Status classifies the outcome.
+	Status Status
+	// Plan is the left-deep plan found (nil for bushy trees).
+	Plan *Plan
+	// Tree is the join tree found (always set on success).
+	Tree *Tree
+	// Cost is the plan's exact cost under the options' cost model.
+	Cost float64
+	// Bound is the proven lower bound on the optimal objective, in the
+	// strategy's objective space: the MILP strategy proves bounds on
+	// its approximated cost, exact DP proves Bound == its objective,
+	// and heuristics certify nothing (-Inf).
+	Bound float64
+	// Gap is the relative gap between the strategy objective and Bound
+	// (+Inf when no bound is available).
+	Gap float64
+	// Objective is the strategy's internal objective value for the
+	// returned plan (the MILP's approximated cost; elsewhere == Cost).
+	// Compare against Bound for the quality guarantee.
+	Objective float64
+	// Nodes counts branch-and-bound nodes (MILP strategy only).
+	Nodes int
+	// Elapsed is the optimization wall-clock time.
+	Elapsed time.Duration
+}
+
+// Optimize runs the strategy selected by opts.Strategy on the query. It is
+// the library's single public entry point; see the package documentation
+// for the context and error semantics.
+func Optimize(ctx context.Context, q *Query, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if q == nil {
+		return nil, fmt.Errorf("%w: nil query", ErrInvalidQuery)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidQuery, err)
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	o, err := Lookup(opts.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	return o.Optimize(ctx, q, opts)
+}

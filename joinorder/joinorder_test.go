@@ -1,0 +1,233 @@
+package joinorder_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"milpjoin/internal/workload"
+	"milpjoin/joinorder"
+)
+
+// smallQuery is cheap enough for every strategy, including exact DP and a
+// full MILP solve.
+func smallQuery() *joinorder.Query {
+	return workload.Generate(workload.Star, 7, 3, workload.Config{})
+}
+
+// largeQuery produces a MILP far beyond what the solver proves optimal in
+// milliseconds, so cancellation reliably lands mid-solve.
+func largeQuery() *joinorder.Query {
+	return workload.Generate(workload.Star, 22, 1, workload.Config{})
+}
+
+func TestEveryRegisteredStrategyOptimizes(t *testing.T) {
+	q := smallQuery()
+	for _, name := range joinorder.Strategies() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res, err := joinorder.Optimize(context.Background(), q, joinorder.Options{
+				Strategy:  name,
+				TimeLimit: 30 * time.Second,
+				Seed:      1,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if res.Strategy != name {
+				t.Errorf("result strategy %q, want %q", res.Strategy, name)
+			}
+			if res.Tree == nil {
+				t.Fatalf("%s: nil tree on success", name)
+			}
+			if name != "dp-bushy" {
+				if res.Plan == nil {
+					t.Fatalf("%s: nil plan on success", name)
+				}
+				if err := res.Plan.Validate(q); err != nil {
+					t.Errorf("%s: invalid plan: %v", name, err)
+				}
+			}
+			if res.Cost <= 0 {
+				t.Errorf("%s: non-positive cost %g", name, res.Cost)
+			}
+		})
+	}
+}
+
+func TestRequiredStrategiesRegistered(t *testing.T) {
+	for _, name := range []string{"milp", "dp-leftdeep", "dp-bushy", "ikkbz", "greedy"} {
+		if _, err := joinorder.Lookup(name); err != nil {
+			t.Errorf("required strategy %q not registered: %v", name, err)
+		}
+		if joinorder.Describe(name) == "" {
+			t.Errorf("strategy %q has no description", name)
+		}
+	}
+	if _, err := joinorder.Lookup(""); err != nil {
+		t.Errorf("empty name should resolve to the default strategy: %v", err)
+	}
+}
+
+// TestCancelMidSolveReturnsIncumbent is the anytime contract: cancelling
+// the context mid-solve returns promptly with StatusCanceled and the best
+// incumbent found so far plus a proven bound.
+func TestCancelMidSolveReturnsIncumbent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	canceled := make(chan time.Time, 1)
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		canceled <- time.Now()
+		cancel()
+	}()
+
+	res, err := joinorder.Optimize(ctx, largeQuery(), joinorder.Options{
+		Strategy:  "milp",
+		Precision: joinorder.PrecisionHigh,
+		Threads:   2,
+	})
+	returned := time.Now()
+	if err != nil {
+		t.Fatalf("cancellation should return the incumbent, got error: %v", err)
+	}
+	if res.Status != joinorder.StatusCanceled {
+		t.Errorf("status = %v, want %v", res.Status, joinorder.StatusCanceled)
+	}
+	if res.Plan == nil {
+		t.Fatal("no incumbent plan returned on cancellation")
+	}
+	if math.IsNaN(res.Bound) || math.IsNaN(res.Cost) {
+		t.Errorf("NaN in result: bound %g, cost %g", res.Bound, res.Cost)
+	}
+	// The stack polls the context every few simplex iterations, so the
+	// unwind target is ~200ms; allow slack for race-instrumented CI.
+	if latency := returned.Sub(<-canceled); latency > time.Second {
+		t.Errorf("returned %v after cancellation, want well under a second", latency)
+	}
+}
+
+// TestExpiredContextReturnsImmediately: a context that has already ended
+// must not start branch and bound at all.
+func TestExpiredContextReturnsImmediately(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+
+	start := time.Now()
+	_, err := joinorder.Optimize(ctx, largeQuery(), joinorder.Options{Strategy: "milp"})
+	if !errors.Is(err, joinorder.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	// Encoding the query is allowed; solving is not. The full MILP solve
+	// takes minutes on this query, so a sub-second return proves branch
+	// and bound never ran.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("took %v with an expired deadline", elapsed)
+	}
+}
+
+// TestDPCancellation: the DP baselines are not anytime — cancellation
+// yields ErrCanceled and no partial plan.
+func TestDPCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range []string{"dp-leftdeep", "dp-bushy"} {
+		res, err := joinorder.Optimize(ctx, smallQuery(), joinorder.Options{Strategy: name})
+		if !errors.Is(err, joinorder.ErrCanceled) {
+			t.Errorf("%s: err = %v, want ErrCanceled", name, err)
+		}
+		if res != nil {
+			t.Errorf("%s: non-nil result %+v alongside cancellation", name, res)
+		}
+	}
+}
+
+func TestInvalidInputTypedErrors(t *testing.T) {
+	ctx := context.Background()
+	q := smallQuery()
+
+	if _, err := joinorder.Optimize(ctx, nil, joinorder.Options{}); !errors.Is(err, joinorder.ErrInvalidQuery) {
+		t.Errorf("nil query: err = %v, want ErrInvalidQuery", err)
+	}
+	single := &joinorder.Query{Tables: []joinorder.Table{{Name: "A", Card: 10}}}
+	if _, err := joinorder.Optimize(ctx, single, joinorder.Options{}); !errors.Is(err, joinorder.ErrInvalidQuery) {
+		t.Errorf("single-table query: err = %v, want ErrInvalidQuery", err)
+	}
+	if _, err := joinorder.Optimize(ctx, q, joinorder.Options{Strategy: "quantum"}); !errors.Is(err, joinorder.ErrUnknownStrategy) {
+		t.Errorf("unknown strategy: err = %v, want ErrUnknownStrategy", err)
+	}
+	// Bad option values return ErrInvalidOptions — the panics these used
+	// to raise deep in the encoder are gone.
+	for _, opts := range []joinorder.Options{
+		{ThresholdRatio: 0.5},
+		{Precision: joinorder.Precision(42)},
+		{TimeLimit: -time.Second},
+		{Threads: -1},
+		{GapTol: -0.1},
+		{InterestingOrders: true},
+		{Metric: joinorder.Metric(9)},
+	} {
+		if _, err := joinorder.Optimize(ctx, q, opts); !errors.Is(err, joinorder.ErrInvalidOptions) {
+			t.Errorf("opts %+v: err = %v, want ErrInvalidOptions", opts, err)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndEmptyNames(t *testing.T) {
+	if err := joinorder.Register(testStrategy{name: ""}); !errors.Is(err, joinorder.ErrInvalidOptions) {
+		t.Errorf("empty name: err = %v", err)
+	}
+	if err := joinorder.Register(testStrategy{name: "milp"}); !errors.Is(err, joinorder.ErrInvalidOptions) {
+		t.Errorf("duplicate name: err = %v", err)
+	}
+}
+
+type testStrategy struct{ name string }
+
+func (s testStrategy) Name() string        { return s.name }
+func (s testStrategy) Description() string { return "test" }
+func (s testStrategy) Optimize(context.Context, *joinorder.Query, joinorder.Options) (*joinorder.Result, error) {
+	return nil, nil
+}
+
+// TestTimeLimitReturnsIncumbent: Options.TimeLimit alone (no context
+// deadline) also yields anytime behaviour on a query too large to finish.
+func TestTimeLimitReturnsIncumbent(t *testing.T) {
+	res, err := joinorder.Optimize(context.Background(), largeQuery(), joinorder.Options{
+		Strategy:  "milp",
+		TimeLimit: 300 * time.Millisecond,
+		Threads:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != joinorder.StatusTimeLimit {
+		t.Errorf("status = %v, want %v", res.Status, joinorder.StatusTimeLimit)
+	}
+	if res.Plan == nil {
+		t.Fatal("no incumbent plan at the time limit")
+	}
+}
+
+// TestContextDeadlineMapsToTimeLimit: a context deadline is a time budget,
+// so it reports StatusTimeLimit — indistinguishable from Options.TimeLimit.
+func TestContextDeadlineMapsToTimeLimit(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	res, err := joinorder.Optimize(ctx, largeQuery(), joinorder.Options{
+		Strategy: "milp",
+		Threads:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != joinorder.StatusTimeLimit {
+		t.Errorf("status = %v, want %v", res.Status, joinorder.StatusTimeLimit)
+	}
+	if res.Plan == nil {
+		t.Fatal("no incumbent plan at the context deadline")
+	}
+}

@@ -1,0 +1,107 @@
+package joinorder
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Optimizer is the common shape of every join-ordering strategy: given a
+// validated query and options, produce the best plan the strategy can find
+// before the context ends. Implementations must honor cancellation — an
+// anytime strategy returns its incumbent with StatusCanceled, others
+// return ErrCanceled.
+type Optimizer interface {
+	// Name is the registry key, as accepted by Options.Strategy.
+	Name() string
+	// Description is a one-line summary for help output.
+	Description() string
+	// Optimize runs the strategy. The query and options have already
+	// been validated when dispatched through the package-level Optimize.
+	Optimize(ctx context.Context, q *Query, opts Options) (*Result, error)
+}
+
+// DefaultStrategy is the registry key used when Options.Strategy is empty.
+const DefaultStrategy = "milp"
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]Optimizer
+}{m: map[string]Optimizer{}}
+
+// Register adds a strategy to the registry, making it reachable through
+// Optimize and the -strategy flag of cmd/joinopt. Registering an empty
+// name or a duplicate is an error.
+func Register(o Optimizer) error {
+	name := o.Name()
+	if name == "" {
+		return fmt.Errorf("%w: empty strategy name", ErrInvalidOptions)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[name]; dup {
+		return fmt.Errorf("%w: strategy %q already registered", ErrInvalidOptions, name)
+	}
+	registry.m[name] = o
+	return nil
+}
+
+// Lookup resolves a strategy name (empty means DefaultStrategy).
+func Lookup(name string) (Optimizer, error) {
+	if name == "" {
+		name = DefaultStrategy
+	}
+	registry.RLock()
+	o, ok := registry.m[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (available: %v)", ErrUnknownStrategy, name, Strategies())
+	}
+	return o, nil
+}
+
+// Strategies lists the registered strategy names, sorted.
+func Strategies() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns the one-line description of a registered strategy
+// (empty string for unknown names).
+func Describe(name string) string {
+	registry.RLock()
+	defer registry.RUnlock()
+	if o, ok := registry.m[name]; ok {
+		return o.Description()
+	}
+	return ""
+}
+
+// strategy adapts a plain function to the Optimizer interface; the
+// built-in strategies are all registered this way.
+type strategy struct {
+	name string
+	desc string
+	fn   func(ctx context.Context, q *Query, opts Options) (*Result, error)
+}
+
+func (s strategy) Name() string        { return s.name }
+func (s strategy) Description() string { return s.desc }
+func (s strategy) Optimize(ctx context.Context, q *Query, opts Options) (*Result, error) {
+	return s.fn(ctx, q, opts)
+}
+
+// mustRegister backs the built-in init registrations, where a duplicate
+// means a programming error in this package, not caller input.
+func mustRegister(name, desc string, fn func(context.Context, *Query, Options) (*Result, error)) {
+	if err := Register(strategy{name: name, desc: desc, fn: fn}); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,266 @@
+package joinorder
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"milpjoin/internal/core"
+	"milpjoin/internal/cost"
+	"milpjoin/internal/dp"
+	"milpjoin/internal/heuristic"
+	"milpjoin/internal/plan"
+	"milpjoin/internal/solver"
+)
+
+// The built-in strategies. Five deterministic optimizers plus the four
+// randomized Steinbrunn heuristics, all behind the same interface — the
+// prerequisite for per-query strategy switching (hybrid MILP/non-MILP
+// optimization à la Schönberger & Trummer).
+func init() {
+	mustRegister("milp", "anytime MILP encoding with proven optimality bounds (the paper's approach)", optimizeMILP)
+	mustRegister("dp-leftdeep", "exact left-deep dynamic programming (Selinger-style, cross products allowed)", optimizeDPLeftDeep)
+	mustRegister("dp-bushy", "exact bushy-tree dynamic programming (DPsub, O(3^n))", optimizeDPBushy)
+	mustRegister("ikkbz", "polynomial IKKBZ for acyclic join graphs under C_out", optimizeIKKBZ)
+	mustRegister("greedy", "greedy smallest-intermediate-result ordering", optimizeGreedy)
+	mustRegister("ii", "randomized iterative improvement (Steinbrunn et al.)", heuristicStrategy("ii", heuristic.IterativeImprovement))
+	mustRegister("sa", "simulated annealing (Steinbrunn et al.)", heuristicStrategy("sa", heuristic.SimulatedAnnealing))
+	mustRegister("2po", "two-phase optimization: iterative improvement then low-temperature annealing", heuristicStrategy("2po", heuristic.TwoPhase))
+	mustRegister("sampling", "uniform random sampling of join orders (weakest baseline)", func(ctx context.Context, q *Query, opts Options) (*Result, error) {
+		return runHeuristic(ctx, q, opts, "sampling", func(ctx context.Context, q *Query, opts Options) (*Plan, float64, error) {
+			return heuristic.RandomSampling(ctx, q, opts.spec(), 0, heuristicOptions(opts))
+		})
+	})
+}
+
+// optimizeMILP runs the paper's pipeline: encode the query as a MILP,
+// solve with branch and bound, decode the incumbent. It is the only
+// strategy with true anytime behaviour: cancellation and time limits
+// return the best incumbent plus a proven bound.
+func optimizeMILP(ctx context.Context, q *Query, opts Options) (*Result, error) {
+	copts := core.Options{
+		Precision:           opts.Precision,
+		ThresholdRatio:      opts.ThresholdRatio,
+		CardCap:             opts.CardCap,
+		Metric:              opts.Metric,
+		Op:                  opts.Op,
+		ChooseOperators:     opts.ChooseOperators,
+		InterestingOrders:   opts.InterestingOrders,
+		ExpensivePredicates: opts.ExpensivePredicates,
+	}
+	params := solver.Params{
+		TimeLimit:     opts.TimeLimit,
+		GapTol:        opts.GapTol,
+		Threads:       opts.Threads,
+		MaxNodes:      opts.MaxNodes,
+		OnImprovement: opts.OnProgress,
+	}
+	res, err := core.Optimize(ctx, q, copts, params)
+	if err != nil {
+		if errors.Is(err, core.ErrInvalidOptions) {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+		}
+		return nil, err
+	}
+	sres := res.Solver
+	out := &Result{
+		Strategy: "milp",
+		Bound:    sres.Bound,
+		Gap:      sres.Gap,
+		Nodes:    sres.Nodes,
+		Elapsed:  sres.Elapsed,
+	}
+	if sres.Status == solver.StatusInfeasible {
+		return nil, fmt.Errorf("%w: the MILP proved no plan fits the encoding (try a higher CardCap)", ErrInfeasible)
+	}
+	if res.Plan == nil {
+		if sres.Status == solver.StatusCanceled || ctx.Err() != nil {
+			return nil, fmt.Errorf("%w: no incumbent found before the context ended", ErrCanceled)
+		}
+		return nil, fmt.Errorf("%w: solver stopped with status %v", ErrNoPlan, sres.Status)
+	}
+	out.Plan = res.Plan
+	out.Tree = res.Plan.LeftDeep()
+	out.Cost = res.ExactCost
+	out.Objective = res.MILPObj
+	switch sres.Status {
+	case solver.StatusOptimal:
+		out.Status = StatusOptimal
+	case solver.StatusTimeLimit:
+		out.Status = StatusTimeLimit
+	case solver.StatusCanceled:
+		out.Status = StatusCanceled
+	default: // node limit, numerical no-progress: a plan without proof
+		out.Status = StatusFeasible
+	}
+	return out, nil
+}
+
+// optimizeDPLeftDeep is the exact Selinger-style baseline. DP is not
+// anytime: it produces nothing until it finishes, so cancellation returns
+// ErrCanceled without a plan.
+func optimizeDPLeftDeep(ctx context.Context, q *Query, opts Options) (*Result, error) {
+	start := time.Now()
+	pl, c, err := dp.OptimizeLeftDeep(ctx, q, opts.spec(), dp.Options{
+		MaxTables:       opts.MaxDPTables,
+		Deadline:        opts.deadline(start),
+		ChooseOperators: opts.ChooseOperators,
+	})
+	if err != nil {
+		return nil, mapBaselineErr(ctx, err)
+	}
+	return &Result{
+		Strategy:  "dp-leftdeep",
+		Status:    StatusOptimal,
+		Plan:      pl,
+		Tree:      pl.LeftDeep(),
+		Cost:      c,
+		Objective: c,
+		Bound:     c,
+		Elapsed:   time.Since(start),
+	}, nil
+}
+
+// optimizeDPBushy is the exact bushy-tree baseline; it returns a Tree and
+// no left-deep Plan.
+func optimizeDPBushy(ctx context.Context, q *Query, opts Options) (*Result, error) {
+	start := time.Now()
+	tree, c, err := dp.OptimizeBushy(ctx, q, opts.spec(), dp.Options{
+		MaxTables: opts.MaxDPTables,
+		Deadline:  opts.deadline(start),
+	})
+	if err != nil {
+		return nil, mapBaselineErr(ctx, err)
+	}
+	return &Result{
+		Strategy:  "dp-bushy",
+		Status:    StatusOptimal,
+		Tree:      tree,
+		Cost:      c,
+		Objective: c,
+		Bound:     c,
+		Elapsed:   time.Since(start),
+	}, nil
+}
+
+// optimizeIKKBZ runs the polynomial IKKBZ algorithm. Its optimality
+// guarantee (left-deep, no cross products, C_out, acyclic graphs) is
+// narrower than the other strategies' search spaces, so the result is
+// reported as feasible without a bound.
+func optimizeIKKBZ(ctx context.Context, q *Query, opts Options) (*Result, error) {
+	start := time.Now()
+	pl, cout, err := dp.IKKBZ(ctx, q)
+	if err != nil {
+		return nil, mapBaselineErr(ctx, err)
+	}
+	c := cout
+	if opts.Metric != Cout {
+		if c, err = plan.Cost(q, pl, opts.spec()); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{
+		Strategy:  "ikkbz",
+		Status:    StatusFeasible,
+		Plan:      pl,
+		Tree:      pl.LeftDeep(),
+		Cost:      c,
+		Objective: c,
+		Bound:     math.Inf(-1),
+		Gap:       math.Inf(1),
+		Elapsed:   time.Since(start),
+	}, nil
+}
+
+// optimizeGreedy picks the smallest intermediate result at every step —
+// the cheapest strategy, and the MIP start the MILP strategy seeds itself
+// with.
+func optimizeGreedy(ctx context.Context, q *Query, opts Options) (*Result, error) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	pl, c, err := dp.GreedyLeftDeep(q, opts.spec())
+	if err != nil {
+		return nil, mapBaselineErr(ctx, err)
+	}
+	return &Result{
+		Strategy:  "greedy",
+		Status:    StatusFeasible,
+		Plan:      pl,
+		Tree:      pl.LeftDeep(),
+		Cost:      c,
+		Objective: c,
+		Bound:     math.Inf(-1),
+		Gap:       math.Inf(1),
+		Elapsed:   time.Since(start),
+	}, nil
+}
+
+// heuristicStrategy adapts one of the Steinbrunn randomized searches.
+func heuristicStrategy(name string, fn func(context.Context, *Query, cost.Spec, heuristic.Options) (*Plan, float64, error)) func(context.Context, *Query, Options) (*Result, error) {
+	return func(ctx context.Context, q *Query, opts Options) (*Result, error) {
+		return runHeuristic(ctx, q, opts, name, func(ctx context.Context, q *Query, opts Options) (*Plan, float64, error) {
+			return fn(ctx, q, opts.spec(), heuristicOptions(opts))
+		})
+	}
+}
+
+// heuristicOptions translates public options for the randomized searches.
+func heuristicOptions(opts Options) heuristic.Options {
+	return heuristic.Options{
+		Seed:     opts.Seed,
+		Deadline: opts.deadline(time.Now()),
+	}
+}
+
+// runHeuristic runs an anytime randomized search and classifies how it
+// stopped: a canceled context yields StatusCanceled with the best plan
+// found, an expired budget StatusTimeLimit, and a completed search
+// StatusFeasible (the heuristics never certify optimality).
+func runHeuristic(ctx context.Context, q *Query, opts Options, name string,
+	fn func(context.Context, *Query, Options) (*Plan, float64, error)) (*Result, error) {
+	start := time.Now()
+	pl, c, err := fn(ctx, q, opts)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("%w: %w", ErrCanceled, cerr)
+		}
+		return nil, fmt.Errorf("%w: %v", ErrNoPlan, err)
+	}
+	status := StatusFeasible
+	switch {
+	case ctx.Err() != nil:
+		status = StatusCanceled
+	case opts.TimeLimit > 0 && time.Since(start) >= opts.TimeLimit:
+		status = StatusTimeLimit
+	}
+	return &Result{
+		Strategy:  name,
+		Status:    status,
+		Plan:      pl,
+		Tree:      pl.LeftDeep(),
+		Cost:      c,
+		Objective: c,
+		Bound:     math.Inf(-1),
+		Gap:       math.Inf(1),
+		Elapsed:   time.Since(start),
+	}, nil
+}
+
+// mapBaselineErr translates baseline-package failures into the public
+// typed errors.
+func mapBaselineErr(ctx context.Context, err error) error {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w: %w", ErrCanceled, context.Canceled)
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrCanceled, context.DeadlineExceeded)
+	case errors.Is(err, dp.ErrTimeout), errors.Is(err, dp.ErrTooLarge), errors.Is(err, dp.ErrNotAcyclic):
+		return fmt.Errorf("%w: %v", ErrNoPlan, err)
+	default:
+		return err
+	}
+}
