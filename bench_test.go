@@ -10,8 +10,10 @@ package milpjoin_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"math"
+	"os"
 	"testing"
 	"time"
 
@@ -21,6 +23,7 @@ import (
 	"milpjoin/internal/experiments"
 	"milpjoin/internal/solver"
 	"milpjoin/internal/workload"
+	"milpjoin/joinorder"
 )
 
 // --- Figure 1: MILP model size census -----------------------------------
@@ -275,4 +278,50 @@ func boolMetric(b bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+// --- Stats baseline ------------------------------------------------------
+
+// BenchmarkStatsBaseline runs the canonical smoke workload through the
+// public API and writes the per-phase solver Stats of the final iteration
+// to BENCH_baseline.json — a machine-readable effort baseline (per-phase
+// timings, simplex iterations, node counts) that the CI benchmark smoke
+// job regenerates on every run.
+func BenchmarkStatsBaseline(b *testing.B) {
+	cases := []struct {
+		name  string
+		shape workload.GraphShape
+		n     int
+	}{
+		{"chain8", workload.Chain, 8},
+		{"star10", workload.Star, 10},
+	}
+	baseline := make(map[string]*joinorder.Stats)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cases {
+			q := workload.Generate(c.shape, c.n, 1, workload.Config{})
+			res, err := joinorder.Optimize(context.Background(), q, joinorder.Options{
+				Strategy:  "milp",
+				TimeLimit: 30 * time.Second,
+				Threads:   2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats == nil {
+				b.Fatal("milp result carries no stats")
+			}
+			baseline[c.name] = res.Stats
+		}
+	}
+	b.ReportMetric(float64(baseline["chain8"].SimplexIters), "simplex-iters")
+	b.ReportMetric(float64(baseline["chain8"].Nodes), "nodes")
+	data, err := json.MarshalIndent(baseline, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_baseline.json", data, 0o644); err != nil {
+		b.Fatal(err)
+	}
 }

@@ -11,15 +11,28 @@
 //	joinopt -tables 20 -shape star -precision medium -timeout 10s
 //	joinopt -strategy dp-leftdeep -tables 14 -shape chain
 //	joinopt -query q.json -metric cout -lp model.lp
+//
+// Observability: -stats prints the per-phase solver statistics, -trace-events
+// streams every structured solver event, -json emits one machine-readable
+// document (plan, cost, bound, stats, event counts), and -metrics serves
+// expvar counters plus net/http/pprof profiles over HTTP while optimizing:
+//
+//	joinopt -tables 20 -shape chain -stats -json
+//	joinopt -tables 20 -shape star -trace-events
+//	joinopt -tables 24 -shape clique -metrics localhost:6060 -timeout 60s
 package main
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -49,6 +62,10 @@ func main() {
 		threads   = flag.Int("threads", 4, "parallel branch-and-bound workers")
 		lpFile    = flag.String("lp", "", "also write the MILP in LP format to this file")
 		quiet     = flag.Bool("quiet", false, "suppress the anytime trace")
+		stats     = flag.Bool("stats", false, "print per-phase solver statistics after the plan")
+		jsonOut   = flag.Bool("json", false, "emit one machine-readable JSON document instead of text")
+		traceEv   = flag.Bool("trace-events", false, "print every solver event (with -json: embed the events in the document)")
+		metrics   = flag.String("metrics", "", "serve expvar counters and pprof profiles on this HTTP address (e.g. localhost:6060)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags]\n\nflags:\n", os.Args[0])
@@ -78,14 +95,44 @@ func main() {
 	opts.GapTol = *gap
 	opts.Threads = *threads
 	opts.Seed = *seed
-	if !*quiet {
-		opts.OnProgress = func(p joinorder.Progress) {
+
+	// Event counters back both the JSON document and the expvar endpoint.
+	// The solver serialises event callbacks, so no extra locking is needed.
+	eventCounts := make(map[string]int)
+	var events []joinorder.Event
+	var evMap *expvar.Map
+	if *metrics != "" {
+		evMap = expvar.NewMap("joinopt_events")
+		go func() {
+			if err := http.ListenAndServe(*metrics, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "joinopt: metrics endpoint:", err)
+			}
+		}()
+		if !*jsonOut {
+			fmt.Printf("metrics: http://%s/debug/vars (expvar), /debug/pprof (profiles)\n", *metrics)
+		}
+	}
+	opts.OnEvent = func(ev joinorder.Event) {
+		eventCounts[ev.Kind.String()]++
+		if evMap != nil {
+			evMap.Add(ev.Kind.String(), 1)
+		}
+		if *jsonOut {
+			if *traceEv {
+				events = append(events, ev)
+			}
+			return
+		}
+		switch {
+		case *traceEv:
+			fmt.Println("  " + ev.String())
+		case !*quiet && (ev.Kind == joinorder.KindIncumbent || ev.Kind == joinorder.KindBound):
 			inc := "-"
-			if p.HasIncumbent {
-				inc = fmt.Sprintf("%.6g", p.Incumbent)
+			if ev.HasIncumbent {
+				inc = fmt.Sprintf("%.6g", ev.Incumbent)
 			}
 			fmt.Printf("  t=%-8s incumbent=%-14s bound=%-14.6g gap=%.3f nodes=%d\n",
-				p.Elapsed.Truncate(time.Millisecond), inc, p.Bound, p.Gap, p.Nodes)
+				ev.Elapsed.Truncate(time.Millisecond), inc, ev.Bound, ev.Gap, ev.Nodes)
 		}
 	}
 
@@ -93,20 +140,36 @@ func main() {
 		if err := writeLP(*lpFile, q, opts); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %s\n", *lpFile)
+		if !*jsonOut {
+			fmt.Printf("wrote %s\n", *lpFile)
+		}
 	}
 
-	fmt.Printf("optimizing %d tables, %d predicates (%s strategy, %s metric, %s precision)\n",
-		q.NumTables(), len(q.Predicates), *strat, *metric, *precision)
+	if !*jsonOut {
+		fmt.Printf("optimizing %d tables, %d predicates (%s strategy, %s metric, %s precision)\n",
+			q.NumTables(), len(q.Predicates), *strat, *metric, *precision)
+	}
 	start := time.Now()
 	res, err := joinorder.Optimize(ctx, q, opts)
 	switch {
 	case errors.Is(err, joinorder.ErrCanceled), errors.Is(err, joinorder.ErrNoPlan):
-		fmt.Printf("no plan found within the budget (%v)\n", err)
+		if *jsonOut {
+			json.NewEncoder(os.Stdout).Encode(map[string]any{"error": err.Error()})
+		} else {
+			fmt.Printf("no plan found within the budget (%v)\n", err)
+		}
 		os.Exit(2)
 	case err != nil:
 		fatal(err)
 	}
+
+	if *jsonOut {
+		if err := printJSON(os.Stdout, q, res, *strat, *metric, *precision, eventCounts, events); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	fmt.Printf("status: %v after %v", res.Status, time.Since(start).Truncate(time.Millisecond))
 	if res.Nodes > 0 {
 		fmt.Printf(" (%d nodes)", res.Nodes)
@@ -129,6 +192,38 @@ func main() {
 	if !math.IsInf(res.Bound, -1) { // strategy proves a lower bound
 		fmt.Printf("objective:  %.6g (bound %.6g, gap %.4f)\n", res.Objective, res.Bound, res.Gap)
 	}
+	if *stats && res.Stats != nil {
+		fmt.Println("solver statistics:")
+		for _, line := range strings.Split(res.Stats.String(), "\n") {
+			fmt.Println("  " + line)
+		}
+	}
+}
+
+// printJSON emits the one machine-readable document of -json mode: query
+// shape, the full result (plan, cost, bound, per-phase stats), and the
+// event-kind counts — plus the raw event stream under -trace-events.
+func printJSON(w io.Writer, q *qopt.Query, res *joinorder.Result, strat, metric, precision string,
+	eventCounts map[string]int, events []joinorder.Event) error {
+	doc := map[string]any{
+		"query": map[string]any{
+			"tables":     q.NumTables(),
+			"predicates": len(q.Predicates),
+			"strategy":   strat,
+			"metric":     metric,
+			"precision":  precision,
+		},
+		"result": res,
+	}
+	if len(eventCounts) > 0 {
+		doc["event_counts"] = eventCounts
+	}
+	if events != nil {
+		doc["events"] = events
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // writeLP encodes the query with the MILP encoder and writes the model in

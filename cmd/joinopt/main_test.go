@@ -1,9 +1,13 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"milpjoin/internal/workload"
 	"milpjoin/joinorder"
@@ -92,5 +96,51 @@ func TestLoadQuerySQL(t *testing.T) {
 	}
 	if _, err := loadQuery("", "SELECT * FROM a, b WHERE a.x = b.y", "", "", 0, 0); err == nil {
 		t.Error("-sql without -catalog accepted")
+	}
+}
+
+func TestPrintJSONDocument(t *testing.T) {
+	q, err := loadQuery("", "", "", "chain", 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	res, err := joinorder.Optimize(context.Background(), q, joinorder.Options{
+		Strategy:  "milp",
+		TimeLimit: 30 * time.Second,
+		OnEvent:   func(ev joinorder.Event) { counts[ev.Kind.String()]++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := printJSON(&buf, q, res, "milp", "hash", "medium", counts, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Query struct {
+			Tables int `json:"tables"`
+		} `json:"query"`
+		Result struct {
+			Status string `json:"status"`
+			Stats  *struct {
+				SimplexIters int     `json:"simplex_iters"`
+				PresolveSec  float64 `json:"presolve_sec"`
+				SearchSec    float64 `json:"search_sec"`
+			} `json:"stats"`
+		} `json:"result"`
+		EventCounts map[string]int `json:"event_counts"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, buf.String())
+	}
+	if doc.Query.Tables != 6 || doc.Result.Status != "optimal" {
+		t.Errorf("query/status = %+v", doc)
+	}
+	if doc.Result.Stats == nil || doc.Result.Stats.SimplexIters <= 0 || doc.Result.Stats.SearchSec <= 0 {
+		t.Errorf("stats missing from document: %+v", doc.Result.Stats)
+	}
+	if len(doc.EventCounts) < 3 {
+		t.Errorf("want >= 3 distinct event kinds, got %v", doc.EventCounts)
 	}
 }

@@ -14,6 +14,15 @@
 //		TimeLimit: 10 * time.Second,       // composes with the ctx deadline (min wins)
 //	})
 //
+// The solver stack is observable end to end: Options.OnEvent streams typed
+// events (presolve summary, cut rounds, root LP, incumbents, bounds,
+// heuristic dives, worker lifecycle) with serialised delivery and monotone
+// incumbent/bound guarantees, and every MILP Result carries per-phase Stats
+// (wall time per phase, simplex iterations, LU refactorizations, heuristic
+// success rates, per-worker node counts). Events, Stats, and Result marshal
+// to JSON; cmd/joinopt exposes them via -stats, -trace-events, -json, and
+// an expvar/pprof -metrics endpoint.
+//
 // Everything under internal/ is implementation detail: internal/core holds
 // the encoder (the paper's contribution), internal/solver the MILP solver
 // facade, and internal/experiments the harnesses regenerating the paper's

@@ -39,16 +39,21 @@ func main() {
 		TimeLimit: time.Minute, // the context deadline is tighter and wins
 		GapTol:    0.5,         // stop once provably within 50% of the optimum
 		Threads:   4,
-		OnProgress: func(p joinorder.Progress) {
-			if !p.HasIncumbent {
+		// The event stream carries the anytime trajectory: incumbent and
+		// bound events snapshot the best plan cost and proven bound.
+		OnEvent: func(ev joinorder.Event) {
+			if ev.Kind != joinorder.KindIncumbent && ev.Kind != joinorder.KindBound {
+				return
+			}
+			if !ev.HasIncumbent {
 				return
 			}
 			ratio := "inf"
-			if p.Bound > 0 {
-				ratio = fmt.Sprintf("%.3f", p.Incumbent/p.Bound)
+			if ev.Bound > 0 {
+				ratio = fmt.Sprintf("%.3f", ev.Incumbent/ev.Bound)
 			}
 			fmt.Printf("%-10s %-14.4g %-14.4g %s\n",
-				p.Elapsed.Truncate(time.Millisecond), p.Incumbent, p.Bound, ratio)
+				ev.Elapsed.Truncate(time.Millisecond), ev.Incumbent, ev.Bound, ratio)
 		},
 	})
 	if err != nil {
@@ -57,6 +62,9 @@ func main() {
 	fmt.Printf("\nfinal: %v — plan %s\n", res.Status, res.Plan)
 	fmt.Printf("guarantee: cost ≤ %.3f × optimal (MILP objective %.4g, bound %.4g)\n",
 		res.Objective/res.Bound, res.Objective, res.Bound)
+	if res.Stats != nil {
+		fmt.Printf("\nwhere the time went:\n%s\n", res.Stats)
+	}
 
 	// The baseline the paper compares against: dynamic programming gets
 	// the same budget and produces nothing until it finishes.

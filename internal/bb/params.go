@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"milpjoin/internal/obs"
 )
 
 // BranchRule selects how fractional variables are chosen for branching.
@@ -46,8 +48,19 @@ type Params struct {
 	// negative value disables diving entirely.
 	DiveEvery int
 	// OnImprovement, when non-nil, is invoked (serialised) whenever the
-	// incumbent or the global bound improves.
+	// incumbent or the global bound improves. Incumbent and bound events
+	// on the Events stream carry the same information plus more context;
+	// OnImprovement remains as the narrow anytime-trajectory hook.
 	OnImprovement func(p Progress)
+	// Events, when non-nil, receives the full structured event stream of
+	// the search: worker lifecycle, the root LP relaxation, incumbents,
+	// bound improvements, periodic node-batch snapshots, and heuristic
+	// dives. Events are emitted while holding the search lock, so
+	// callbacks must be fast and must not call back into the solver.
+	Events *obs.Emitter
+	// EventNodeInterval emits a node-batch snapshot every this many
+	// explored nodes (default 256; negative disables batch events).
+	EventNodeInterval int
 	// UseDualSimplex repairs warm-started node LPs with the dual
 	// simplex method instead of the composite primal phase 1.
 	UseDualSimplex bool
@@ -84,6 +97,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.DiveEvery == 0 {
 		p.DiveEvery = 50
+	}
+	if p.EventNodeInterval == 0 {
+		p.EventNodeInterval = 256
 	}
 	return p
 }
@@ -145,6 +161,10 @@ type Result struct {
 	Nodes        int
 	SimplexIters int
 	Elapsed      time.Duration
+	// Stats aggregates per-phase effort: LP and heuristic time, per-worker
+	// node counts, simplex iterations, LU refactorizations, pseudocost
+	// initializations, and heuristic success rates.
+	Stats obs.Stats
 }
 
 // relGap computes the relative gap between an incumbent and a bound.

@@ -11,6 +11,7 @@ type pseudocosts struct {
 	upCnt   []int
 	downSum []float64
 	downCnt []int
+	inits   int // variables with at least one observation
 }
 
 func newPseudocosts(n int) *pseudocosts {
@@ -31,6 +32,9 @@ func (pc *pseudocosts) record(v int, up bool, degradation, frac float64) {
 	unit := degradation / frac
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
+	if pc.upCnt[v] == 0 && pc.downCnt[v] == 0 {
+		pc.inits++
+	}
 	if up {
 		pc.upSum[v] += unit
 		pc.upCnt[v]++
@@ -62,4 +66,11 @@ func (pc *pseudocosts) score(v int, frac float64) (float64, bool) {
 		down = eps
 	}
 	return up * down, reliable
+}
+
+// initialized returns the number of variables with pseudocost observations.
+func (pc *pseudocosts) initialized() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.inits
 }

@@ -4,11 +4,14 @@ import (
 	"container/heap"
 	"context"
 	"math"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"milpjoin/internal/milp"
+	"milpjoin/internal/obs"
 	"milpjoin/internal/simplex"
 )
 
@@ -35,6 +38,7 @@ func Solve(ctx context.Context, comp *milp.Computational, params Params) (*Resul
 		lastBound: math.Inf(-1),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.nodesPerWorker = make([]int, params.Threads)
 	if params.TimeLimit > 0 {
 		s.deadline = s.start.Add(params.TimeLimit)
 	}
@@ -75,12 +79,19 @@ func Solve(ctx context.Context, comp *milp.Computational, params Params) (*Resul
 		}
 	}()
 
+	// pprof labels attribute worker CPU time to the search phase, so a
+	// CPU profile splits solver time by phase and worker.
 	var wg sync.WaitGroup
 	for w := 0; w < params.Threads; w++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			s.worker(id)
+			pprof.Do(ctx, pprof.Labels(
+				"milp_phase", "bb_search",
+				"milp_worker", strconv.Itoa(id),
+			), func(context.Context) {
+				s.worker(id)
+			})
 		}(w)
 	}
 	wg.Wait()
@@ -121,6 +132,19 @@ type searcher struct {
 	stopStatus   Status
 	stopSet      bool
 
+	// Observability counters (guarded by mu).
+	nodesPerWorker []int
+	peakOpen       int
+	refactors      int
+	rootLPIters    int
+	rootLPTime     time.Duration
+	lpTime         time.Duration
+	heurTime       time.Duration
+	heurCalls      int
+	heurSuccesses  int
+	incumbents     int
+	boundImps      int
+
 	stopFlag atomic.Bool
 	pc       *pseudocosts
 
@@ -130,6 +154,9 @@ type searcher struct {
 
 // worker is the node-processing loop run by each thread.
 func (s *searcher) worker(id int) {
+	s.mu.Lock()
+	s.emitLocked(obs.Event{Kind: obs.KindWorkerStart, Worker: id})
+	s.mu.Unlock()
 	for {
 		s.mu.Lock()
 		for !s.done && len(s.open) == 0 && len(s.inFlight) > 0 {
@@ -139,6 +166,7 @@ func (s *searcher) worker(id int) {
 			// Tree exhausted (or externally stopped).
 			s.done = true
 			s.cond.Broadcast()
+			s.emitLocked(obs.Event{Kind: obs.KindWorkerStop, Worker: id})
 			s.mu.Unlock()
 			return
 		}
@@ -150,13 +178,17 @@ func (s *searcher) worker(id int) {
 		}
 		s.inFlight[id] = nd.bound
 		s.nodes++
+		s.nodesPerWorker[id]++
 		nodeIdx := s.nodes
 		if s.params.MaxNodes > 0 && s.nodes >= s.params.MaxNodes {
 			s.setStop(StatusNodeLimit)
 		}
+		if s.params.EventNodeInterval > 0 && s.nodes%s.params.EventNodeInterval == 0 {
+			s.emitLocked(obs.Event{Kind: obs.KindNodeBatch, Worker: id})
+		}
 		s.mu.Unlock()
 
-		children, repush := s.processNode(nd, nodeIdx)
+		children, repush := s.processNode(nd, nodeIdx, id)
 
 		s.mu.Lock()
 		delete(s.inFlight, id)
@@ -168,17 +200,37 @@ func (s *searcher) worker(id int) {
 				heap.Push(&s.open, c)
 			}
 		}
+		if len(s.open) > s.peakOpen {
+			s.peakOpen = len(s.open)
+		}
 		s.checkTermination()
-		// Surface bound improvements to the anytime callback (the
+		// Surface bound improvements to the anytime consumers (the
 		// incumbent path notifies separately in offerIncumbent).
-		if s.params.OnImprovement != nil {
+		if s.params.OnImprovement != nil || s.params.Events != nil {
 			if b := s.globalBoundLocked(); b-s.lastBound > 1e-3*(1+math.Abs(b)) {
-				s.notifyLocked()
+				s.notifyLocked(obs.KindBound)
 			}
 		}
 		s.cond.Broadcast()
 		s.mu.Unlock()
 	}
+}
+
+// emitLocked sends one event stamped with the current anytime state of the
+// search (incumbent, bound, gap, node counts). Caller holds s.mu; callers
+// fill Kind, Worker (-1 when not worker-bound), and payload fields.
+func (s *searcher) emitLocked(ev obs.Event) {
+	if s.params.Events == nil {
+		return
+	}
+	bound := s.globalBoundLocked()
+	ev.Incumbent = s.incObj
+	ev.Bound = bound
+	ev.Gap = relGap(s.incObj, bound)
+	ev.HasIncumbent = s.hasInc
+	ev.Nodes = s.nodes
+	ev.OpenNodes = len(s.open) + len(s.inFlight)
+	s.params.Events.Emit(ev)
 }
 
 // setStop flags early termination with the given status (first wins).
@@ -235,7 +287,7 @@ func (s *searcher) globalBoundLocked() float64 {
 
 // processNode solves one node LP and returns children to enqueue, plus an
 // optional node to re-push (used when a solve was aborted mid-flight).
-func (s *searcher) processNode(nd *node, nodeIdx int) (children []*node, repush *node) {
+func (s *searcher) processNode(nd *node, nodeIdx, wid int) (children []*node, repush *node) {
 	if s.stopFlag.Load() {
 		return nil, nd
 	}
@@ -244,9 +296,25 @@ func (s *searcher) processNode(nd *node, nodeIdx int) (children []*node, repush 
 	u := append([]float64(nil), s.rootU...)
 	nd.applyBounds(l, u)
 
+	lpStart := time.Now()
 	lp, iters, st := s.solveLP(l, u, nd.basis)
+	lpDur := time.Since(lpStart)
 	s.mu.Lock()
 	s.simplexIters += iters
+	s.lpTime += lpDur
+	if lp != nil {
+		s.refactors += lp.Refactors
+	}
+	if nd.parent == nil && st == simplex.StatusOptimal {
+		s.rootLPIters += iters
+		s.rootLPTime += lpDur
+		s.emitLocked(obs.Event{
+			Kind:      obs.KindLPRelaxation,
+			Worker:    wid,
+			Objective: lp.Obj,
+			Iters:     iters,
+		})
+	}
 	s.mu.Unlock()
 
 	switch st {
@@ -309,7 +377,20 @@ func (s *searcher) processNode(nd *node, nodeIdx int) (children []*node, repush 
 	// root and periodically.
 	s.tryRounding(lp.X)
 	if s.params.DiveEvery > 0 && (nd.parent == nil || nodeIdx%s.params.DiveEvery == 0) {
-		s.dive(l, u, lp)
+		diveStart := time.Now()
+		var improved bool
+		pprof.Do(s.ctx, pprof.Labels("milp_phase", "heuristic_dive"), func(context.Context) {
+			improved = s.dive(l, u, lp)
+		})
+		diveDur := time.Since(diveStart)
+		s.mu.Lock()
+		s.heurTime += diveDur
+		s.heurCalls++
+		if improved {
+			s.heurSuccesses++
+		}
+		s.emitLocked(obs.Event{Kind: obs.KindHeuristic, Worker: wid, Success: improved})
+		s.mu.Unlock()
 	}
 
 	bv, bval := s.selectBranchVar(lp.X, frac)
@@ -439,33 +520,45 @@ func (s *searcher) selectBranchVar(x []float64, frac []int) (int, float64) {
 // variables are integer within tolerance; they are stored as-is (rounding
 // them without recomputing the logical columns could violate rows).
 // Untrusted candidates (heuristics) are revalidated first.
-func (s *searcher) offerIncumbent(x []float64, trusted bool) {
+func (s *searcher) offerIncumbent(x []float64, trusted bool) bool {
 	xr := append([]float64(nil), x...)
 	if !trusted && !s.checkFeasibleComputational(xr) {
-		return
+		return false
 	}
 	var obj float64
 	for j, c := range s.comp.Problem.C {
 		obj += c * xr[j]
 	}
+	improved := false
 	s.mu.Lock()
 	if obj < s.incObj-1e-12 {
 		s.incObj = obj
 		s.incumbent = xr
 		s.hasInc = true
-		s.notifyLocked()
+		improved = true
+		s.notifyLocked(obs.KindIncumbent)
 		s.checkTermination()
 	}
 	s.mu.Unlock()
+	return improved
 }
 
-// notifyLocked invokes the progress callback. Caller holds s.mu.
-func (s *searcher) notifyLocked() {
-	if s.params.OnImprovement == nil {
-		return
+// notifyLocked records an incumbent or bound improvement: it updates the
+// improvement counters, emits the matching event, and invokes the legacy
+// progress callback. Caller holds s.mu.
+func (s *searcher) notifyLocked(kind obs.EventKind) {
+	switch kind {
+	case obs.KindIncumbent:
+		s.incumbents++
+	case obs.KindBound:
+		s.boundImps++
 	}
 	bound := s.globalBoundLocked()
 	s.lastBound = bound
+	s.emitLocked(obs.Event{Kind: kind, Worker: -1})
+	if s.params.OnImprovement == nil {
+		return
+	}
 	s.params.OnImprovement(Progress{
 		Incumbent:    s.incObj,
 		Bound:        bound,
@@ -510,13 +603,20 @@ func (s *searcher) tryRounding(x []float64) {
 		}
 		xs[j] = v
 	}
-	s.completeAndOffer(xs)
+	improved := s.completeAndOffer(xs)
+	s.mu.Lock()
+	s.heurCalls++
+	if improved {
+		s.heurSuccesses++
+	}
+	s.mu.Unlock()
 }
 
 // completeAndOffer extends a structural assignment with exact logical
 // values (s_i = b_i − (A_s·x_s)_i: the logical columns are the identity
-// block) and offers the completed point as an untrusted incumbent.
-func (s *searcher) completeAndOffer(xs []float64) {
+// block) and offers the completed point as an untrusted incumbent. It
+// reports whether the point improved the incumbent.
+func (s *searcher) completeAndOffer(xs []float64) bool {
 	ns := s.comp.NumStructural
 	x := make([]float64, s.comp.Problem.NumCols())
 	copy(x, xs[:ns])
@@ -534,7 +634,7 @@ func (s *searcher) completeAndOffer(xs []float64) {
 	for i := range act {
 		x[ns+i] = s.comp.Problem.B[i] - act[i]
 	}
-	s.offerIncumbent(x, false)
+	return s.offerIncumbent(x, false)
 }
 
 // dive runs a depth-first fixing heuristic from an LP-feasible point. Each
@@ -542,19 +642,18 @@ func (s *searcher) completeAndOffer(xs []float64) {
 // single most-integral fractional one, then re-solves; with batch fixing
 // the dive reaches an integer point (or proves the path dead) in a number
 // of LP solves far smaller than the number of integer variables.
-func (s *searcher) dive(l, u []float64, lp *simplex.Result) {
+func (s *searcher) dive(l, u []float64, lp *simplex.Result) bool {
 	const maxLPSolves = 400
 	dl := append([]float64(nil), l...)
 	du := append([]float64(nil), u...)
 	cur := lp
 	for solves := 0; solves < maxLPSolves; solves++ {
 		if s.stopFlag.Load() {
-			return
+			return false
 		}
 		frac := s.fractionalVars(cur.X)
 		if len(frac) == 0 {
-			s.offerIncumbent(cur.X, true)
-			return
+			return s.offerIncumbent(cur.X, true)
 		}
 		// Batch-fix all nearly-integral variables, then the single
 		// most-integral fractional one.
@@ -581,19 +680,25 @@ func (s *searcher) dive(l, u []float64, lp *simplex.Result) {
 		}
 		fixVar(best)
 
+		lpStart := time.Now()
 		res, iters, st := s.solveLP(dl, du, cur.Basis)
 		s.mu.Lock()
 		s.simplexIters += iters
+		s.lpTime += time.Since(lpStart)
+		if res != nil {
+			s.refactors += res.Refactors
+		}
 		cutoff := math.Inf(1)
 		if s.hasInc {
 			cutoff = s.incObj
 		}
 		s.mu.Unlock()
 		if st != simplex.StatusOptimal || res.Obj >= cutoff {
-			return
+			return false
 		}
 		cur = res
 	}
+	return false
 }
 
 // finish assembles the result after all workers exit.
@@ -607,6 +712,26 @@ func (s *searcher) finish() *Result {
 		Nodes:        s.nodes,
 		SimplexIters: s.simplexIters,
 		Elapsed:      time.Since(s.start),
+		Stats: obs.Stats{
+			SearchTime:         time.Since(s.start),
+			LPTime:             s.lpTime,
+			RootLPTime:         s.rootLPTime,
+			HeuristicTime:      s.heurTime,
+			Nodes:              s.nodes,
+			PeakOpenNodes:      s.peakOpen,
+			Workers:            s.params.Threads,
+			NodesPerWorker:     append([]int(nil), s.nodesPerWorker...),
+			SimplexIters:       s.simplexIters,
+			RootLPIters:        s.rootLPIters,
+			Refactorizations:   s.refactors,
+			HeuristicCalls:     s.heurCalls,
+			HeuristicSuccesses: s.heurSuccesses,
+			Incumbents:         s.incumbents,
+			BoundImprovements:  s.boundImps,
+		},
+	}
+	if s.pc != nil {
+		res.Stats.PseudocostInits = s.pc.initialized()
 	}
 	if s.hasInc {
 		res.X = s.incumbent

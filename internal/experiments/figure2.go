@@ -176,7 +176,10 @@ func runDP(ctx context.Context, q *qopt.Query, cfg Figure2Config) *Trace {
 	return tr
 }
 
-// runMILP optimizes via the MILP encoding, recording anytime events.
+// runMILP optimizes via the MILP encoding, reconstructing the anytime
+// trajectory from the solver's structured event stream: incumbent and
+// bound events carry the anytime state every other event kind shares, so
+// the trace needs no ad-hoc solver hooks.
 func runMILP(ctx context.Context, q *qopt.Query, cfg Figure2Config, prec core.Precision) (*Trace, error) {
 	tr := &Trace{}
 	opts := core.Options{
@@ -187,12 +190,15 @@ func runMILP(ctx context.Context, q *qopt.Query, cfg Figure2Config, prec core.Pr
 	res, err := core.Optimize(ctx, q, opts, solver.Params{
 		TimeLimit: cfg.Timeout,
 		Threads:   cfg.Threads,
-		OnImprovement: func(p solver.Progress) {
-			inc := math.Inf(1)
-			if p.HasIncumbent {
-				inc = p.Incumbent
+		OnEvent: func(ev solver.Event) {
+			if ev.Kind != solver.KindIncumbent && ev.Kind != solver.KindBound {
+				return
 			}
-			tr.Add(p.Elapsed, inc, p.Bound)
+			inc := math.Inf(1)
+			if ev.HasIncumbent {
+				inc = ev.Incumbent
+			}
+			tr.Add(ev.Elapsed, inc, ev.Bound)
 		},
 	})
 	if err != nil {

@@ -1,0 +1,270 @@
+// Package obs is the solver observability layer: a typed event stream and
+// per-phase statistics shared by every layer of the MILP stack (presolve,
+// simplex, branch and bound, solver facade) and surfaced through the public
+// joinorder API. It is a leaf package — the solver layers import it, never
+// the reverse — so one Event type can travel from the simplex kernel to the
+// CLI without adapter chains.
+//
+// Events describe what the solver is doing (an incumbent was found, a cut
+// round ran, a worker started); Stats aggregate where the time went. Both
+// are designed for machines first: Event and Stats marshal to JSON, so an
+// anytime trajectory (the paper's Figure 2) can be reconstructed from the
+// stream alone.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+)
+
+// EventKind classifies a solver event.
+type EventKind int
+
+const (
+	// KindPresolve summarises the presolve phase: rounds swept, rows and
+	// columns removed.
+	KindPresolve EventKind = iota
+	// KindLPRelaxation reports the root LP relaxation solve: its
+	// objective (the first lower bound) and simplex iterations.
+	KindLPRelaxation
+	// KindIncumbent reports a new best integer solution.
+	KindIncumbent
+	// KindBound reports an improvement of the proven global lower bound.
+	KindBound
+	// KindCutRound reports one round of root cut generation.
+	KindCutRound
+	// KindHeuristic reports a primal heuristic attempt (a dive) and
+	// whether it produced an improving incumbent.
+	KindHeuristic
+	// KindNodeBatch is a periodic snapshot of the branch-and-bound
+	// search: nodes explored, open-node count, current incumbent/bound.
+	KindNodeBatch
+	// KindWorkerStart marks a branch-and-bound worker starting.
+	KindWorkerStart
+	// KindWorkerStop marks a worker exiting; per-worker node counts are
+	// reported in Stats.NodesPerWorker.
+	KindWorkerStop
+)
+
+// String names the kind (stable identifiers, used in JSON output).
+func (k EventKind) String() string {
+	switch k {
+	case KindPresolve:
+		return "presolve"
+	case KindLPRelaxation:
+		return "lp_relaxation"
+	case KindIncumbent:
+		return "incumbent"
+	case KindBound:
+		return "bound"
+	case KindCutRound:
+		return "cut_round"
+	case KindHeuristic:
+		return "heuristic"
+	case KindNodeBatch:
+		return "node_batch"
+	case KindWorkerStart:
+		return "worker_start"
+	case KindWorkerStop:
+		return "worker_stop"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// MarshalJSON renders the kind as its string name.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// Event is one observation from the solver stack. Every event carries the
+// anytime state at emission time (incumbent, bound, gap, node count) plus
+// kind-specific payload fields; consumers that only care about the
+// trajectory can treat all kinds uniformly.
+//
+// Events are serialised: callbacks never run concurrently, Seq increases
+// by one per event, Incumbent never worsens and Bound never regresses
+// across the stream of a single solve.
+type Event struct {
+	Kind    EventKind
+	Seq     int           // 0-based emission index within the solve
+	Elapsed time.Duration // since the solve started
+	Worker  int           // emitting worker ID, -1 when not worker-bound
+
+	// Anytime state at emission time.
+	Incumbent    float64 // best integer objective (+Inf while none)
+	Bound        float64 // proven global lower bound (-Inf initially)
+	Gap          float64 // relative gap (+Inf while no incumbent)
+	HasIncumbent bool
+	Nodes        int // branch-and-bound nodes explored so far
+	OpenNodes    int // open (unexplored) nodes at emission time
+
+	// Kind-specific payload (zero where not applicable).
+	Objective   float64 // KindLPRelaxation: root LP objective
+	Iters       int     // KindLPRelaxation, KindCutRound: simplex iterations
+	Rounds      int     // KindPresolve: sweeps; KindCutRound: round index
+	RowsRemoved int     // KindPresolve
+	ColsRemoved int     // KindPresolve
+	Cuts        int     // KindCutRound: cuts added this round
+	Success     bool    // KindHeuristic: found an improving incumbent
+}
+
+// String renders the event as a one-line log entry.
+func (e Event) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "[%8s] #%-4d %-13s", e.Elapsed.Truncate(time.Millisecond), e.Seq, e.Kind)
+	if e.Worker >= 0 {
+		fmt.Fprintf(&sb, " worker=%d", e.Worker)
+	}
+	switch e.Kind {
+	case KindPresolve:
+		fmt.Fprintf(&sb, " rounds=%d rows-removed=%d cols-removed=%d", e.Rounds, e.RowsRemoved, e.ColsRemoved)
+	case KindLPRelaxation:
+		fmt.Fprintf(&sb, " obj=%.6g iters=%d", e.Objective, e.Iters)
+	case KindCutRound:
+		fmt.Fprintf(&sb, " round=%d cuts=%d", e.Rounds, e.Cuts)
+	case KindHeuristic:
+		fmt.Fprintf(&sb, " success=%v", e.Success)
+	case KindNodeBatch:
+		fmt.Fprintf(&sb, " open=%d", e.OpenNodes)
+	}
+	if e.HasIncumbent {
+		fmt.Fprintf(&sb, " incumbent=%.6g", e.Incumbent)
+	}
+	if !math.IsInf(e.Bound, -1) {
+		fmt.Fprintf(&sb, " bound=%.6g gap=%.4f", e.Bound, e.Gap)
+	}
+	if e.Nodes > 0 {
+		fmt.Fprintf(&sb, " nodes=%d", e.Nodes)
+	}
+	return sb.String()
+}
+
+// eventJSON is the wire form of an Event; infinite objective values become
+// null so the document stays valid JSON.
+type eventJSON struct {
+	Kind         EventKind `json:"kind"`
+	Seq          int       `json:"seq"`
+	ElapsedSec   float64   `json:"elapsed_sec"`
+	Worker       *int      `json:"worker,omitempty"`
+	Incumbent    *float64  `json:"incumbent,omitempty"`
+	Bound        *float64  `json:"bound,omitempty"`
+	Gap          *float64  `json:"gap,omitempty"`
+	HasIncumbent bool      `json:"has_incumbent"`
+	Nodes        int       `json:"nodes,omitempty"`
+	OpenNodes    int       `json:"open_nodes,omitempty"`
+	Objective    *float64  `json:"objective,omitempty"`
+	Iters        int       `json:"iters,omitempty"`
+	Rounds       int       `json:"rounds,omitempty"`
+	RowsRemoved  int       `json:"rows_removed,omitempty"`
+	ColsRemoved  int       `json:"cols_removed,omitempty"`
+	Cuts         int       `json:"cuts,omitempty"`
+	Success      bool      `json:"success,omitempty"`
+}
+
+// finiteOrNil maps non-finite values to nil for JSON.
+func finiteOrNil(v float64) *float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+// MarshalJSON emits the event with non-finite numbers as null and the kind
+// as a string.
+func (e Event) MarshalJSON() ([]byte, error) {
+	out := eventJSON{
+		Kind:         e.Kind,
+		Seq:          e.Seq,
+		ElapsedSec:   e.Elapsed.Seconds(),
+		HasIncumbent: e.HasIncumbent,
+		Nodes:        e.Nodes,
+		OpenNodes:    e.OpenNodes,
+		Iters:        e.Iters,
+		Rounds:       e.Rounds,
+		RowsRemoved:  e.RowsRemoved,
+		ColsRemoved:  e.ColsRemoved,
+		Cuts:         e.Cuts,
+		Success:      e.Success,
+	}
+	if e.Worker >= 0 {
+		w := e.Worker
+		out.Worker = &w
+	}
+	if e.HasIncumbent {
+		out.Incumbent = finiteOrNil(e.Incumbent)
+	}
+	out.Bound = finiteOrNil(e.Bound)
+	out.Gap = finiteOrNil(e.Gap)
+	if e.Kind == KindLPRelaxation {
+		out.Objective = finiteOrNil(e.Objective)
+	}
+	return json.Marshal(out)
+}
+
+// RelGap is the relative gap between an incumbent objective and a proven
+// lower bound, as reported in events and results: (inc − bound)/|inc|,
+// clamped at zero, +Inf while no incumbent exists.
+func RelGap(inc, bound float64) float64 {
+	if math.IsInf(inc, 1) {
+		return math.Inf(1)
+	}
+	d := inc - bound
+	if d <= 0 {
+		return 0
+	}
+	return d / math.Max(1e-9, math.Abs(inc))
+}
+
+// Emitter serialises events from concurrent solver layers: it assigns
+// sequence numbers, stamps elapsed times against one solve-wide clock, and
+// invokes the sink under a lock so callbacks never run concurrently. A nil
+// *Emitter is valid and drops everything, so call sites need no guards.
+type Emitter struct {
+	mu    sync.Mutex
+	start time.Time
+	seq   int
+	sink  func(Event)
+}
+
+// NewEmitter builds an emitter over the sink; a nil sink yields a nil
+// emitter (all Emit calls no-ops).
+func NewEmitter(start time.Time, sink func(Event)) *Emitter {
+	if sink == nil {
+		return nil
+	}
+	if start.IsZero() {
+		start = time.Now()
+	}
+	return &Emitter{start: start, sink: sink}
+}
+
+// Emit stamps and forwards one event. Safe for concurrent use; events are
+// delivered one at a time in emission order.
+func (e *Emitter) Emit(ev Event) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ev.Seq = e.seq
+	e.seq++
+	if ev.Elapsed == 0 {
+		ev.Elapsed = time.Since(e.start)
+	}
+	e.sink(ev)
+}
+
+// Count returns the number of events emitted so far.
+func (e *Emitter) Count() int {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.seq
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilEmitterIsSafe(t *testing.T) {
+	var e *Emitter
+	e.Emit(Event{Kind: KindIncumbent}) // must not panic
+	if e.Count() != 0 {
+		t.Fatalf("nil emitter Count = %d", e.Count())
+	}
+	if NewEmitter(time.Now(), nil) != nil {
+		t.Fatal("NewEmitter with nil sink should return nil")
+	}
+}
+
+func TestEmitterAssignsSequenceAndElapsed(t *testing.T) {
+	var got []Event
+	e := NewEmitter(time.Now().Add(-time.Second), func(ev Event) { got = append(got, ev) })
+	e.Emit(Event{Kind: KindPresolve})
+	e.Emit(Event{Kind: KindIncumbent})
+	e.Emit(Event{Kind: KindBound, Elapsed: 42 * time.Millisecond})
+	if len(got) != 3 || e.Count() != 3 {
+		t.Fatalf("emitted %d events, Count %d", len(got), e.Count())
+	}
+	for i, ev := range got {
+		if ev.Seq != i {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	if got[0].Elapsed < time.Second {
+		t.Errorf("auto-stamped elapsed %v, want >= 1s", got[0].Elapsed)
+	}
+	if got[2].Elapsed != 42*time.Millisecond {
+		t.Errorf("explicit elapsed overwritten: %v", got[2].Elapsed)
+	}
+}
+
+func TestEmitterSerialisesConcurrentEmits(t *testing.T) {
+	var seqs []int
+	e := NewEmitter(time.Now(), func(ev Event) { seqs = append(seqs, ev.Seq) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				e.Emit(Event{Kind: KindNodeBatch})
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seqs) != 400 {
+		t.Fatalf("got %d events, want 400", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != i {
+			t.Fatalf("seq %d delivered at position %d", s, i)
+		}
+	}
+}
+
+func TestEventJSONMapsInfinitiesToNull(t *testing.T) {
+	ev := Event{
+		Kind:      KindNodeBatch,
+		Worker:    1,
+		Incumbent: math.Inf(1),
+		Bound:     math.Inf(-1),
+		Gap:       math.Inf(1),
+		Nodes:     7,
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("event JSON invalid: %v\n%s", err, data)
+	}
+	if doc["kind"] != "node_batch" {
+		t.Errorf("kind = %v", doc["kind"])
+	}
+	for _, k := range []string{"incumbent", "bound", "gap"} {
+		if v, ok := doc[k]; ok && v != nil {
+			t.Errorf("%s = %v, want null/omitted", k, v)
+		}
+	}
+	if doc["worker"] != float64(1) {
+		t.Errorf("worker = %v", doc["worker"])
+	}
+}
+
+func TestEventStringPerKind(t *testing.T) {
+	cases := []struct {
+		ev   Event
+		want string
+	}{
+		{Event{Kind: KindPresolve, Worker: -1, Rounds: 2, RowsRemoved: 3}, "rows-removed=3"},
+		{Event{Kind: KindLPRelaxation, Worker: 0, Objective: 12.5, Iters: 9}, "obj=12.5"},
+		{Event{Kind: KindCutRound, Worker: -1, Rounds: 1, Cuts: 4}, "cuts=4"},
+		{Event{Kind: KindHeuristic, Worker: 1, Success: true}, "success=true"},
+		{Event{Kind: KindWorkerStart, Worker: 3}, "worker=3"},
+	}
+	for _, tc := range cases {
+		if s := tc.ev.String(); !strings.Contains(s, tc.want) {
+			t.Errorf("String() = %q, want substring %q", s, tc.want)
+		}
+	}
+}
+
+func TestRelGap(t *testing.T) {
+	cases := []struct {
+		inc, bound, want float64
+	}{
+		{math.Inf(1), -10, math.Inf(1)},
+		{100, 100, 0},
+		{100, 110, 0}, // bound past incumbent clamps to zero
+		{100, 50, 0.5},
+		{-50, -100, 1},
+	}
+	for _, tc := range cases {
+		if got := RelGap(tc.inc, tc.bound); got != tc.want {
+			t.Errorf("RelGap(%g, %g) = %g, want %g", tc.inc, tc.bound, got, tc.want)
+		}
+	}
+}
+
+func TestStatsReporting(t *testing.T) {
+	s := Stats{
+		PresolveTime:       time.Millisecond,
+		TotalTime:          10 * time.Millisecond,
+		Nodes:              12,
+		Workers:            2,
+		NodesPerWorker:     []int{7, 5},
+		SimplexIters:       345,
+		HeuristicCalls:     4,
+		HeuristicSuccesses: 1,
+	}
+	if got := s.HeuristicSuccessRate(); got != 0.25 {
+		t.Errorf("HeuristicSuccessRate = %g", got)
+	}
+	if got := (Stats{}).HeuristicSuccessRate(); got != 0 {
+		t.Errorf("zero-stats HeuristicSuccessRate = %g", got)
+	}
+	if str := s.String(); !strings.Contains(str, "12 nodes") || !strings.Contains(str, "2 workers") {
+		t.Errorf("Stats.String() = %q", str)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["simplex_iters"] != float64(345) {
+		t.Errorf("simplex_iters = %v", doc["simplex_iters"])
+	}
+	if doc["heuristic_success_rate"] != 0.25 {
+		t.Errorf("heuristic_success_rate = %v", doc["heuristic_success_rate"])
+	}
+	if doc["total_sec"] != 0.01 {
+		t.Errorf("total_sec = %v", doc["total_sec"])
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Stats aggregate where a MILP solve spent its effort, per phase. The
+// solver facade returns them on every Result; the public API surfaces them
+// as joinorder.Result.Stats. Cumulative times (LPTime, HeuristicTime) are
+// summed across parallel workers, so they can exceed the wall-clock phase
+// times on multi-threaded runs.
+type Stats struct {
+	// Per-phase wall-clock time.
+	PresolveTime time.Duration // presolve sweeps
+	RootLPTime   time.Duration // root LP relaxation solve
+	CutTime      time.Duration // root cut generation
+	SearchTime   time.Duration // branch-and-bound phase (wall clock)
+	TotalTime    time.Duration // whole solve, including decode glue
+
+	// Cumulative in-phase time, summed across workers.
+	LPTime        time.Duration // inside node LP solves
+	HeuristicTime time.Duration // inside diving heuristics
+
+	// Presolve outcome.
+	PresolveRounds int
+	RowsRemoved    int
+	ColsRemoved    int
+
+	// Root cuts.
+	CutRounds int
+	CutsAdded int
+
+	// Branch-and-bound search shape.
+	Nodes          int
+	PeakOpenNodes  int
+	Workers        int
+	NodesPerWorker []int
+
+	// Simplex kernel effort.
+	SimplexIters     int
+	RootLPIters      int
+	Refactorizations int // LU refactorizations across all node solves
+
+	// Branching and primal heuristics.
+	PseudocostInits    int // variables with initialised pseudocosts
+	HeuristicCalls     int // rounding and diving attempts
+	HeuristicSuccesses int // attempts that improved the incumbent
+
+	// Anytime trajectory.
+	Incumbents        int // incumbent improvements observed
+	BoundImprovements int // bound-improvement notifications
+	Events            int // events emitted to the stream
+}
+
+// HeuristicSuccessRate is the fraction of primal heuristic attempts that
+// improved the incumbent (0 when none ran).
+func (s Stats) HeuristicSuccessRate() float64 {
+	if s.HeuristicCalls == 0 {
+		return 0
+	}
+	return float64(s.HeuristicSuccesses) / float64(s.HeuristicCalls)
+}
+
+// String renders a multi-line human-readable report.
+func (s Stats) String() string {
+	var sb strings.Builder
+	d := func(v time.Duration) string { return v.Truncate(time.Microsecond).String() }
+	fmt.Fprintf(&sb, "phases:     presolve %s, root LP %s, cuts %s, search %s (total %s)\n",
+		d(s.PresolveTime), d(s.RootLPTime), d(s.CutTime), d(s.SearchTime), d(s.TotalTime))
+	fmt.Fprintf(&sb, "simplex:    %d iterations (%d at root), %d LU refactorizations, %s in node LPs\n",
+		s.SimplexIters, s.RootLPIters, s.Refactorizations, d(s.LPTime))
+	fmt.Fprintf(&sb, "presolve:   %d rounds, removed %d rows, %d cols\n",
+		s.PresolveRounds, s.RowsRemoved, s.ColsRemoved)
+	if s.CutRounds > 0 {
+		fmt.Fprintf(&sb, "cuts:       %d rounds, %d added\n", s.CutRounds, s.CutsAdded)
+	}
+	fmt.Fprintf(&sb, "search:     %d nodes, peak %d open, %d workers", s.Nodes, s.PeakOpenNodes, s.Workers)
+	if len(s.NodesPerWorker) > 0 {
+		fmt.Fprintf(&sb, " %v", s.NodesPerWorker)
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "branching:  %d pseudocost initializations\n", s.PseudocostInits)
+	fmt.Fprintf(&sb, "heuristics: %d/%d successful (%.1f%%), %s diving\n",
+		s.HeuristicSuccesses, s.HeuristicCalls, 100*s.HeuristicSuccessRate(), d(s.HeuristicTime))
+	fmt.Fprintf(&sb, "anytime:    %d incumbents, %d bound improvements, %d events",
+		s.Incumbents, s.BoundImprovements, s.Events)
+	return sb.String()
+}
+
+// statsJSON is the wire form: durations in seconds, stable snake_case keys.
+type statsJSON struct {
+	PresolveSec        float64 `json:"presolve_sec"`
+	RootLPSec          float64 `json:"root_lp_sec"`
+	CutSec             float64 `json:"cut_sec"`
+	SearchSec          float64 `json:"search_sec"`
+	TotalSec           float64 `json:"total_sec"`
+	LPSec              float64 `json:"lp_sec"`
+	HeuristicSec       float64 `json:"heuristic_sec"`
+	PresolveRounds     int     `json:"presolve_rounds"`
+	RowsRemoved        int     `json:"rows_removed"`
+	ColsRemoved        int     `json:"cols_removed"`
+	CutRounds          int     `json:"cut_rounds,omitempty"`
+	CutsAdded          int     `json:"cuts_added,omitempty"`
+	Nodes              int     `json:"nodes"`
+	PeakOpenNodes      int     `json:"peak_open_nodes"`
+	Workers            int     `json:"workers"`
+	NodesPerWorker     []int   `json:"nodes_per_worker,omitempty"`
+	SimplexIters       int     `json:"simplex_iters"`
+	RootLPIters        int     `json:"root_lp_iters"`
+	Refactorizations   int     `json:"lu_refactorizations"`
+	PseudocostInits    int     `json:"pseudocost_inits"`
+	HeuristicCalls     int     `json:"heuristic_calls"`
+	HeuristicSuccesses int     `json:"heuristic_successes"`
+	HeuristicRate      float64 `json:"heuristic_success_rate"`
+	Incumbents         int     `json:"incumbents"`
+	BoundImprovements  int     `json:"bound_improvements"`
+	Events             int     `json:"events"`
+}
+
+// MarshalJSON emits the stats with durations converted to seconds.
+func (s Stats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(statsJSON{
+		PresolveSec:        s.PresolveTime.Seconds(),
+		RootLPSec:          s.RootLPTime.Seconds(),
+		CutSec:             s.CutTime.Seconds(),
+		SearchSec:          s.SearchTime.Seconds(),
+		TotalSec:           s.TotalTime.Seconds(),
+		LPSec:              s.LPTime.Seconds(),
+		HeuristicSec:       s.HeuristicTime.Seconds(),
+		PresolveRounds:     s.PresolveRounds,
+		RowsRemoved:        s.RowsRemoved,
+		ColsRemoved:        s.ColsRemoved,
+		CutRounds:          s.CutRounds,
+		CutsAdded:          s.CutsAdded,
+		Nodes:              s.Nodes,
+		PeakOpenNodes:      s.PeakOpenNodes,
+		Workers:            s.Workers,
+		NodesPerWorker:     s.NodesPerWorker,
+		SimplexIters:       s.SimplexIters,
+		RootLPIters:        s.RootLPIters,
+		Refactorizations:   s.Refactorizations,
+		PseudocostInits:    s.PseudocostInits,
+		HeuristicCalls:     s.HeuristicCalls,
+		HeuristicSuccesses: s.HeuristicSuccesses,
+		HeuristicRate:      s.HeuristicSuccessRate(),
+		Incumbents:         s.Incumbents,
+		BoundImprovements:  s.BoundImprovements,
+		Events:             s.Events,
+	})
+}

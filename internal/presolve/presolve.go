@@ -8,6 +8,7 @@ package presolve
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"milpjoin/internal/milp"
 )
@@ -50,6 +51,12 @@ type Result struct {
 	Model *milp.Model
 	// Rounds is the number of propagation sweeps performed.
 	Rounds int
+	// RowsRemoved and ColsRemoved count the constraints and variables
+	// eliminated relative to the input model (everything, when presolve
+	// solved the model outright).
+	RowsRemoved, ColsRemoved int
+	// Elapsed is the presolve wall-clock time.
+	Elapsed time.Duration
 
 	// origVars is the original variable count.
 	origVars int
@@ -110,6 +117,23 @@ type row struct {
 
 // Apply presolves the model.
 func Apply(m *milp.Model, opts Options) (*Result, error) {
+	start := time.Now()
+	res, err := apply(m, opts)
+	if res != nil {
+		res.Elapsed = time.Since(start)
+		switch res.Status {
+		case StatusReduced:
+			res.RowsRemoved = m.NumConstrs() - res.Model.NumConstrs()
+			res.ColsRemoved = m.NumVars() - res.Model.NumVars()
+		case StatusSolved:
+			res.RowsRemoved = m.NumConstrs()
+			res.ColsRemoved = m.NumVars()
+		}
+	}
+	return res, err
+}
+
+func apply(m *milp.Model, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	n := m.NumVars()
 

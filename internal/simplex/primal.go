@@ -72,6 +72,7 @@ type solver struct {
 	degenStreak int
 	bland       bool
 	repairs     int  // emergency basis resets performed
+	refactors   int  // LU refactorizations performed
 	refreshed   bool // fresh factorization since the last pivot
 
 	start time.Time
@@ -113,6 +114,7 @@ func (s *solver) init(warm *Basis) {
 			s.status[j] = s.snapStatus(j, s.status[j])
 		}
 		if err := s.factor.refactorize(s.p.A, s.head); err == nil {
+			s.refactors++
 			s.setNonbasicValues()
 			s.recomputeBasics()
 			return
@@ -168,6 +170,7 @@ func (s *solver) installLogicalBasis() {
 		// the caller violated the contract.
 		panic(fmt.Sprintf("simplex: logical basis singular: %v", err))
 	}
+	s.refactors++
 	s.setNonbasicValues()
 	s.recomputeBasics()
 }
@@ -588,6 +591,7 @@ func (s *solver) refactorizeOrRepair() error {
 	if err := s.factor.refactorize(s.p.A, s.head); err != nil {
 		return s.repair()
 	}
+	s.refactors++
 	s.recomputeBasics()
 	return nil
 }
@@ -607,10 +611,11 @@ func (s *solver) repair() error {
 // finish packages the current state into a Result.
 func (s *solver) finish(st Status) *Result {
 	res := &Result{
-		Status: st,
-		X:      append([]float64(nil), s.x...),
-		Iters:  s.iters,
-		Basis:  &Basis{Status: append([]VarStatus(nil), s.status...), Head: append([]int(nil), s.head...)},
+		Status:    st,
+		X:         append([]float64(nil), s.x...),
+		Iters:     s.iters,
+		Refactors: s.refactors,
+		Basis:     &Basis{Status: append([]VarStatus(nil), s.status...), Head: append([]int(nil), s.head...)},
 	}
 	var obj float64
 	for j := 0; j < s.n; j++ {

@@ -168,6 +168,11 @@ type Result struct {
 	Y      []float64 // dual values (row prices), length m, for Optimal
 	Basis  *Basis    // final basis, usable for warm starts
 	Iters  int       // simplex iterations across both phases
+	// Refactors counts sparse LU refactorizations performed during the
+	// solve (basis installs, periodic rebuilds, and repair resets) — the
+	// dominant per-solve linear-algebra cost besides pivoting, surfaced
+	// for the observability layer.
+	Refactors int
 }
 
 // Options tune the solver.

@@ -16,13 +16,18 @@ import (
 // is unchanged while its LP relaxation tightens.
 //
 // Returns the augmented model (the input is not modified) and the number
-// of cuts added.
-func addGomoryCuts(m *milp.Model, rounds, maxCutsPerRound int) (*milp.Model, int) {
+// of cuts added. onRound, when non-nil, is invoked after each round with
+// the 1-based round index, the cuts added that round, and the simplex
+// iterations its LP solve took.
+func addGomoryCuts(m *milp.Model, rounds, maxCutsPerRound int, onRound func(round, added, iters int)) (*milp.Model, int) {
 	work := cloneModel(m)
 	total := 0
 	for round := 0; round < rounds; round++ {
-		added := gomoryRound(work, maxCutsPerRound)
+		added, iters := gomoryRound(work, maxCutsPerRound)
 		total += added
+		if onRound != nil {
+			onRound(round+1, added, iters)
+		}
 		if added == 0 {
 			break
 		}
@@ -48,19 +53,20 @@ func cloneModel(m *milp.Model) *milp.Model {
 }
 
 // gomoryRound adds up to maxCuts GMI cuts derived from the current LP
-// relaxation optimum; returns the number added.
-func gomoryRound(m *milp.Model, maxCuts int) int {
+// relaxation optimum; returns the number added and the LP's simplex
+// iteration count.
+func gomoryRound(m *milp.Model, maxCuts int) (int, int) {
 	comp := m.Compile()
 	prob := comp.Problem
 	res, err := simplex.Solve(prob, nil, simplex.Options{})
 	if err != nil || res.Status != simplex.StatusOptimal {
-		return 0
+		return 0, 0
 	}
 
 	nCols := prob.NumCols()
 	nRows := prob.NumRows()
 	if nRows == 0 {
-		return 0
+		return 0, res.Iters
 	}
 
 	// Refactorize the optimal basis to answer BTRAN queries for tableau
@@ -74,7 +80,7 @@ func gomoryRound(m *milp.Model, maxCuts int) int {
 	}
 	lu, err := sparse.Factorize(tr.Compress(), sparse.FactorOptions{})
 	if err != nil {
-		return 0
+		return 0, res.Iters
 	}
 	scratch := make([]float64, nRows)
 	rowMajor := prob.A.Transpose() // row i of A = column i of the transpose
@@ -214,5 +220,5 @@ func gomoryRound(m *milp.Model, maxCuts int) int {
 		m.AddConstr(expr, milp.GE, cutRHS, "gomory")
 		added++
 	}
-	return added
+	return added, res.Iters
 }

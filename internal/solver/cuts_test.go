@@ -22,7 +22,7 @@ func TestGomoryCutClosesClassicGap(t *testing.T) {
 	}
 
 	before := build()
-	cut, added := addGomoryCuts(before, 1, 16)
+	cut, added := addGomoryCuts(before, 1, 16, nil)
 	if added == 0 {
 		t.Fatal("no cut generated for the classic fractional vertex")
 	}

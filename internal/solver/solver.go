@@ -9,10 +9,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"time"
 
 	"milpjoin/internal/bb"
 	"milpjoin/internal/milp"
+	"milpjoin/internal/obs"
 	"milpjoin/internal/presolve"
 )
 
@@ -68,6 +70,30 @@ func (s Status) String() string {
 // Objective values include the model's objective constant.
 type Progress = bb.Progress
 
+// Event is one observation from the solver stack (see internal/obs).
+// Objective values (incumbent, bound, LP objective) include the model's
+// objective constant.
+type Event = obs.Event
+
+// EventKind classifies an Event.
+type EventKind = obs.EventKind
+
+// Stats aggregates per-phase solver effort (see internal/obs).
+type Stats = obs.Stats
+
+// Event kinds, re-exported so callers need not import internal packages.
+const (
+	KindPresolve     = obs.KindPresolve
+	KindLPRelaxation = obs.KindLPRelaxation
+	KindIncumbent    = obs.KindIncumbent
+	KindBound        = obs.KindBound
+	KindCutRound     = obs.KindCutRound
+	KindHeuristic    = obs.KindHeuristic
+	KindNodeBatch    = obs.KindNodeBatch
+	KindWorkerStart  = obs.KindWorkerStart
+	KindWorkerStop   = obs.KindWorkerStop
+)
+
 // Params tune the solver.
 type Params struct {
 	// TimeLimit bounds wall-clock time (zero: none).
@@ -87,6 +113,13 @@ type Params struct {
 	Branching bb.BranchRule
 	// OnImprovement receives anytime progress (serialised).
 	OnImprovement func(Progress)
+	// OnEvent receives the full structured event stream of the solve:
+	// presolve summary, cut rounds, the root LP relaxation, incumbents,
+	// bound improvements, heuristic dives, node batches, and worker
+	// lifecycle. Callbacks are serialised (never concurrent) and must be
+	// fast: they run on solver goroutines, some while search locks are
+	// held. Objective values include the model's objective constant.
+	OnEvent func(Event)
 	// InitialSolution optionally seeds the search with a known feasible
 	// assignment in model space (a "MIP start"), length NumVars. An
 	// infeasible start is ignored.
@@ -107,6 +140,10 @@ type Result struct {
 	Elapsed      time.Duration
 	// PresolveRounds reports how many presolve sweeps ran.
 	PresolveRounds int
+	// Stats aggregates per-phase effort: wall time per phase, simplex
+	// iterations, LU refactorizations, heuristic success rates, peak
+	// open-node count, and per-worker node counts.
+	Stats Stats
 }
 
 // ctxStatus maps a context error to the matching termination status.
@@ -157,25 +194,67 @@ func Solve(ctx context.Context, m *milp.Model, params Params) (*Result, error) {
 	}
 	params.TimeLimit = effectiveTimeLimit(ctx, start, params.TimeLimit)
 
+	// The emitter serialises events from every phase against one
+	// solve-wide clock. The sink shifts objective values by the model
+	// constant of the presolved form; objConst is written before branch
+	// and bound starts, and events emitted earlier carry ±Inf objective
+	// values, so the shift is always safe.
+	var objConst float64
+	var emitter *obs.Emitter
+	if params.OnEvent != nil {
+		onEvent := params.OnEvent
+		emitter = obs.NewEmitter(start, func(ev obs.Event) {
+			ev.Incumbent += objConst
+			ev.Bound += objConst
+			if ev.Kind == obs.KindLPRelaxation {
+				ev.Objective += objConst
+			}
+			ev.Gap = obs.RelGap(ev.Incumbent, ev.Bound)
+			onEvent(ev)
+		})
+	}
+	var stats Stats
+	finishStats := func() Stats {
+		stats.TotalTime = time.Since(start)
+		stats.Events = emitter.Count()
+		return stats
+	}
+
 	work := m
 	var pre *presolve.Result
 	if !params.DisablePresolve {
 		var err error
-		pre, err = presolve.Apply(m, presolve.Options{})
+		pprof.Do(ctx, pprof.Labels("milp_phase", "presolve"), func(context.Context) {
+			pre, err = presolve.Apply(m, presolve.Options{})
+		})
 		if err != nil {
 			return nil, err
 		}
+		stats.PresolveTime = pre.Elapsed
+		stats.PresolveRounds = pre.Rounds
+		stats.RowsRemoved = pre.RowsRemoved
+		stats.ColsRemoved = pre.ColsRemoved
+		emitter.Emit(obs.Event{
+			Kind:        obs.KindPresolve,
+			Worker:      -1,
+			Incumbent:   math.Inf(1),
+			Bound:       math.Inf(-1),
+			Rounds:      pre.Rounds,
+			RowsRemoved: pre.RowsRemoved,
+			ColsRemoved: pre.ColsRemoved,
+		})
 		switch pre.Status {
 		case presolve.StatusInfeasible:
 			return &Result{
 				Status:  StatusInfeasible,
 				Bound:   math.Inf(1),
 				Elapsed: time.Since(start),
+				Stats:   finishStats(),
 			}, nil
 		case presolve.StatusSolved:
 			vals := pre.FixedSolution()
 			if err := m.CheckFeasible(vals, 1e-6); err != nil {
-				return &Result{Status: StatusInfeasible, Bound: math.Inf(1), Elapsed: time.Since(start)}, nil
+				return &Result{Status: StatusInfeasible, Bound: math.Inf(1), Elapsed: time.Since(start), Stats: finishStats()}, nil
 			}
 			obj := m.EvalObjective(vals)
 			return &Result{
@@ -184,17 +263,36 @@ func Solve(ctx context.Context, m *milp.Model, params Params) (*Result, error) {
 				Bound:          obj,
 				PresolveRounds: pre.Rounds,
 				Elapsed:        time.Since(start),
+				Stats:          finishStats(),
 			}, nil
 		}
 		work = pre.Model
 	}
 
 	if params.CutRounds > 0 {
-		work, _ = addGomoryCuts(work, params.CutRounds, 16)
+		cutStart := time.Now()
+		var totalCuts, cutRounds int
+		pprof.Do(ctx, pprof.Labels("milp_phase", "cuts"), func(context.Context) {
+			work, totalCuts = addGomoryCuts(work, params.CutRounds, 16, func(round, added, iters int) {
+				cutRounds = round
+				emitter.Emit(obs.Event{
+					Kind:      obs.KindCutRound,
+					Worker:    -1,
+					Incumbent: math.Inf(1),
+					Bound:     math.Inf(-1),
+					Rounds:    round,
+					Cuts:      added,
+					Iters:     iters,
+				})
+			})
+		})
+		stats.CutTime = time.Since(cutStart)
+		stats.CutRounds = cutRounds
+		stats.CutsAdded = totalCuts
 	}
 
 	comp := work.Compile()
-	objConst := work.ObjConstant()
+	objConst = work.ObjConstant()
 
 	bbParams := bb.Params{
 		TimeLimit: params.TimeLimit,
@@ -202,6 +300,7 @@ func Solve(ctx context.Context, m *milp.Model, params Params) (*Result, error) {
 		Threads:   params.Threads,
 		MaxNodes:  params.MaxNodes,
 		Branching: params.Branching,
+		Events:    emitter,
 	}
 	if params.OnImprovement != nil {
 		bbParams.OnImprovement = func(p bb.Progress) {
@@ -229,11 +328,24 @@ func Solve(ctx context.Context, m *milp.Model, params Params) (*Result, error) {
 		return nil, err
 	}
 
+	// Merge the search-phase stats from branch and bound with the
+	// presolve/cut phase stats accumulated above.
+	bbStats := res.Stats
+	bbStats.PresolveTime = stats.PresolveTime
+	bbStats.PresolveRounds = stats.PresolveRounds
+	bbStats.RowsRemoved = stats.RowsRemoved
+	bbStats.ColsRemoved = stats.ColsRemoved
+	bbStats.CutTime = stats.CutTime
+	bbStats.CutRounds = stats.CutRounds
+	bbStats.CutsAdded = stats.CutsAdded
+	stats = bbStats
+
 	out := &Result{
 		Gap:          res.Gap,
 		Nodes:        res.Nodes,
 		SimplexIters: res.SimplexIters,
 		Elapsed:      time.Since(start),
+		Stats:        finishStats(),
 	}
 	if pre != nil {
 		out.PresolveRounds = pre.Rounds

@@ -89,6 +89,35 @@ const (
 // proven lower bound, and the relative gap.
 type Progress = solver.Progress
 
+// Event is one observation from the solver's structured event stream:
+// presolve summary, cut rounds, the root LP relaxation, incumbents, bound
+// improvements, heuristic dives, periodic node batches, and worker
+// lifecycle. Events marshal to JSON and render as one-line log entries via
+// String.
+type Event = solver.Event
+
+// EventKind classifies an Event.
+type EventKind = solver.EventKind
+
+// Stats aggregates per-phase solver effort: wall time per phase, simplex
+// iterations, LU refactorizations, pseudocost initializations, heuristic
+// success rates, peak open-node count, and per-worker node counts. Stats
+// marshal to JSON and render as a multi-line report via String.
+type Stats = solver.Stats
+
+// Event kinds observable on the stream.
+const (
+	KindPresolve     = solver.KindPresolve
+	KindLPRelaxation = solver.KindLPRelaxation
+	KindIncumbent    = solver.KindIncumbent
+	KindBound        = solver.KindBound
+	KindCutRound     = solver.KindCutRound
+	KindHeuristic    = solver.KindHeuristic
+	KindNodeBatch    = solver.KindNodeBatch
+	KindWorkerStart  = solver.KindWorkerStart
+	KindWorkerStop   = solver.KindWorkerStop
+)
+
 // Options configure an optimization run. The zero value asks the default
 // strategy ("milp") for a C_out-optimal plan with no time limit.
 type Options struct {
@@ -142,8 +171,20 @@ type Options struct {
 	// Seed drives the randomized heuristics (deterministic per seed).
 	Seed int64
 
+	// OnEvent, when non-nil, receives the solver's structured event
+	// stream (MILP strategy only). Callbacks are serialised — they never
+	// run concurrently, sequence numbers increase by one, incumbents
+	// never worsen, and bounds never regress within a run — and must be
+	// fast: they execute on solver goroutines, some while search locks
+	// are held.
+	OnEvent func(Event)
+
 	// OnProgress, when non-nil, receives anytime snapshots from
 	// strategies that stream incumbents (serialised).
+	//
+	// Deprecated: OnProgress is a thin adapter over the event stream
+	// (incumbent and bound events only); new code should use OnEvent.
+	// Both callbacks may be set; they observe the same serialised stream.
 	OnProgress func(Progress)
 }
 
@@ -175,6 +216,15 @@ func (o Options) Validate() error {
 	}
 	if o.GapTol < 0 {
 		return fmt.Errorf("%w: negative gap tolerance %g", ErrInvalidOptions, o.GapTol)
+	}
+	if o.MaxNodes < 0 {
+		return fmt.Errorf("%w: negative node limit %d", ErrInvalidOptions, o.MaxNodes)
+	}
+	if o.CardCap != 0 && o.CardCap < 1 {
+		return fmt.Errorf("%w: cardinality cap %g must be at least 1", ErrInvalidOptions, o.CardCap)
+	}
+	if o.MaxDPTables < 0 {
+		return fmt.Errorf("%w: negative DP table limit %d", ErrInvalidOptions, o.MaxDPTables)
 	}
 	if o.InterestingOrders && !o.ChooseOperators {
 		return fmt.Errorf("%w: InterestingOrders requires ChooseOperators", ErrInvalidOptions)
@@ -264,6 +314,9 @@ type Result struct {
 	Nodes int
 	// Elapsed is the optimization wall-clock time.
 	Elapsed time.Duration
+	// Stats aggregates per-phase solver effort (MILP strategy only; nil
+	// for the baselines and heuristics, which have no phases to report).
+	Stats *Stats
 }
 
 // Optimize runs the strategy selected by opts.Strategy on the query. It is

@@ -1,0 +1,96 @@
+package joinorder
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// MarshalJSON renders the status as its string name.
+func (s Status) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// planJSON is the wire form of a left-deep plan.
+type planJSON struct {
+	Order     []int    `json:"order"`
+	Text      string   `json:"text"`
+	Operators []string `json:"operators,omitempty"`
+}
+
+// resultJSON is the wire form of a Result; non-finite numbers (an infinite
+// gap, a -Inf heuristic bound) become null so the document stays valid
+// JSON for every consumer.
+type resultJSON struct {
+	Strategy   string    `json:"strategy"`
+	Status     Status    `json:"status"`
+	Plan       *planJSON `json:"plan,omitempty"`
+	Tree       string    `json:"tree,omitempty"`
+	Cost       *float64  `json:"cost"`
+	Objective  *float64  `json:"objective"`
+	Bound      *float64  `json:"bound"`
+	Gap        *float64  `json:"gap"`
+	Nodes      int       `json:"nodes,omitempty"`
+	ElapsedSec float64   `json:"elapsed_sec"`
+	Stats      *Stats    `json:"stats,omitempty"`
+}
+
+// jsonFinite maps non-finite values to nil for JSON.
+func jsonFinite(v float64) *float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+// MarshalJSON emits one machine-readable document per result: the plan
+// (join order, rendered text, per-join operators), the exact cost, the
+// strategy objective with its proven bound and gap, and — for the MILP
+// strategy — the full per-phase Stats.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	out := resultJSON{
+		Strategy:   r.Strategy,
+		Status:     r.Status,
+		Cost:       jsonFinite(r.Cost),
+		Objective:  jsonFinite(r.Objective),
+		Bound:      jsonFinite(r.Bound),
+		Gap:        jsonFinite(r.Gap),
+		Nodes:      r.Nodes,
+		ElapsedSec: r.Elapsed.Seconds(),
+		Stats:      r.Stats,
+	}
+	if r.Plan != nil {
+		pj := &planJSON{Order: r.Plan.Order, Text: r.Plan.String()}
+		for _, op := range r.Plan.Operators {
+			pj.Operators = append(pj.Operators, op.String())
+		}
+		out.Plan = pj
+	}
+	if r.Tree != nil {
+		out.Tree = r.Tree.String()
+	}
+	return json.Marshal(out)
+}
+
+// String renders the result as a short human-readable report.
+func (r *Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s", r.Strategy, r.Status)
+	switch {
+	case r.Plan != nil:
+		fmt.Fprintf(&sb, " plan=%s", r.Plan)
+	case r.Tree != nil:
+		fmt.Fprintf(&sb, " tree=%s", r.Tree)
+	}
+	fmt.Fprintf(&sb, " cost=%.6g", r.Cost)
+	if !math.IsInf(r.Bound, 0) {
+		fmt.Fprintf(&sb, " bound=%.6g gap=%.4f", r.Bound, r.Gap)
+	}
+	if r.Nodes > 0 {
+		fmt.Fprintf(&sb, " nodes=%d", r.Nodes)
+	}
+	fmt.Fprintf(&sb, " elapsed=%s", r.Elapsed.Truncate(time.Microsecond))
+	return sb.String()
+}

@@ -1,0 +1,72 @@
+package joinorder_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"milpjoin/joinorder"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*joinorder.Options)
+		wantErr bool
+	}{
+		{"zero value", func(o *joinorder.Options) {}, false},
+		{"negative time limit", func(o *joinorder.Options) { o.TimeLimit = -time.Second }, true},
+		{"negative threads", func(o *joinorder.Options) { o.Threads = -1 }, true},
+		{"negative gap tol", func(o *joinorder.Options) { o.GapTol = -1e-6 }, true},
+		{"negative max nodes", func(o *joinorder.Options) { o.MaxNodes = -1 }, true},
+		{"positive max nodes", func(o *joinorder.Options) { o.MaxNodes = 1000 }, false},
+		{"zero card cap (default)", func(o *joinorder.Options) { o.CardCap = 0 }, false},
+		{"sub-one card cap", func(o *joinorder.Options) { o.CardCap = 0.5 }, true},
+		{"negative card cap", func(o *joinorder.Options) { o.CardCap = -1e12 }, true},
+		{"valid card cap", func(o *joinorder.Options) { o.CardCap = 1e9 }, false},
+		{"negative dp tables", func(o *joinorder.Options) { o.MaxDPTables = -1 }, true},
+		{"positive dp tables", func(o *joinorder.Options) { o.MaxDPTables = 12 }, false},
+		{"threshold ratio one", func(o *joinorder.Options) { o.ThresholdRatio = 1 }, true},
+		{"threshold ratio below one", func(o *joinorder.Options) { o.ThresholdRatio = 0.5 }, true},
+		{"threshold ratio valid", func(o *joinorder.Options) { o.ThresholdRatio = 2 }, false},
+		{"unknown metric", func(o *joinorder.Options) { o.Metric = 99 }, true},
+		{"unknown operator", func(o *joinorder.Options) { o.Op = 99 }, true},
+		{"interesting orders without operators", func(o *joinorder.Options) { o.InterestingOrders = true }, true},
+		{"interesting orders with operators", func(o *joinorder.Options) {
+			o.InterestingOrders = true
+			o.ChooseOperators = true
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var opts joinorder.Options
+			tc.mutate(&opts)
+			err := opts.Validate()
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("Validate() = nil, want error")
+				}
+				if !errors.Is(err, joinorder.ErrInvalidOptions) {
+					t.Fatalf("Validate() = %v, want ErrInvalidOptions", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+		})
+	}
+}
+
+func TestOptimizeRejectsInvalidOptions(t *testing.T) {
+	q := smallQuery()
+	for _, opts := range []joinorder.Options{
+		{MaxNodes: -5},
+		{CardCap: 0.1},
+		{MaxDPTables: -2},
+	} {
+		if _, err := joinorder.Optimize(nil, q, opts); !errors.Is(err, joinorder.ErrInvalidOptions) {
+			t.Errorf("Optimize(%+v) = %v, want ErrInvalidOptions", opts, err)
+		}
+	}
+}

@@ -51,11 +51,30 @@ func optimizeMILP(ctx context.Context, q *Query, opts Options) (*Result, error) 
 		ExpensivePredicates: opts.ExpensivePredicates,
 	}
 	params := solver.Params{
-		TimeLimit:     opts.TimeLimit,
-		GapTol:        opts.GapTol,
-		Threads:       opts.Threads,
-		MaxNodes:      opts.MaxNodes,
-		OnImprovement: opts.OnProgress,
+		TimeLimit: opts.TimeLimit,
+		GapTol:    opts.GapTol,
+		Threads:   opts.Threads,
+		MaxNodes:  opts.MaxNodes,
+	}
+	// Both callbacks ride the same serialised event stream: OnProgress is
+	// a thin adapter that forwards incumbent and bound events, so legacy
+	// consumers observe exactly the trajectory they did before.
+	if onEvent, onProgress := opts.OnEvent, opts.OnProgress; onEvent != nil || onProgress != nil {
+		params.OnEvent = func(ev Event) {
+			if onEvent != nil {
+				onEvent(ev)
+			}
+			if onProgress != nil && (ev.Kind == KindIncumbent || ev.Kind == KindBound) {
+				onProgress(Progress{
+					Incumbent:    ev.Incumbent,
+					Bound:        ev.Bound,
+					Gap:          ev.Gap,
+					Nodes:        ev.Nodes,
+					Elapsed:      ev.Elapsed,
+					HasIncumbent: ev.HasIncumbent,
+				})
+			}
+		}
 	}
 	res, err := core.Optimize(ctx, q, copts, params)
 	if err != nil {
@@ -71,6 +90,7 @@ func optimizeMILP(ctx context.Context, q *Query, opts Options) (*Result, error) 
 		Gap:      sres.Gap,
 		Nodes:    sres.Nodes,
 		Elapsed:  sres.Elapsed,
+		Stats:    &sres.Stats,
 	}
 	if sres.Status == solver.StatusInfeasible {
 		return nil, fmt.Errorf("%w: the MILP proved no plan fits the encoding (try a higher CardCap)", ErrInfeasible)
