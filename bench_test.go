@@ -286,7 +286,8 @@ func boolMetric(b bool) float64 {
 // public API and writes the per-phase solver Stats of the final iteration
 // to BENCH_baseline.json — a machine-readable effort baseline (per-phase
 // timings, simplex iterations, node counts) that the CI benchmark smoke
-// job regenerates on every run.
+// job regenerates on every run. Set BENCH_STATS_OUT to redirect the output
+// file (CI uses this to write per-PR snapshots next to the baseline).
 func BenchmarkStatsBaseline(b *testing.B) {
 	cases := []struct {
 		name  string
@@ -321,7 +322,11 @@ func BenchmarkStatsBaseline(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_baseline.json", data, 0o644); err != nil {
+	out := os.Getenv("BENCH_STATS_OUT")
+	if out == "" {
+		out = "BENCH_baseline.json"
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -64,6 +64,10 @@ type Params struct {
 	// UseDualSimplex repairs warm-started node LPs with the dual
 	// simplex method instead of the composite primal phase 1.
 	UseDualSimplex bool
+	// RefactorEvery overrides the simplex eta-file length bound before a
+	// basis refactorization (zero keeps the simplex default). Small values
+	// stress the refactorization path; mainly for testing and ablations.
+	RefactorEvery int
 	// InitialIncumbent optionally seeds the search with a known integer
 	// solution (a "MIP start"): the structural part of a
 	// computational-form assignment, length NumStructural. Logical

@@ -57,11 +57,19 @@ func Solve(ctx context.Context, comp *milp.Computational, params Params) (*Resul
 	}
 	s.pc = newPseudocosts(n)
 	s.inFlight = make(map[int]float64)
+	s.workers = make([]*workerState, params.Threads)
+	for w := range s.workers {
+		st := &workerState{ws: simplex.NewWorkspace()}
+		st.prob.A = comp.Problem.A
+		st.prob.B = comp.Problem.B
+		st.prob.C = comp.Problem.C
+		s.workers[w] = st
+	}
 
 	heap.Push(&s.open, &node{bound: math.Inf(-1)})
 
 	if len(params.InitialIncumbent) == comp.NumStructural {
-		s.completeAndOffer(params.InitialIncumbent)
+		s.completeAndOffer(nil, params.InitialIncumbent)
 	}
 
 	// The watcher translates context cancellation into the shared stop
@@ -147,9 +155,33 @@ type searcher struct {
 
 	stopFlag atomic.Bool
 	pc       *pseudocosts
+	pricing  simplex.PricingStats // aggregated under mu
+
+	// Per-worker reusable state: simplex workspaces, the hoisted node LP
+	// problem, and node/dive scratch buffers. Indexed by worker id; each
+	// entry is touched only by its worker goroutine.
+	workers []*workerState
 
 	start    time.Time
 	deadline time.Time
+}
+
+// workerState is the per-worker arena for the node-LP hot path. The shared
+// constraint matrix, rhs, and objective are installed in prob once; only
+// the bound slices change per node, so a node solve performs no problem
+// construction and, once warm, no heap allocation.
+type workerState struct {
+	ws   *simplex.Workspace
+	prob simplex.Problem // A/B/C fixed; L/U point at l/u (or dl/du) per call
+
+	l, u    []float64 // node bounds, copied from the root bounds
+	dl, du  []float64 // dive bounds
+	x       []float64 // snapshot of the node LP solution (survives dives)
+	frac    []int     // fractional-variable scratch for the node
+	dfrac   []int     // fractional-variable scratch for dive iterations
+	xs      []float64 // structural scratch for rounding
+	compX   []float64 // completion scratch: full point
+	compAct []float64 // completion scratch: row activities
 }
 
 // worker is the node-processing loop run by each thread.
@@ -291,19 +323,22 @@ func (s *searcher) processNode(nd *node, nodeIdx, wid int) (children []*node, re
 	if s.stopFlag.Load() {
 		return nil, nd
 	}
+	w := s.workers[wid]
 
-	l := append([]float64(nil), s.rootL...)
-	u := append([]float64(nil), s.rootU...)
+	w.l = append(w.l[:0], s.rootL...)
+	w.u = append(w.u[:0], s.rootU...)
+	l, u := w.l, w.u
 	nd.applyBounds(l, u)
 
 	lpStart := time.Now()
-	lp, iters, st := s.solveLP(l, u, nd.basis)
+	lp, iters, st := s.solveLP(w, l, u, nd.basis)
 	lpDur := time.Since(lpStart)
 	s.mu.Lock()
 	s.simplexIters += iters
 	s.lpTime += lpDur
 	if lp != nil {
 		s.refactors += lp.Refactors
+		s.pricing.Add(lp.Pricing)
 	}
 	if nd.parent == nil && st == simplex.StatusOptimal {
 		s.rootLPIters += iters
@@ -367,20 +402,29 @@ func (s *searcher) processNode(nd *node, nodeIdx, wid int) (children []*node, re
 		s.reducedCostFixing(lp)
 	}
 
-	frac := s.fractionalVars(lp.X)
+	w.frac = s.fractionalVars(lp.X, w.frac)
+	frac := w.frac
 	if len(frac) == 0 {
 		s.offerIncumbent(lp.X, true)
 		return nil, nil
 	}
 
+	// The dive below re-solves with this worker's workspace, which
+	// invalidates lp.X and lp.Basis. Snapshot the solution for branching
+	// and clone the basis once for both children (the children outlive
+	// this node arbitrarily on the heap).
+	w.x = append(w.x[:0], lp.X...)
+	x := w.x
+	childBasis := lp.Basis.Clone()
+
 	// Primal heuristics: cheap rounding at every node, diving at the
 	// root and periodically.
-	s.tryRounding(lp.X)
+	s.tryRounding(w, x)
 	if s.params.DiveEvery > 0 && (nd.parent == nil || nodeIdx%s.params.DiveEvery == 0) {
 		diveStart := time.Now()
 		var improved bool
 		pprof.Do(s.ctx, pprof.Labels("milp_phase", "heuristic_dive"), func(context.Context) {
-			improved = s.dive(l, u, lp)
+			improved = s.dive(w, l, u, lp)
 		})
 		diveDur := time.Since(diveStart)
 		s.mu.Lock()
@@ -393,7 +437,7 @@ func (s *searcher) processNode(nd *node, nodeIdx, wid int) (children []*node, re
 		s.mu.Unlock()
 	}
 
-	bv, bval := s.selectBranchVar(lp.X, frac)
+	bv, bval := s.selectBranchVar(x, frac)
 	f := bval - math.Floor(bval)
 
 	down := &node{
@@ -401,7 +445,7 @@ func (s *searcher) processNode(nd *node, nodeIdx, wid int) (children []*node, re
 		change:      boundChange{varIdx: bv, isLower: false, value: math.Floor(bval)},
 		depth:       nd.depth + 1,
 		bound:       bound,
-		basis:       lp.Basis,
+		basis:       childBasis,
 		frac:        f,
 		parentBound: bound,
 	}
@@ -410,7 +454,7 @@ func (s *searcher) processNode(nd *node, nodeIdx, wid int) (children []*node, re
 		change:      boundChange{varIdx: bv, isLower: true, value: math.Ceil(bval)},
 		depth:       nd.depth + 1,
 		bound:       bound,
-		basis:       lp.Basis,
+		basis:       childBasis,
 		frac:        1 - f,
 		parentBound: bound,
 	}
@@ -450,21 +494,19 @@ func (s *searcher) reducedCostFixing(lp *simplex.Result) {
 	}
 }
 
-// solveLP runs the simplex method on the shared matrix with node-local
-// bounds.
-func (s *searcher) solveLP(l, u []float64, warm *simplex.Basis) (*simplex.Result, int, simplex.Status) {
-	prob := &simplex.Problem{
-		A: s.comp.Problem.A,
-		B: s.comp.Problem.B,
-		C: s.comp.Problem.C,
-		L: l,
-		U: u,
-	}
-	res, err := simplex.Solve(prob, warm, simplex.Options{
-		Deadline:   s.deadline,
-		Stop:       &s.stopFlag,
-		Ctx:        s.ctx,
-		PreferDual: s.params.UseDualSimplex && warm != nil,
+// solveLP runs the simplex method on the worker's hoisted problem (shared
+// matrix, rhs, and objective installed once) with node-local bounds. The
+// result aliases the worker's workspace and is only valid until the next
+// solveLP with the same worker.
+func (s *searcher) solveLP(w *workerState, l, u []float64, warm *simplex.Basis) (*simplex.Result, int, simplex.Status) {
+	w.prob.L, w.prob.U = l, u
+	res, err := simplex.Solve(&w.prob, warm, simplex.Options{
+		Deadline:      s.deadline,
+		Stop:          &s.stopFlag,
+		Ctx:           s.ctx,
+		PreferDual:    s.params.UseDualSimplex && warm != nil,
+		RefactorEvery: s.params.RefactorEvery,
+		Workspace:     w.ws,
 	})
 	if err != nil {
 		// Numerical failure: surface as an iteration-limit-style retry.
@@ -474,9 +516,9 @@ func (s *searcher) solveLP(l, u []float64, warm *simplex.Basis) (*simplex.Result
 }
 
 // fractionalVars returns the integral variables whose LP values are
-// fractional beyond the integrality tolerance.
-func (s *searcher) fractionalVars(x []float64) []int {
-	var out []int
+// fractional beyond the integrality tolerance, appending into buf.
+func (s *searcher) fractionalVars(x []float64, buf []int) []int {
+	out := buf[:0]
 	for _, j := range s.intVars {
 		if fracPart(x[j]) > s.params.IntTol {
 			out = append(out, j)
@@ -521,19 +563,20 @@ func (s *searcher) selectBranchVar(x []float64, frac []int) (int, float64) {
 // them without recomputing the logical columns could violate rows).
 // Untrusted candidates (heuristics) are revalidated first.
 func (s *searcher) offerIncumbent(x []float64, trusted bool) bool {
-	xr := append([]float64(nil), x...)
-	if !trusted && !s.checkFeasibleComputational(xr) {
+	if !trusted && !s.checkFeasibleComputational(x) {
 		return false
 	}
 	var obj float64
 	for j, c := range s.comp.Problem.C {
-		obj += c * xr[j]
+		obj += c * x[j]
 	}
 	improved := false
 	s.mu.Lock()
 	if obj < s.incObj-1e-12 {
 		s.incObj = obj
-		s.incumbent = xr
+		// Copy only on install: candidates that lose the comparison (the
+		// common case once a good incumbent exists) cost no allocation.
+		s.incumbent = append(s.incumbent[:0], x...)
 		s.hasInc = true
 		improved = true
 		s.notifyLocked(obs.KindIncumbent)
@@ -589,9 +632,10 @@ func (s *searcher) checkFeasibleComputational(x []float64) bool {
 
 // tryRounding attempts the naive rounding heuristic: round all integral
 // structurals, recompute logical columns, and test feasibility.
-func (s *searcher) tryRounding(x []float64) {
+func (s *searcher) tryRounding(w *workerState, x []float64) {
 	ns := s.comp.NumStructural
-	xs := append([]float64(nil), x[:ns]...)
+	w.xs = append(w.xs[:0], x[:ns]...)
+	xs := w.xs
 	for _, j := range s.intVars {
 		v := math.Round(xs[j])
 		// Clamp into root bounds.
@@ -603,7 +647,7 @@ func (s *searcher) tryRounding(x []float64) {
 		}
 		xs[j] = v
 	}
-	improved := s.completeAndOffer(xs)
+	improved := s.completeAndOffer(w, xs)
 	s.mu.Lock()
 	s.heurCalls++
 	if improved {
@@ -615,12 +659,21 @@ func (s *searcher) tryRounding(x []float64) {
 // completeAndOffer extends a structural assignment with exact logical
 // values (s_i = b_i − (A_s·x_s)_i: the logical columns are the identity
 // block) and offers the completed point as an untrusted incumbent. It
-// reports whether the point improved the incumbent.
-func (s *searcher) completeAndOffer(xs []float64) bool {
+// reports whether the point improved the incumbent. A nil worker state
+// (the MIP-start path, before workers exist) falls back to allocating.
+func (s *searcher) completeAndOffer(w *workerState, xs []float64) bool {
 	ns := s.comp.NumStructural
-	x := make([]float64, s.comp.Problem.NumCols())
+	ncols, nrows := s.comp.Problem.NumCols(), s.comp.Problem.NumRows()
+	var x, act []float64
+	if w != nil {
+		w.compX = growZeroed(w.compX, ncols)
+		w.compAct = growZeroed(w.compAct, nrows)
+		x, act = w.compX, w.compAct
+	} else {
+		x = make([]float64, ncols)
+		act = make([]float64, nrows)
+	}
 	copy(x, xs[:ns])
-	act := make([]float64, s.comp.Problem.NumRows())
 	a := s.comp.Problem.A
 	for j := 0; j < ns; j++ {
 		if x[j] == 0 {
@@ -637,21 +690,35 @@ func (s *searcher) completeAndOffer(xs []float64) bool {
 	return s.offerIncumbent(x, false)
 }
 
+// growZeroed returns s resized to n with every element zeroed.
+func growZeroed(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
 // dive runs a depth-first fixing heuristic from an LP-feasible point. Each
 // round fixes every integer variable that is already near-integral plus the
 // single most-integral fractional one, then re-solves; with batch fixing
 // the dive reaches an integer point (or proves the path dead) in a number
 // of LP solves far smaller than the number of integer variables.
-func (s *searcher) dive(l, u []float64, lp *simplex.Result) bool {
+func (s *searcher) dive(w *workerState, l, u []float64, lp *simplex.Result) bool {
 	const maxLPSolves = 400
-	dl := append([]float64(nil), l...)
-	du := append([]float64(nil), u...)
+	w.dl = append(w.dl[:0], l...)
+	w.du = append(w.du[:0], u...)
+	dl, du := w.dl, w.du
 	cur := lp
 	for solves := 0; solves < maxLPSolves; solves++ {
 		if s.stopFlag.Load() {
 			return false
 		}
-		frac := s.fractionalVars(cur.X)
+		w.dfrac = s.fractionalVars(cur.X, w.dfrac)
+		frac := w.dfrac
 		if len(frac) == 0 {
 			return s.offerIncumbent(cur.X, true)
 		}
@@ -681,12 +748,13 @@ func (s *searcher) dive(l, u []float64, lp *simplex.Result) bool {
 		fixVar(best)
 
 		lpStart := time.Now()
-		res, iters, st := s.solveLP(dl, du, cur.Basis)
+		res, iters, st := s.solveLP(w, dl, du, cur.Basis)
 		s.mu.Lock()
 		s.simplexIters += iters
 		s.lpTime += time.Since(lpStart)
 		if res != nil {
 			s.refactors += res.Refactors
+			s.pricing.Add(res.Pricing)
 		}
 		cutoff := math.Inf(1)
 		if s.hasInc {
@@ -724,6 +792,9 @@ func (s *searcher) finish() *Result {
 			SimplexIters:       s.simplexIters,
 			RootLPIters:        s.rootLPIters,
 			Refactorizations:   s.refactors,
+			DevexResets:        s.pricing.DevexResets,
+			PricingScannedCols: s.pricing.ScannedCols,
+			PricingTotalCols:   s.pricing.TotalCols,
 			HeuristicCalls:     s.heurCalls,
 			HeuristicSuccesses: s.heurSuccesses,
 			Incumbents:         s.incumbents,

@@ -446,6 +446,35 @@ func TestDualSimplexNodeRepairAgrees(t *testing.T) {
 	}
 }
 
+// TestDualSimplexSurvivesFrequentRefactorization forces an LU rebuild every
+// few pivots (RefactorEvery: 3) so that warm starts routinely cross
+// refactorization boundaries mid-search, and asserts the dual-repaired
+// search still reaches the primal-verified optimum. This exercises the
+// in-place factorization reuse path under branch-and-bound load.
+func TestDualSimplexSurvivesFrequentRefactorization(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 30; trial++ {
+		m := randomMILP(rng, 3+rng.Intn(4), 2+rng.Intn(3))
+		primal, err := Solve(context.Background(), m.Compile(), Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dual, err := Solve(context.Background(), m.Compile(), Params{UseDualSimplex: true, RefactorEvery: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (primal.Status == StatusOptimal) != (dual.Status == StatusOptimal) {
+			t.Fatalf("trial %d: primal %v vs dual %v", trial, primal.Status, dual.Status)
+		}
+		if primal.Status == StatusOptimal && math.Abs(primal.Obj-dual.Obj) > 1e-5 {
+			t.Fatalf("trial %d: primal obj %g vs dual %g", trial, primal.Obj, dual.Obj)
+		}
+		if dual.Stats.Refactorizations == 0 {
+			t.Fatalf("trial %d: expected refactorizations with RefactorEvery=3", trial)
+		}
+	}
+}
+
 func TestInitialIncumbentInstalled(t *testing.T) {
 	// A knapsack with a known feasible start: the solver must begin with
 	// an incumbent at least as good.

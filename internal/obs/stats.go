@@ -44,6 +44,13 @@ type Stats struct {
 	RootLPIters      int
 	Refactorizations int // LU refactorizations across all node solves
 
+	// Pricing behaviour across all node solves: devex reference-framework
+	// resets, columns actually priced, and the columns a full-pricing rule
+	// would have priced in the same passes.
+	DevexResets        int
+	PricingScannedCols int
+	PricingTotalCols   int
+
 	// Branching and primal heuristics.
 	PseudocostInits    int // variables with initialised pseudocosts
 	HeuristicCalls     int // rounding and diving attempts
@@ -64,6 +71,15 @@ func (s Stats) HeuristicSuccessRate() float64 {
 	return float64(s.HeuristicSuccesses) / float64(s.HeuristicCalls)
 }
 
+// PricingScanFraction is the fraction of full-pricing work the partial and
+// candidate-list pricing rules actually performed (1 when nothing priced).
+func (s Stats) PricingScanFraction() float64 {
+	if s.PricingTotalCols == 0 {
+		return 1
+	}
+	return float64(s.PricingScannedCols) / float64(s.PricingTotalCols)
+}
+
 // String renders a multi-line human-readable report.
 func (s Stats) String() string {
 	var sb strings.Builder
@@ -72,6 +88,8 @@ func (s Stats) String() string {
 		d(s.PresolveTime), d(s.RootLPTime), d(s.CutTime), d(s.SearchTime), d(s.TotalTime))
 	fmt.Fprintf(&sb, "simplex:    %d iterations (%d at root), %d LU refactorizations, %s in node LPs\n",
 		s.SimplexIters, s.RootLPIters, s.Refactorizations, d(s.LPTime))
+	fmt.Fprintf(&sb, "pricing:    %d devex resets, %.1f%% of columns scanned\n",
+		s.DevexResets, 100*s.PricingScanFraction())
 	fmt.Fprintf(&sb, "presolve:   %d rounds, removed %d rows, %d cols\n",
 		s.PresolveRounds, s.RowsRemoved, s.ColsRemoved)
 	if s.CutRounds > 0 {
@@ -111,6 +129,10 @@ type statsJSON struct {
 	SimplexIters       int     `json:"simplex_iters"`
 	RootLPIters        int     `json:"root_lp_iters"`
 	Refactorizations   int     `json:"lu_refactorizations"`
+	DevexResets        int     `json:"devex_resets"`
+	PricingScannedCols int     `json:"pricing_scanned_cols"`
+	PricingTotalCols   int     `json:"pricing_total_cols"`
+	PricingScanFrac    float64 `json:"pricing_scan_fraction"`
 	PseudocostInits    int     `json:"pseudocost_inits"`
 	HeuristicCalls     int     `json:"heuristic_calls"`
 	HeuristicSuccesses int     `json:"heuristic_successes"`
@@ -142,6 +164,10 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		SimplexIters:       s.SimplexIters,
 		RootLPIters:        s.RootLPIters,
 		Refactorizations:   s.Refactorizations,
+		DevexResets:        s.DevexResets,
+		PricingScannedCols: s.PricingScannedCols,
+		PricingTotalCols:   s.PricingTotalCols,
+		PricingScanFrac:    s.PricingScanFraction(),
 		PseudocostInits:    s.PseudocostInits,
 		HeuristicCalls:     s.HeuristicCalls,
 		HeuristicSuccesses: s.HeuristicSuccesses,

@@ -2,7 +2,7 @@ package simplex
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // dualOutcome classifies how the dual simplex loop ended.
@@ -68,29 +68,45 @@ type dualCandidate struct {
 // This is the method of choice for branch-and-bound node solves, where a
 // parent-optimal basis becomes primal infeasible through one bound change.
 // Assumes dual feasibility holds on entry.
+//
+// Column work is restricted to a priced candidate list: nbList holds the
+// nonbasic non-fixed columns (the only ones that can enter), maintained
+// incrementally across pivots, so the per-iteration alpha and reduced-cost
+// updates skip basic and fixed columns entirely.
 func (s *solver) dualLoop() dualOutcome {
-	rho := make([]float64, s.m)     // BTRAN row workspace
-	d := make([]float64, s.n)       // reduced costs, maintained incrementally
-	alpha := make([]float64, s.n)   // pivot row entries
-	flipAcc := make([]float64, s.m) // accumulated A·Δx over flips
+	ws := s.ws
+	rho := ws.rho         // BTRAN row workspace (m)
+	d := ws.d             // reduced costs, maintained incrementally (n)
+	alpha := ws.alpha     // pivot row entries (n)
+	flipAcc := ws.flipAcc // accumulated A·Δx over flips (m)
+	nbList := ws.nbList[:0]
+	nbPos := ws.nbPos
 
 	reprice := func() {
 		s.loadBasicCosts(false)
 		copy(s.y, s.cB)
 		s.factor.btran(s.y)
+		nbList = nbList[:0]
 		for j := 0; j < s.n; j++ {
 			if s.status[j] == Basic {
 				d[j] = 0
-			} else {
-				d[j] = s.p.C[j] - s.p.A.ColDot(j, s.y)
+				continue
+			}
+			d[j] = s.p.C[j] - s.p.A.ColDot(j, s.y)
+			if s.p.U[j]-s.p.L[j] > 0 {
+				nbPos[j] = len(nbList)
+				nbList = append(nbList, j)
 			}
 		}
+		ws.nbList = nbList
+		s.pricing.ScannedCols += s.n
+		s.pricing.TotalCols += s.n
 	}
 	reprice()
 
 	budget := s.m + 200
 	startIters := s.iters
-	var cands []dualCandidate
+	cands := ws.cands[:0]
 
 	for {
 		if s.iters >= s.opts.MaxIter || s.iters-startIters > budget {
@@ -136,22 +152,18 @@ func (s *solver) dualLoop() dualOutcome {
 		rho[leave] = 1
 		s.factor.btran(rho)
 
-		// Collect eligible candidates: entering j whose feasible
-		// movement pushes x_leave toward its violated bound
+		// Collect eligible candidates from the nonbasic list: entering j
+		// whose feasible movement pushes x_leave toward its violated bound
 		// (∂x_leave/∂x_j = −alpha_j).
 		cands = cands[:0]
-		for j := 0; j < s.n; j++ {
-			st := s.status[j]
-			if st == Basic || s.p.U[j]-s.p.L[j] <= 0 {
-				continue
-			}
+		for _, j := range nbList {
 			a := s.p.A.ColDot(j, rho)
 			alpha[j] = a
 			if math.Abs(a) < s.opts.PivotTol {
 				continue
 			}
 			var eligible bool
-			switch st {
+			switch s.status[j] {
 			case NonbasicLower: // x_j can only increase
 				eligible = -a*delta > 0
 			case NonbasicUpper: // x_j can only decrease
@@ -163,6 +175,9 @@ func (s *solver) dualLoop() dualOutcome {
 				cands = append(cands, dualCandidate{j: j, ratio: math.Abs(d[j]) / math.Abs(a), alpha: a})
 			}
 		}
+		ws.cands = cands
+		s.pricing.ScannedCols += len(nbList)
+		s.pricing.TotalCols += s.n
 		if len(cands) == 0 {
 			if !s.refreshed {
 				if err := s.refactorizeOrRepair(); err != nil {
@@ -173,7 +188,16 @@ func (s *solver) dualLoop() dualOutcome {
 			}
 			return dualInfeasible // the row certifies infeasibility
 		}
-		sort.Slice(cands, func(a, b int) bool { return cands[a].ratio < cands[b].ratio })
+		slices.SortFunc(cands, func(a, b dualCandidate) int {
+			switch {
+			case a.ratio < b.ratio:
+				return -1
+			case a.ratio > b.ratio:
+				return 1
+			default:
+				return 0
+			}
+		})
 
 		// Long-step walk: flip candidates whose own range is exhausted
 		// before the violation is repaired; stop at the pivot candidate.
@@ -188,7 +212,7 @@ func (s *solver) dualLoop() dualOutcome {
 		remaining := math.Abs(s.x[jOut] - target)
 
 		pivot := -1
-		var flips []int
+		flips := ws.flips[:0]
 		for _, c := range cands {
 			rng := s.p.U[c.j] - s.p.L[c.j]
 			if math.IsInf(rng, 1) || math.Abs(c.alpha)*rng >= remaining-1e-12 {
@@ -198,6 +222,7 @@ func (s *solver) dualLoop() dualOutcome {
 			flips = append(flips, c.j)
 			remaining -= math.Abs(c.alpha) * rng
 		}
+		ws.flips = flips
 		if pivot < 0 {
 			// Even flipping every candidate cannot repair the row.
 			if !s.refreshed {
@@ -259,16 +284,28 @@ func (s *solver) dualLoop() dualOutcome {
 		s.status[q] = Basic
 		s.x[q] = enterVal
 
-		// Dual update: theta = d_q / alpha_q shifts the whole row.
+		// Dual update: theta = d_q / alpha_q shifts the nonbasic row.
 		theta := d[q] / alpha[q]
-		for j := 0; j < s.n; j++ {
-			if s.status[j] == Basic {
-				d[j] = 0
-				continue
-			}
+		for _, j := range nbList {
 			if alpha[j] != 0 {
 				d[j] -= theta * alpha[j]
 			}
+		}
+		d[q] = 0
+
+		// Maintain the candidate list: q became basic (swap-remove), jOut
+		// became nonbasic at a bound (append unless its range is fixed).
+		pos := nbPos[q]
+		last := len(nbList) - 1
+		moved := nbList[last]
+		nbList[pos] = moved
+		nbPos[moved] = pos
+		nbList = nbList[:last]
+		nbPos[q] = -1
+		if s.p.U[jOut]-s.p.L[jOut] > 0 {
+			nbPos[jOut] = len(nbList)
+			nbList = append(nbList, jOut)
+			ws.nbList = nbList
 		}
 		d[jOut] = -theta
 

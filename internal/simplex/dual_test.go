@@ -149,7 +149,7 @@ func TestDualFeasibleDetection(t *testing.T) {
 	if err != nil || res.Status != StatusOptimal {
 		t.Fatalf("%v %v", err, res.Status)
 	}
-	s := &solver{p: p, opts: Options{}.withDefaults(p.NumRows(), p.NumCols()), m: p.NumRows(), n: p.NumCols()}
+	s := &solver{p: p, opts: Options{}.withDefaults(p.NumRows(), p.NumCols()), m: p.NumRows(), n: p.NumCols(), ws: NewWorkspace()}
 	s.init(res.Basis)
 	if !s.dualFeasible() {
 		t.Error("optimal basis should be dual feasible")

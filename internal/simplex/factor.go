@@ -18,32 +18,46 @@ type eta struct {
 
 // basisFactor maintains B = B₀·E₁···E_k as a sparse LU factorization of B₀
 // plus an eta file, and answers FTRAN/BTRAN solves against the current B.
+//
+// All storage — the LU factors, the factorization scratch, the basis-matrix
+// build buffers, and the eta file (including each eta's index/value
+// arrays) — is reused across refactorizations, so a warmed-up basisFactor
+// performs refactorization and pivot updates without heap allocation.
 type basisFactor struct {
 	m       int
-	lu      *sparse.LU
+	lu      sparse.LU            // reused in place by FactorizeInto
+	fws     sparse.FactorScratch // factorization working storage
+	basis   sparse.CSC           // reusable basis-matrix build buffers
 	etas    []eta
 	scratch []float64
 }
 
-func newBasisFactor(m int) *basisFactor {
-	return &basisFactor{m: m, scratch: make([]float64, m)}
+// reset prepares the factor for an m-row basis, keeping buffer capacity.
+func (f *basisFactor) reset(m int) {
+	f.m = m
+	f.scratch = growFloats(f.scratch, m)
+	f.etas = f.etas[:0]
 }
 
 // refactorize rebuilds the LU factorization from the basis columns of a
-// selected by head, clearing the eta file.
+// selected by head, clearing the eta file. The basis matrix is assembled
+// directly in CSC form (the columns of a are sorted and duplicate-free, so
+// no triplet round-trip is needed).
 func (f *basisFactor) refactorize(a *sparse.CSC, head []int) error {
-	tr := sparse.NewTriplet(f.m, f.m)
-	for k, j := range head {
+	b := &f.basis
+	b.Rows, b.Cols = f.m, f.m
+	b.ColPtr = append(b.ColPtr[:0], 0)
+	b.RowInd = b.RowInd[:0]
+	b.Val = b.Val[:0]
+	for _, j := range head {
 		rows, vals := a.Col(j)
-		for p, i := range rows {
-			tr.Add(i, k, vals[p])
-		}
+		b.RowInd = append(b.RowInd, rows...)
+		b.Val = append(b.Val, vals...)
+		b.ColPtr = append(b.ColPtr, len(b.RowInd))
 	}
-	lu, err := sparse.Factorize(tr.Compress(), sparse.FactorOptions{})
-	if err != nil {
+	if err := sparse.FactorizeInto(&f.lu, b, sparse.FactorOptions{}, &f.fws); err != nil {
 		return err
 	}
-	f.lu = lu
 	f.etas = f.etas[:0]
 	return nil
 }
@@ -89,18 +103,28 @@ func (f *basisFactor) btran(v []float64) {
 // update appends an eta for a pivot at basis position r with transformed
 // entering column w (dense, length m). Returns false if the pivot element
 // is numerically unusable and a refactorization should happen instead.
+// Retired etas' index/value storage is recycled.
 func (f *basisFactor) update(r int, w []float64, pivotTol float64) bool {
 	wr := w[r]
 	if math.Abs(wr) < pivotTol {
 		return false
 	}
-	et := eta{r: r, wr: wr}
+	var et *eta
+	if len(f.etas) < cap(f.etas) {
+		f.etas = f.etas[:len(f.etas)+1]
+		et = &f.etas[len(f.etas)-1]
+		et.ind = et.ind[:0]
+		et.val = et.val[:0]
+	} else {
+		f.etas = append(f.etas, eta{})
+		et = &f.etas[len(f.etas)-1]
+	}
+	et.r, et.wr = r, wr
 	for i, wi := range w {
 		if i != r && wi != 0 {
 			et.ind = append(et.ind, i)
 			et.val = append(et.val, wi)
 		}
 	}
-	f.etas = append(f.etas, et)
 	return true
 }

@@ -13,6 +13,11 @@ var ErrNumerical = errors.New("simplex: numerical failure")
 
 // Solve minimizes the problem, optionally warm starting from basis. A nil
 // warm basis starts from the all-logical (slack) basis.
+//
+// When opts.Workspace is set, all solver storage comes from the workspace
+// and the returned Result aliases it; warm re-solves then run without heap
+// allocation. With a nil workspace a private one is allocated, so the
+// Result is independently owned by the caller.
 func Solve(p *Problem, warm *Basis, opts Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -20,17 +25,25 @@ func Solve(p *Problem, warm *Basis, opts Options) (*Result, error) {
 	m, n := p.NumRows(), p.NumCols()
 	opts = opts.withDefaults(m, n)
 
+	ws := opts.Workspace
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+
 	// Crossed bounds make the problem trivially infeasible.
 	for j := 0; j < n; j++ {
 		if p.L[j] > p.U[j]+opts.FeasTol {
-			return &Result{Status: StatusInfeasible}, nil
+			res := ws.resetResult()
+			res.Status = StatusInfeasible
+			return res, nil
 		}
 	}
 	if m == 0 {
 		return solveUnconstrained(p, opts)
 	}
 
-	s := &solver{p: p, opts: opts, m: m, n: n}
+	s := &ws.sol
+	*s = solver{p: p, opts: opts, m: m, n: n, ws: ws}
 	s.init(warm)
 
 	if opts.PreferDual && warm != nil && s.infeasibility() > 0 && s.dualFeasible() {
@@ -52,6 +65,7 @@ type solver struct {
 	p    *Problem
 	opts Options
 	m, n int
+	ws   *Workspace
 
 	status []VarStatus
 	head   []int
@@ -67,6 +81,14 @@ type solver struct {
 	w  []float64 // transformed entering column (m)
 	cB []float64 // basic objective workspace (m)
 
+	// Pricing state: devex reference-framework weights per variable, the
+	// static list of non-fixed columns, and the rotating partial-pricing
+	// cursor into it.
+	devexW      []float64
+	activeCols  []int
+	priceCursor int
+	pricing     PricingStats
+
 	iters       int
 	pivotsSince int // pivots since last refactorization
 	degenStreak int
@@ -79,18 +101,22 @@ type solver struct {
 }
 
 // init installs the warm basis when valid, otherwise the logical basis, and
-// computes initial variable values.
+// computes initial variable values. All storage is borrowed from the
+// workspace.
 func (s *solver) init(warm *Basis) {
-	s.status = make([]VarStatus, s.n)
-	s.head = make([]int, s.m)
-	s.x = make([]float64, s.n)
-	s.factor = newBasisFactor(s.m)
-	s.y = make([]float64, s.m)
-	s.w = make([]float64, s.m)
-	s.cB = make([]float64, s.m)
+	ws := s.ws
+	ws.ensure(s.m, s.n)
+	s.status = ws.status
+	s.head = ws.head
+	s.x = ws.x
+	s.factor = &ws.factor
+	s.y = ws.y
+	s.w = ws.w
+	s.cB = ws.cB
+	s.tolL = ws.tolL
+	s.tolU = ws.tolU
+	s.devexW = ws.devexW
 	s.start = time.Now()
-	s.tolL = make([]float64, s.n)
-	s.tolU = make([]float64, s.n)
 	for j := 0; j < s.n; j++ {
 		s.tolL[j] = s.opts.FeasTol
 		s.tolU[j] = s.opts.FeasTol
@@ -100,9 +126,21 @@ func (s *solver) init(warm *Basis) {
 		if u := s.p.U[j]; !math.IsInf(u, 0) {
 			s.tolU[j] *= 1 + math.Abs(u)
 		}
+		s.devexW[j] = 1
 	}
 
-	if warm != nil && warm.valid(s.m, s.n) {
+	// Candidate list: fixed columns can never enter, so pricing only ever
+	// scans this list (a large win in diving re-solves, where most
+	// integer variables are fixed).
+	ws.activeCols = ws.activeCols[:0]
+	for j := 0; j < s.n; j++ {
+		if s.p.U[j]-s.p.L[j] > 0 {
+			ws.activeCols = append(ws.activeCols, j)
+		}
+	}
+	s.activeCols = ws.activeCols
+
+	if warm != nil && warm.validIn(s.m, s.n, ws.seen) {
 		copy(s.status, warm.Status)
 		copy(s.head, warm.Head)
 		// Snap nonbasic statuses onto bounds that may have moved since
@@ -373,54 +411,166 @@ func (s *solver) loadBasicCosts(phase1 bool) {
 	}
 }
 
-// chooseEntering prices all nonbasic columns and returns the entering
-// variable and its direction (+1 increasing, −1 decreasing), or (-1, 0)
-// when no eligible column exists (phase optimal).
+// chooseEntering prices nonbasic columns and returns the entering variable
+// and its direction (+1 increasing, −1 decreasing), or (-1, 0) when no
+// eligible column exists (phase optimal).
+//
+// The default rule is devex reference-framework pricing (score d²/weight)
+// over partial scans of the candidate list: sections are priced round-robin
+// from a rotating cursor and the scan stops at the first section that
+// yields an eligible column. Optimality is only declared after a full scan
+// finds nothing. Bland mode (anti-cycling) takes the first eligible index
+// instead, and Options.DantzigPricing forces full largest-reduced-cost
+// scans.
 func (s *solver) chooseEntering(phase1 bool) (int, float64) {
-	best, bestScore := -1, s.opts.OptTol
-	var bestSigma float64
-	for j := 0; j < s.n; j++ {
+	if s.bland {
+		return s.chooseEnteringBland(phase1)
+	}
+	active := s.activeCols
+	nAct := len(active)
+	if nAct == 0 {
+		return -1, 0
+	}
+	// Partial pricing parameters: sections of the candidate list are
+	// priced round-robin from the rotating cursor; the scan stops early
+	// only once a healthy pool of eligible columns has been compared, so
+	// the entering choice stays competitive with a full scan. Small
+	// problems (and Dantzig mode) always scan fully.
+	section, minPool := nAct, nAct
+	if !s.opts.DantzigPricing && nAct >= 2048 {
+		section, minPool = nAct/8, 32
+	}
+
+	best, eligible := -1, 0
+	var bestScore, bestSigma float64
+	idx := s.priceCursor
+	if idx >= nAct {
+		idx = 0
+	}
+	scanned := 0
+	for scanned < nAct {
+		cnt := section
+		if cnt > nAct-scanned {
+			cnt = nAct - scanned
+		}
+		for i := 0; i < cnt; i++ {
+			j := active[idx]
+			idx++
+			if idx == nAct {
+				idx = 0
+			}
+			st := s.status[j]
+			if st == Basic {
+				continue
+			}
+			cj := 0.0
+			if !phase1 {
+				cj = s.p.C[j]
+			}
+			d := cj - s.p.A.ColDot(j, s.y)
+			var sigma float64
+			switch st {
+			case NonbasicLower:
+				if d < -s.opts.OptTol {
+					sigma = 1
+				}
+			case NonbasicUpper:
+				if d > s.opts.OptTol {
+					sigma = -1
+				}
+			case NonbasicFree:
+				if d < -s.opts.OptTol {
+					sigma = 1
+				} else if d > s.opts.OptTol {
+					sigma = -1
+				}
+			}
+			if sigma == 0 {
+				continue
+			}
+			eligible++
+			score := d * d
+			if !s.opts.DantzigPricing {
+				score /= s.devexW[j]
+			}
+			if score > bestScore {
+				best, bestScore, bestSigma = j, score, sigma
+			}
+		}
+		scanned += cnt
+		if best >= 0 && eligible >= minPool {
+			break
+		}
+	}
+	s.priceCursor = idx
+	s.pricing.ScannedCols += scanned
+	s.pricing.TotalCols += nAct
+	return best, bestSigma
+}
+
+// chooseEnteringBland prices the candidate list in ascending index order and
+// returns the first eligible column (Bland's anti-cycling rule).
+func (s *solver) chooseEnteringBland(phase1 bool) (int, float64) {
+	s.pricing.TotalCols += len(s.activeCols)
+	for i, j := range s.activeCols {
 		st := s.status[j]
 		if st == Basic {
 			continue
-		}
-		if s.p.U[j]-s.p.L[j] <= 0 {
-			continue // fixed variable can never move
 		}
 		cj := 0.0
 		if !phase1 {
 			cj = s.p.C[j]
 		}
 		d := cj - s.p.A.ColDot(j, s.y)
-		var score, sigma float64
 		switch st {
 		case NonbasicLower:
 			if d < -s.opts.OptTol {
-				score, sigma = -d, 1
+				s.pricing.ScannedCols += i + 1
+				return j, 1
 			}
 		case NonbasicUpper:
 			if d > s.opts.OptTol {
-				score, sigma = d, -1
+				s.pricing.ScannedCols += i + 1
+				return j, -1
 			}
 		case NonbasicFree:
 			if d < -s.opts.OptTol {
-				score, sigma = -d, 1
-			} else if d > s.opts.OptTol {
-				score, sigma = d, -1
+				s.pricing.ScannedCols += i + 1
+				return j, 1
+			}
+			if d > s.opts.OptTol {
+				s.pricing.ScannedCols += i + 1
+				return j, -1
 			}
 		}
-		if sigma == 0 {
-			continue
-		}
-		if s.bland {
-			// Bland's rule: first eligible index.
-			return j, sigma
-		}
-		if score > bestScore {
-			best, bestScore, bestSigma = j, score, sigma
-		}
 	}
-	return best, bestSigma
+	s.pricing.ScannedCols += len(s.activeCols)
+	return -1, 0
+}
+
+// devexUpdate refreshes the reference weights after a pivot: entering q at
+// basis position leave with pivot element wr replaces jOut. Only the
+// leaving variable's weight is updated exactly (restarting devex); the
+// framework resets when weights blow up, keeping scores meaningful.
+func (s *solver) devexUpdate(q, jOut int, wr float64) {
+	const resetAbove = 1e7
+	wNew := s.devexW[q] / (wr * wr)
+	if wNew < 1 {
+		wNew = 1
+	}
+	if wNew > resetAbove {
+		s.resetDevex()
+		s.pricing.DevexResets++
+		return
+	}
+	s.devexW[jOut] = wNew
+}
+
+// resetDevex restarts the reference framework at the current nonbasic set.
+func (s *solver) resetDevex() {
+	for _, j := range s.activeCols {
+		s.devexW[j] = 1
+	}
 }
 
 // ratioTest finds the maximum step t for entering variable q moving in
@@ -577,6 +727,7 @@ func (s *solver) applyPivot(q int, sigma, t float64, leave int, leaveStatus VarS
 	s.head[leave] = q
 	s.status[q] = Basic
 	s.x[q] = enterVal
+	s.devexUpdate(q, jOut, s.w[leave])
 
 	if !s.factor.update(leave, s.w, s.opts.PivotTol) {
 		return s.refactorizeOrRepair()
@@ -603,20 +754,28 @@ func (s *solver) repair() error {
 		return fmt.Errorf("%w: repeated basis repair", ErrNumerical)
 	}
 	s.installLogicalBasis()
+	s.resetDevex()
 	s.bland = false
 	s.degenStreak = 0
 	return nil
 }
 
-// finish packages the current state into a Result.
+// finish packages the current state into the workspace's pooled Result.
+// Everything the Result exposes (X, Y, Basis) is copied into dedicated
+// workspace storage, so it stays valid across solver reuse but only until
+// the next Solve with the same workspace.
 func (s *solver) finish(st Status) *Result {
-	res := &Result{
-		Status:    st,
-		X:         append([]float64(nil), s.x...),
-		Iters:     s.iters,
-		Refactors: s.refactors,
-		Basis:     &Basis{Status: append([]VarStatus(nil), s.status...), Head: append([]int(nil), s.head...)},
-	}
+	ws := s.ws
+	res := ws.resetResult()
+	res.Status = st
+	res.Iters = s.iters
+	res.Refactors = s.refactors
+	res.Pricing = s.pricing
+	ws.resX = append(ws.resX[:0], s.x...)
+	res.X = ws.resX
+	ws.resBasis.Status = append(ws.resBasis.Status[:0], s.status...)
+	ws.resBasis.Head = append(ws.resBasis.Head[:0], s.head...)
+	res.Basis = &ws.resBasis
 	var obj float64
 	for j := 0; j < s.n; j++ {
 		obj += s.p.C[j] * s.x[j]
@@ -626,7 +785,8 @@ func (s *solver) finish(st Status) *Result {
 		s.loadBasicCosts(false)
 		copy(s.y, s.cB)
 		s.factor.btran(s.y)
-		res.Y = append([]float64(nil), s.y...)
+		ws.resY = append(ws.resY[:0], s.y...)
+		res.Y = ws.resY
 	}
 	return res
 }

@@ -7,9 +7,10 @@
 // where the last m columns of A are the identity (one logical variable per
 // row). The solver uses a sparse LU factorization of the basis with
 // product-form-of-inverse eta updates, a composite phase-1 for feasibility,
-// Dantzig pricing with a Bland anti-cycling fallback, and supports warm
-// starts from a caller-supplied basis — the workhorse configuration for
-// branch-and-bound node solves.
+// devex reference-framework pricing with partial (candidate-list) scans and
+// a Bland anti-cycling fallback, and supports warm starts from a
+// caller-supplied basis — the workhorse configuration for branch-and-bound
+// node solves. A per-worker Workspace makes warm re-solves allocation-free.
 package simplex
 
 import (
@@ -104,6 +105,13 @@ func (b *Basis) Clone() *Basis {
 // valid performs a cheap consistency check of a warm-start basis against a
 // problem of n variables and m rows.
 func (b *Basis) valid(m, n int) bool {
+	return b.validIn(m, n, make([]bool, n))
+}
+
+// validIn is valid with caller-provided scratch (length ≥ n, all false on
+// entry; restored to all false before returning) so the warm path avoids
+// allocating.
+func (b *Basis) validIn(m, n int, seen []bool) bool {
 	if b == nil || len(b.Status) != n || len(b.Head) != m {
 		return false
 	}
@@ -116,14 +124,20 @@ func (b *Basis) valid(m, n int) bool {
 	if basics != m {
 		return false
 	}
-	seen := make(map[int]bool, m)
+	ok := true
+	marked := 0
 	for _, j := range b.Head {
 		if j < 0 || j >= n || b.Status[j] != Basic || seen[j] {
-			return false
+			ok = false
+			break
 		}
 		seen[j] = true
+		marked++
 	}
-	return true
+	for _, j := range b.Head[:marked] {
+		seen[j] = false
+	}
+	return ok
 }
 
 // Status is the outcome of a simplex solve.
@@ -161,6 +175,10 @@ func (s Status) String() string {
 }
 
 // Result is the outcome of a solve.
+//
+// When the solve used a caller-supplied Workspace, the Result and its
+// slices (X, Y, Basis) alias workspace storage and are only valid until
+// the next Solve with that workspace; copy anything that must outlive it.
 type Result struct {
 	Status Status
 	Obj    float64   // objective value of X (meaningful for Optimal)
@@ -173,6 +191,39 @@ type Result struct {
 	// dominant per-solve linear-algebra cost besides pivoting, surfaced
 	// for the observability layer.
 	Refactors int
+	// Pricing reports pricing-rule behaviour during the solve.
+	Pricing PricingStats
+}
+
+// PricingStats counts pricing-rule behaviour during one solve, surfaced so
+// performance work can see how devex and partial pricing behave on a
+// workload.
+type PricingStats struct {
+	// DevexResets counts devex reference-framework resets triggered by
+	// weight blow-up.
+	DevexResets int
+	// ScannedCols counts columns actually priced across all pricing
+	// passes (primal partial scans and dual candidate passes).
+	ScannedCols int
+	// TotalCols counts the columns a full-pricing rule would have priced
+	// in the same passes; ScannedCols/TotalCols is the scan fraction.
+	TotalCols int
+}
+
+// ScanFraction is the fraction of full-pricing work actually performed
+// (1 when no pricing pass ran).
+func (p PricingStats) ScanFraction() float64 {
+	if p.TotalCols == 0 {
+		return 1
+	}
+	return float64(p.ScannedCols) / float64(p.TotalCols)
+}
+
+// add accumulates counters from another solve.
+func (p *PricingStats) Add(o PricingStats) {
+	p.DevexResets += o.DevexResets
+	p.ScannedCols += o.ScannedCols
+	p.TotalCols += o.TotalCols
 }
 
 // Options tune the solver.
@@ -205,6 +256,15 @@ type Options struct {
 	// of a branch-and-bound node after its parent's bound change. Falls
 	// back to the composite primal phase 1 automatically.
 	PreferDual bool
+	// Workspace, when non-nil, supplies a reusable arena for every solver
+	// array, making warm re-solves allocation-free. The Result returned
+	// from such a solve aliases workspace storage (see Result). A
+	// workspace must not be shared between concurrent solves.
+	Workspace *Workspace
+	// DantzigPricing disables devex weights and partial pricing in favour
+	// of the classic full Dantzig rule (price every column, largest
+	// reduced cost enters). Intended for ablations and equivalence tests.
+	DantzigPricing bool
 }
 
 func (o Options) withDefaults(m, n int) Options {

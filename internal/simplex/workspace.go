@@ -1,0 +1,110 @@
+package simplex
+
+// Workspace is a reusable arena for Solve. Branch-and-bound explores
+// thousands of node LPs over the same matrix; threading one workspace per
+// worker through Options.Workspace makes warm-started re-solves
+// allocation-free: every solver array (statuses, basis head, primal and
+// dual values, FTRAN/BTRAN scratch, the eta file, LU factorization buffers,
+// devex weights, and pricing candidate lists) is reused across calls,
+// growing only when a larger problem arrives.
+//
+// A workspace is not safe for concurrent use, and the Result returned by a
+// Solve that used it (including Result.X, Result.Y, and Result.Basis) is
+// only valid until the next Solve with the same workspace — callers that
+// keep solutions or bases across solves must copy them out.
+type Workspace struct {
+	sol solver // reused solver state; avoids one heap allocation per call
+
+	m, n int
+
+	// Core solver arrays (see solver for their roles).
+	status     []VarStatus
+	head       []int
+	x          []float64
+	tolL, tolU []float64
+	y, w, cB   []float64
+
+	factor basisFactor
+
+	// Devex reference-framework weights and the static candidate list of
+	// non-fixed columns for primal pricing.
+	devexW     []float64
+	activeCols []int
+
+	// Dual simplex working set.
+	rho, d, alpha []float64
+	flipAcc       []float64
+	cands         []dualCandidate
+	flips         []int
+	nbList        []int // nonbasic non-fixed columns, maintained per pivot
+	nbPos         []int // column → position in nbList, -1 when absent
+
+	// Warm-basis validation scratch (kept all-false between uses).
+	seen []bool
+
+	// Reusable Result storage.
+	res      Result
+	resX     []float64
+	resY     []float64
+	resBasis Basis
+}
+
+// NewWorkspace returns an empty workspace ready for reuse across solves.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// ensure sizes every buffer for an m×n problem, growing but never shrinking
+// backing storage.
+func (ws *Workspace) ensure(m, n int) {
+	ws.m, ws.n = m, n
+	ws.status = growStatuses(ws.status, n)
+	ws.head = growInts(ws.head, m)
+	ws.x = growFloats(ws.x, n)
+	ws.tolL = growFloats(ws.tolL, n)
+	ws.tolU = growFloats(ws.tolU, n)
+	ws.y = growFloats(ws.y, m)
+	ws.w = growFloats(ws.w, m)
+	ws.cB = growFloats(ws.cB, m)
+	ws.devexW = growFloats(ws.devexW, n)
+	ws.rho = growFloats(ws.rho, m)
+	ws.d = growFloats(ws.d, n)
+	ws.alpha = growFloats(ws.alpha, n)
+	ws.flipAcc = growFloats(ws.flipAcc, m)
+	ws.nbPos = growInts(ws.nbPos, n)
+	if cap(ws.seen) < n {
+		ws.seen = make([]bool, n) // all-false invariant holds for fresh storage
+	} else {
+		ws.seen = ws.seen[:n]
+	}
+	ws.factor.reset(m)
+}
+
+// resetResult clears the pooled Result for a new solve, keeping slice
+// capacity.
+func (ws *Workspace) resetResult() *Result {
+	res := &ws.res
+	*res = Result{}
+	ws.resX = ws.resX[:0]
+	ws.resY = ws.resY[:0]
+	return res
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growStatuses(s []VarStatus, n int) []VarStatus {
+	if cap(s) < n {
+		return make([]VarStatus, n)
+	}
+	return s[:n]
+}

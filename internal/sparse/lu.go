@@ -52,11 +52,61 @@ type FactorOptions struct {
 	ColOrder []int
 }
 
-// Factorize computes a sparse LU factorization of the square matrix a.
+// FactorScratch holds the working storage of FactorizeInto so that repeated
+// factorizations (simplex basis refactorization every few dozen pivots)
+// reuse one arena instead of reallocating. The zero value is ready to use;
+// buffers grow to the largest problem seen and are then reused. A scratch
+// must not be shared between concurrent factorizations.
+type FactorScratch struct {
+	x        []float64 // dense accumulator (kept all-zero between calls)
+	mark     []bool    // visited flags (kept all-false between calls)
+	pattern  []int
+	dfsStack []int
+	posStack []int
+	rowCount []int
+	order    []int
+	buckets  []int
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// Factorize computes a sparse LU factorization of the square matrix a into
+// a freshly allocated LU.
 func Factorize(a *CSC, opts FactorOptions) (*LU, error) {
+	lu := &LU{}
+	if err := FactorizeInto(lu, a, opts, &FactorScratch{}); err != nil {
+		return nil, err
+	}
+	return lu, nil
+}
+
+// FactorizeInto computes a sparse LU factorization of the square matrix a,
+// reusing the storage already held by lu and the working arrays in ws. On
+// error the contents of lu are unspecified and must not be solved against
+// until a subsequent FactorizeInto succeeds.
+func FactorizeInto(lu *LU, a *CSC, opts FactorOptions, ws *FactorScratch) error {
 	n := a.Rows
 	if a.Cols != n {
-		return nil, fmt.Errorf("sparse: cannot factorize %dx%d matrix", a.Rows, a.Cols)
+		return fmt.Errorf("sparse: cannot factorize %dx%d matrix", a.Rows, a.Cols)
 	}
 	pivTol := opts.PivotTol
 	if pivTol <= 0 || pivTol > 1 {
@@ -69,34 +119,45 @@ func Factorize(a *CSC, opts FactorOptions) (*LU, error) {
 
 	order := opts.ColOrder
 	if order == nil {
-		order = orderByColumnNnz(a)
+		ws.order = growInts(ws.order, n)
+		order = orderByColumnNnz(a, ws)
 	} else if len(order) != n {
-		return nil, fmt.Errorf("sparse: column order has length %d, want %d", len(order), n)
+		return fmt.Errorf("sparse: column order has length %d, want %d", len(order), n)
 	}
 
-	lu := &LU{
-		N:     n,
-		Lp:    make([]int, 1, n+1),
-		Up:    make([]int, 1, n+1),
-		Udiag: make([]float64, n),
-		P:     make([]int, n),
-		Pinv:  make([]int, n),
-		Q:     make([]int, n),
-		Qinv:  make([]int, n),
-	}
+	lu.N = n
+	lu.Lp = append(lu.Lp[:0], 0)
+	lu.Li = lu.Li[:0]
+	lu.Lx = lu.Lx[:0]
+	lu.Up = append(lu.Up[:0], 0)
+	lu.Ui = lu.Ui[:0]
+	lu.Ux = lu.Ux[:0]
+	lu.Udiag = growFloats(lu.Udiag, n)
+	lu.P = growInts(lu.P, n)
+	lu.Pinv = growInts(lu.Pinv, n)
+	lu.Q = growInts(lu.Q, n)
+	lu.Qinv = growInts(lu.Qinv, n)
 	for i := range lu.Pinv {
 		lu.Pinv[i] = -1
 	}
 
-	x := make([]float64, n) // dense accumulator
-	mark := make([]bool, n) // visited flags for the pattern DFS
-	pattern := make([]int, 0, n)
-	dfsStack := make([]int, 0, n)
-	posStack := make([]int, 0, n)
+	// The accumulator and visited flags are maintained all-zero/all-false
+	// between calls (every path below clears what it sets), so growth is
+	// the only initialisation needed.
+	x := growFloats(ws.x, n)
+	mark := growBools(ws.mark, n)
+	ws.x, ws.mark = x, mark
+	pattern := ws.pattern[:0]
+	dfsStack := ws.dfsStack[:0]
+	posStack := ws.posStack[:0]
 
 	// Row nonzero counts of A, used as a Markowitz-style sparsity
 	// tie-break among numerically acceptable pivot candidates.
-	rowCount := make([]int, n)
+	rowCount := growInts(ws.rowCount, n)
+	ws.rowCount = rowCount
+	for i := range rowCount {
+		rowCount[i] = 0
+	}
 	for _, i := range a.RowInd {
 		rowCount[i]++
 	}
@@ -183,7 +244,8 @@ func Factorize(a *CSC, opts FactorOptions) (*LU, error) {
 				x[i] = 0
 				mark[i] = false
 			}
-			return nil, fmt.Errorf("%w: no pivot in column %d (step %d)", ErrSingular, cj, k)
+			ws.pattern, ws.dfsStack, ws.posStack = pattern, dfsStack, posStack
+			return fmt.Errorf("%w: no pivot in column %d (step %d)", ErrSingular, cj, k)
 		}
 		pivRow := -1
 		bestCount := math.MaxInt
@@ -231,14 +293,15 @@ func Factorize(a *CSC, opts FactorOptions) (*LU, error) {
 	for p, i := range lu.Li {
 		lu.Li[p] = lu.Pinv[i]
 	}
-	return lu, nil
+	ws.pattern, ws.dfsStack, ws.posStack = pattern, dfsStack, posStack
+	return nil
 }
 
 // orderByColumnNnz returns column indices sorted by ascending nonzero count
-// (stable on ties by index).
-func orderByColumnNnz(a *CSC) []int {
+// (stable on ties by index), using ws.order and ws.buckets as storage.
+func orderByColumnNnz(a *CSC, ws *FactorScratch) []int {
 	n := a.Cols
-	order := make([]int, n)
+	order := ws.order[:n]
 	for j := range order {
 		order[j] = j
 	}
@@ -249,7 +312,11 @@ func orderByColumnNnz(a *CSC) []int {
 			maxNnz = c
 		}
 	}
-	buckets := make([]int, maxNnz+2)
+	buckets := growInts(ws.buckets, maxNnz+2)
+	ws.buckets = buckets
+	for i := range buckets {
+		buckets[i] = 0
+	}
 	for j := 0; j < n; j++ {
 		buckets[a.ColNnz(j)+1]++
 	}

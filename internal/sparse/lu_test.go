@@ -324,3 +324,80 @@ func BenchmarkLUSolve(b *testing.B) {
 		lu.SolveInPlace(x, scratch)
 	}
 }
+
+// TestFactorizeIntoReuse factorizes a sequence of different matrices into
+// one LU with one scratch, checking every factorization against a fresh
+// Factorize and verifying that the scratch invariants (zeroed value
+// workspace, cleared marks) hold across calls — including after a singular
+// failure in the middle of the sequence.
+func TestFactorizeIntoReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	var lu LU
+	var ws FactorScratch
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(20)
+		a := randomNonsingularCSC(rng, n, 0.3)
+		if err := FactorizeInto(&lu, a, FactorOptions{}, &ws); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		fresh, err := Factorize(a, FactorOptions{})
+		if err != nil {
+			t.Fatalf("trial %d fresh: %v", trial, err)
+		}
+		b := randomDense(rng, n)
+		x := append([]float64(nil), b...)
+		lu.SolveInPlace(x, make([]float64, n))
+		want := append([]float64(nil), b...)
+		fresh.SolveInPlace(want, make([]float64, n))
+		if d := maxAbsDiff(x, want); d > 1e-10 {
+			t.Fatalf("trial %d (n=%d): reused-LU solve differs from fresh by %g", trial, n, d)
+		}
+		if d := maxAbsDiff(a.MulVec(x), b); d > 1e-8 {
+			t.Fatalf("trial %d: residual %g", trial, d)
+		}
+		// Interleave a singular matrix: the error must not poison the
+		// scratch for subsequent factorizations.
+		if trial%5 == 4 {
+			sing := NewTriplet(3, 3)
+			sing.Add(0, 0, 1)
+			sing.Add(1, 0, 1) // duplicate column pattern → singular
+			sing.Add(0, 1, 1)
+			sing.Add(1, 1, 1)
+			sing.Add(2, 2, 1)
+			if err := FactorizeInto(&lu, sing.Compress(), FactorOptions{}, &ws); err == nil {
+				t.Fatalf("trial %d: singular matrix factorized", trial)
+			}
+		}
+	}
+}
+
+// TestFactorizeIntoZeroAllocs checks that repeated in-place factorization
+// of same-shaped matrices settles into an allocation-free steady state.
+func TestFactorizeIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	rng := rand.New(rand.NewSource(9))
+	const n = 30
+	mats := []*CSC{
+		randomNonsingularCSC(rng, n, 0.2),
+		randomNonsingularCSC(rng, n, 0.2),
+	}
+	var lu LU
+	var ws FactorScratch
+	for i := 0; i < 10; i++ {
+		if err := FactorizeInto(&lu, mats[i%2], FactorOptions{}, &ws); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		i++
+		if err := FactorizeInto(&lu, mats[i%2], FactorOptions{}, &ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("FactorizeInto allocates %.2f objects/op, want 0", allocs)
+	}
+}

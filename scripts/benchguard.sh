@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# benchguard.sh OLD NEW [THRESHOLD_PCT]
+#
+# Compares two `go test -bench` output files and fails (exit 1) when any
+# benchmark present in both regressed in mean wall time (ns/op) by more
+# than THRESHOLD_PCT percent (default 10). Multiple -count runs of the
+# same benchmark are averaged. Benchmarks that appear on only one side
+# (added or removed) are ignored.
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+    echo "usage: $0 old.txt new.txt [threshold-pct]" >&2
+    exit 2
+fi
+old=$1
+new=$2
+thr=${3:-10}
+
+awk -v thr="$thr" '
+    FNR == 1 { fileno++ }
+    /^Benchmark/ && $3+0 > 0 && $4 == "ns/op" {
+        name = $1
+        sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix
+        if (fileno == 1) { osum[name] += $3; ocnt[name]++ }
+        else             { nsum[name] += $3; ncnt[name]++ }
+    }
+    END {
+        bad = 0
+        compared = 0
+        for (name in nsum) {
+            if (!(name in osum)) continue
+            compared++
+            o = osum[name] / ocnt[name]
+            n = nsum[name] / ncnt[name]
+            pct = (n - o) / o * 100
+            status = "ok"
+            if (pct > thr) { status = sprintf("REGRESSION > %s%%", thr); bad = 1 }
+            printf "%-50s old %14.0f ns/op   new %14.0f ns/op   %+7.1f%%   %s\n", name, o, n, pct, status
+        }
+        if (compared == 0) {
+            print "benchguard: no common benchmarks to compare" > "/dev/stderr"
+            exit 2
+        }
+        exit bad
+    }
+' "$old" "$new"
