@@ -1,0 +1,206 @@
+// Cache-layer benchmarks: hit latency against full solves, and the
+// warm-start effect on anytime convergence (the serving scenario of the
+// plan cache — repeated and statistics-drifted queries).
+package milpjoin_test
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"milpjoin/internal/workload"
+	"milpjoin/joinorder"
+	"milpjoin/joinorder/cache"
+)
+
+func benchCacheOpts() joinorder.Options {
+	return joinorder.Options{Strategy: "milp", TimeLimit: 30 * time.Second, Threads: 2}
+}
+
+// relabelQuery permutes table indices: table i becomes perm[i].
+func relabelQuery(q *joinorder.Query, perm []int) *joinorder.Query {
+	out := &joinorder.Query{Tables: make([]joinorder.Table, len(q.Tables))}
+	for i, t := range q.Tables {
+		out.Tables[perm[i]] = t
+	}
+	for _, p := range q.Predicates {
+		np := p
+		np.Tables = make([]int, len(p.Tables))
+		for k, t := range p.Tables {
+			np.Tables[k] = perm[t]
+		}
+		out.Predicates = append(out.Predicates, np)
+	}
+	return out
+}
+
+// BenchmarkCachedOptimize measures a repeated identical query through the
+// cache: one solve up front, then pure hits (fingerprint + lookup + plan
+// translation per iteration).
+func BenchmarkCachedOptimize(b *testing.B) {
+	o := cache.New(cache.Config{})
+	q := workload.Generate(workload.Chain, 10, 1, workload.Config{})
+	if _, err := o.Optimize(context.Background(), q, benchCacheOpts()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := o.Optimize(context.Background(), q, benchCacheOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Plan == nil {
+			b.Fatal("hit without plan")
+		}
+	}
+	if o.Stats().Misses != 1 {
+		b.Fatalf("expected pure hits, stats %+v", o.Stats())
+	}
+}
+
+// BenchmarkCachedOptimizeRelabeled is the same loop over random
+// isomorphic relabelings — every iteration pays full canonicalization and
+// still must hit.
+func BenchmarkCachedOptimizeRelabeled(b *testing.B) {
+	o := cache.New(cache.Config{})
+	q := workload.Generate(workload.Chain, 10, 1, workload.Config{})
+	if _, err := o.Optimize(context.Background(), q, benchCacheOpts()); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rq := relabelQuery(q, rng.Perm(len(q.Tables)))
+		if _, err := o.Optimize(context.Background(), rq, benchCacheOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if o.Stats().Misses != 1 {
+		b.Fatalf("relabeled queries missed: %+v", o.Stats())
+	}
+}
+
+// BenchmarkUncachedOptimize is the comparison baseline: the same query
+// solved from scratch every iteration.
+func BenchmarkUncachedOptimize(b *testing.B) {
+	q := workload.Generate(workload.Chain, 10, 1, workload.Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := joinorder.Optimize(context.Background(), q, benchCacheOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheSuite measures the two cache acceptance numbers end to
+// end and writes them to BENCH_pr4.json (BENCH_STATS_OUT-style snapshot
+// for CI artifacts):
+//
+//   - hit speedup: repeated identical queries must be ≥10× faster through
+//     the cache than re-solving;
+//   - warm-start convergence: on a 20-table star whose cardinalities
+//     drifted since the cached solve, the warm-started solve must reach
+//     the cold solve's final proven gap in less wall time than the cold
+//     solve took.
+func BenchmarkCacheSuite(b *testing.B) {
+	type suite struct {
+		CachedNsOp        float64 `json:"cached_ns_op"`
+		UncachedNsOp      float64 `json:"uncached_ns_op"`
+		Speedup           float64 `json:"speedup"`
+		Star20Budget      float64 `json:"star20_budget_sec"`
+		Star20ColdGap     float64 `json:"star20_cold_gap"`
+		Star20WarmGap     float64 `json:"star20_warm_gap"`
+		Star20WarmToCold  float64 `json:"star20_warm_time_to_cold_gap_sec"`
+		Star20WarmStarted bool    `json:"star20_warm_started"`
+	}
+	var out suite
+	for i := 0; i < b.N; i++ {
+		// Hit latency vs solve latency on a 10-table chain.
+		o := cache.New(cache.Config{})
+		q := workload.Generate(workload.Chain, 10, 1, workload.Config{})
+		start := time.Now()
+		if _, err := o.Optimize(context.Background(), q, benchCacheOpts()); err != nil {
+			b.Fatal(err)
+		}
+		out.UncachedNsOp = float64(time.Since(start).Nanoseconds())
+		const hits = 50
+		start = time.Now()
+		for k := 0; k < hits; k++ {
+			if _, err := o.Optimize(context.Background(), q, benchCacheOpts()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		out.CachedNsOp = float64(time.Since(start).Nanoseconds()) / hits
+		out.Speedup = out.UncachedNsOp / out.CachedNsOp
+
+		// Warm-start convergence on the paper's hard shape: Star20.
+		const budget = 2 * time.Second
+		out.Star20Budget = budget.Seconds()
+		star := workload.Generate(workload.Star, 20, 2, workload.Config{})
+		opts := joinorder.Options{
+			Strategy:  "milp",
+			Precision: joinorder.PrecisionMedium,
+			TimeLimit: budget,
+			Threads:   2,
+		}
+		cold, err := joinorder.Optimize(context.Background(), star, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out.Star20ColdGap = cold.Gap
+
+		wo := cache.New(cache.Config{})
+		if _, err := wo.Optimize(context.Background(), star, opts); err != nil {
+			b.Fatal(err)
+		}
+		drifted := &joinorder.Query{Tables: append([]joinorder.Table(nil), star.Tables...), Predicates: star.Predicates}
+		for t := range drifted.Tables {
+			drifted.Tables[t].Card *= 1.15
+		}
+		var timeToColdGap time.Duration
+		wopts := opts
+		wopts.OnEvent = func(ev joinorder.Event) {
+			if timeToColdGap == 0 && ev.HasIncumbent && ev.Gap <= cold.Gap {
+				timeToColdGap = ev.Elapsed
+			}
+		}
+		warm, err := wo.Optimize(context.Background(), drifted, wopts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out.Star20WarmGap = warm.Gap
+		out.Star20WarmStarted = wo.Stats().WarmStarts == 1
+		if timeToColdGap == 0 {
+			timeToColdGap = warm.Elapsed
+		}
+		out.Star20WarmToCold = timeToColdGap.Seconds()
+	}
+	b.ReportMetric(out.Speedup, "hit-speedup-x")
+	b.ReportMetric(out.Star20ColdGap, "cold-gap")
+	b.ReportMetric(out.Star20WarmGap, "warm-gap")
+	b.ReportMetric(out.Star20WarmToCold, "warm-t2coldgap-s")
+
+	if out.Speedup < 10 {
+		b.Errorf("cache hit speedup %.1fx below the 10x acceptance bar", out.Speedup)
+	}
+	if !out.Star20WarmStarted {
+		b.Error("drifted Star20 solve was not warm-started")
+	}
+
+	path := os.Getenv("BENCH_PR4_OUT")
+	if path == "" {
+		path = "BENCH_pr4.json"
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -20,6 +20,13 @@
 //	joinopt -tables 20 -shape chain -stats -json
 //	joinopt -tables 20 -shape star -trace-events
 //	joinopt -tables 24 -shape clique -metrics localhost:6060 -timeout 60s
+//
+// Serving: -cache routes optimization through the fingerprint-keyed plan
+// cache and -repeat re-optimizes the same query several times, so the
+// first run solves and the rest hit. With -stats the cache counters and
+// the per-entry table are printed after the plan:
+//
+//	joinopt -tables 12 -shape chain -cache -repeat 5 -stats
 package main
 
 import (
@@ -43,6 +50,7 @@ import (
 	"milpjoin/internal/sql"
 	"milpjoin/internal/workload"
 	"milpjoin/joinorder"
+	"milpjoin/joinorder/cache"
 )
 
 func main() {
@@ -66,6 +74,8 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit one machine-readable JSON document instead of text")
 		traceEv   = flag.Bool("trace-events", false, "print every solver event (with -json: embed the events in the document)")
 		metrics   = flag.String("metrics", "", "serve expvar counters and pprof profiles on this HTTP address (e.g. localhost:6060)")
+		cacheOn   = flag.Bool("cache", false, "route optimization through the fingerprint-keyed plan cache")
+		repeat    = flag.Int("repeat", 1, "optimize the query this many times (with -cache, runs after the first hit)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags]\n\nflags:\n", os.Args[0])
@@ -149,22 +159,43 @@ func main() {
 		fmt.Printf("optimizing %d tables, %d predicates (%s strategy, %s metric, %s precision)\n",
 			q.NumTables(), len(q.Predicates), *strat, *metric, *precision)
 	}
+	var co *cache.Optimizer
+	if *cacheOn {
+		co = cache.New(cache.Config{})
+	}
+	if *repeat < 1 {
+		fatal(fmt.Errorf("-repeat must be at least 1"))
+	}
+
+	var res *joinorder.Result
 	start := time.Now()
-	res, err := joinorder.Optimize(ctx, q, opts)
-	switch {
-	case errors.Is(err, joinorder.ErrCanceled), errors.Is(err, joinorder.ErrNoPlan):
-		if *jsonOut {
-			json.NewEncoder(os.Stdout).Encode(map[string]any{"error": err.Error()})
+	for run := 0; run < *repeat; run++ {
+		runStart := time.Now()
+		var err error
+		if co != nil {
+			res, err = co.Optimize(ctx, q, opts)
 		} else {
-			fmt.Printf("no plan found within the budget (%v)\n", err)
+			res, err = joinorder.Optimize(ctx, q, opts)
 		}
-		os.Exit(2)
-	case err != nil:
-		fatal(err)
+		switch {
+		case errors.Is(err, joinorder.ErrCanceled), errors.Is(err, joinorder.ErrNoPlan):
+			if *jsonOut {
+				json.NewEncoder(os.Stdout).Encode(map[string]any{"error": err.Error()})
+			} else {
+				fmt.Printf("no plan found within the budget (%v)\n", err)
+			}
+			os.Exit(2)
+		case err != nil:
+			fatal(err)
+		}
+		if !*jsonOut && *repeat > 1 {
+			fmt.Printf("run %d/%d: %v cost=%.6g in %v\n", run+1, *repeat,
+				res.Status, res.Cost, time.Since(runStart).Truncate(time.Microsecond))
+		}
 	}
 
 	if *jsonOut {
-		if err := printJSON(os.Stdout, q, res, *strat, *metric, *precision, eventCounts, events); err != nil {
+		if err := printJSON(os.Stdout, q, res, *strat, *metric, *precision, eventCounts, events, co); err != nil {
 			fatal(err)
 		}
 		return
@@ -198,13 +229,39 @@ func main() {
 			fmt.Println("  " + line)
 		}
 	}
+	if *stats && co != nil {
+		printCacheStats(co)
+	}
+}
+
+// printCacheStats renders the cache counters and the per-entry table of
+// -cache -stats mode, hottest entries first.
+func printCacheStats(co *cache.Optimizer) {
+	cs := co.Stats()
+	fmt.Println("cache statistics:")
+	fmt.Printf("  hits=%d misses=%d coalesced=%d hit-rate=%.2f\n",
+		cs.Hits, cs.Misses, cs.Coalesced, cs.HitRate())
+	fmt.Printf("  warm-starts=%d accepted=%d degraded=%d refines=%d uncacheable=%d\n",
+		cs.WarmStarts, cs.WarmStartAccepted, cs.Degraded, cs.Refines, cs.Uncacheable)
+	fmt.Printf("  entries=%d donors=%d evicted=%d expired=%d\n",
+		cs.Entries, cs.Donors, cs.Evicted, cs.Expired)
+	entries := co.Entries()
+	cache.SortEntries(entries)
+	for _, e := range entries {
+		key := e.Key
+		if len(key) > 40 {
+			key = key[:40] + "…"
+		}
+		fmt.Printf("  entry %-42s hits=%-4d tables=%-3d cost=%-12.6g age=%v\n",
+			key, e.Hits, e.Tables, e.Cost, e.Age.Truncate(time.Millisecond))
+	}
 }
 
 // printJSON emits the one machine-readable document of -json mode: query
 // shape, the full result (plan, cost, bound, per-phase stats), and the
 // event-kind counts — plus the raw event stream under -trace-events.
 func printJSON(w io.Writer, q *qopt.Query, res *joinorder.Result, strat, metric, precision string,
-	eventCounts map[string]int, events []joinorder.Event) error {
+	eventCounts map[string]int, events []joinorder.Event, co *cache.Optimizer) error {
 	doc := map[string]any{
 		"query": map[string]any{
 			"tables":     q.NumTables(),
@@ -220,6 +277,9 @@ func printJSON(w io.Writer, q *qopt.Query, res *joinorder.Result, strat, metric,
 	}
 	if events != nil {
 		doc["events"] = events
+	}
+	if co != nil {
+		doc["cache"] = co.Stats()
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

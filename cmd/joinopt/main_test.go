@@ -114,7 +114,7 @@ func TestPrintJSONDocument(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := printJSON(&buf, q, res, "milp", "hash", "medium", counts, nil); err != nil {
+	if err := printJSON(&buf, q, res, "milp", "hash", "medium", counts, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	var doc struct {

@@ -26,6 +26,11 @@ type Result struct {
 	// Encoding is retained for inspection (model statistics, decode of
 	// alternative solutions).
 	Encoding *Encoding
+	// MIPStart reports which initial incumbent survived the feasibility
+	// check and seeded branch and bound: "plan" (Options.InitialPlan),
+	// "greedy" (the default heuristic), or "" when the search started
+	// cold.
+	MIPStart string
 }
 
 // Spec returns the exact-costing spec matching the encoder options: the
@@ -57,11 +62,24 @@ func Optimize(ctx context.Context, q *qopt.Query, opts Options, params solver.Pa
 	if err != nil {
 		return nil, err
 	}
+	mipStart := ""
+	if params.InitialSolution != nil {
+		mipStart = "caller"
+	}
+	if params.InitialSolution == nil && opts.InitialPlan != nil {
+		if start, aerr := enc.AssignmentForPlan(opts.InitialPlan); aerr == nil {
+			if enc.Model.CheckFeasible(start, 1e-6) == nil {
+				params.InitialSolution = start
+				mipStart = "plan"
+			}
+		}
+	}
 	if params.InitialSolution == nil {
 		if greedy, _, gerr := dp.GreedyLeftDeep(q, opts.Spec()); gerr == nil {
 			if start, aerr := enc.AssignmentForPlan(greedy); aerr == nil {
 				if enc.Model.CheckFeasible(start, 1e-6) == nil {
 					params.InitialSolution = start
+					mipStart = "greedy"
 				}
 			}
 		}
@@ -70,7 +88,7 @@ func Optimize(ctx context.Context, q *qopt.Query, opts Options, params solver.Pa
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Solver: sres, Encoding: enc}
+	out := &Result{Solver: sres, Encoding: enc, MIPStart: mipStart}
 	if sres.Solution == nil {
 		return out, nil
 	}

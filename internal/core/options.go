@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"milpjoin/internal/cost"
+	"milpjoin/internal/plan"
 )
 
 // ErrInvalidOptions reports encoder options a caller could not legally
@@ -102,6 +103,14 @@ type Options struct {
 	// extension: predicates with nonzero EvalCostPerTuple pay their cost
 	// once, at the join where they are first applied.
 	ExpensivePredicates bool
+	// InitialPlan optionally seeds branch and bound with this plan's
+	// model-space assignment (a "MIP start") instead of the default
+	// greedy join order — the warm-start path of the plan cache, which
+	// feeds incumbents from structurally similar solved queries. The
+	// plan is validated and feasibility-checked; when it cannot be used
+	// (projection or expensive-predicate encodings, or a plan the
+	// cardinality cap excludes) the greedy fallback applies as usual.
+	InitialPlan *plan.Plan
 	// Projection enables the Section 5.2 extension: column variables and
 	// byte-size based outer costing. Requires the query to carry
 	// columns.

@@ -1,0 +1,47 @@
+package milp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzMPSRoundTrip feeds arbitrary bytes to the MPS reader and checks the
+// write→read cycle is a fixpoint: any input the reader accepts must, once
+// written, re-read into a model that writes back byte-identically. The
+// first write normalises representation details (row order, generated
+// names, number formatting); after that the format must be stable, or
+// models would silently drift through file exchanges.
+func FuzzMPSRoundTrip(f *testing.F) {
+	f.Add([]byte("NAME tiny\nROWS\n N cost\n L c1\nCOLUMNS\n x cost 1 c1 2\n y c1 1\nRHS\n rhs c1 10\nBOUNDS\n UP bnd x 4\nENDATA\n"))
+	f.Add([]byte("NAME ints\nROWS\n N obj\n G g0\n E e0\nCOLUMNS\n M0 'MARKER' 'INTORG'\n b0 obj 1 g0 1\n b1 e0 3\n M1 'MARKER' 'INTEND'\n z obj 2.5\nRHS\n rhs g0 1 e0 3\nBOUNDS\n BV bnd b0\n UP bnd b1 7\n FR bnd z\nENDATA\n"))
+	f.Add([]byte("NAME negobj\nROWS\n N obj\nCOLUMNS\n x obj -1e30\nRHS\n rhs obj 5\nBOUNDS\n MI bnd x\n UP bnd x 0\nENDATA\n"))
+	f.Add([]byte("NAME objrow\nROWS\n N cost\n L obj\nCOLUMNS\n x cost 1 obj 1\nRHS\n rhs obj 2\nENDATA\n"))
+	f.Add([]byte("ENDATA\n"))
+	f.Add([]byte("* comment only\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadMPS(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		var b2 bytes.Buffer
+		if err := m.WriteMPS(&b2); err != nil {
+			t.Fatalf("writing accepted model: %v", err)
+		}
+		m2, err := ReadMPS(bytes.NewReader(b2.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading own output: %v\n--- output ---\n%s", err, b2.Bytes())
+		}
+		if m2.NumVars() != m.NumVars() || m2.NumConstrs() != m.NumConstrs() {
+			t.Fatalf("round trip changed shape: %d/%d vars, %d/%d constraints",
+				m.NumVars(), m2.NumVars(), m.NumConstrs(), m2.NumConstrs())
+		}
+		var b3 bytes.Buffer
+		if err := m2.WriteMPS(&b3); err != nil {
+			t.Fatalf("second write: %v", err)
+		}
+		if !bytes.Equal(b2.Bytes(), b3.Bytes()) {
+			t.Fatalf("write→read→write not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", b2.Bytes(), b3.Bytes())
+		}
+	})
+}

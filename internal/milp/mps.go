@@ -29,8 +29,22 @@ func (m *Model) WriteMPS(w io.Writer) error {
 	}
 	colName := func(j Var) string { return sanitizeMPSName(m.VarName(j)) }
 
+	// The objective row needs a name no constraint uses; "obj" is the
+	// convention, extended until it is free (a constraint may legally be
+	// named "obj").
+	objRow := "obj"
+	{
+		taken := make(map[string]bool, m.NumConstrs())
+		for i := 0; i < m.NumConstrs(); i++ {
+			taken[rowName(i)] = true
+		}
+		for taken[objRow] {
+			objRow += "_"
+		}
+	}
+
 	fmt.Fprintln(bw, "ROWS")
-	fmt.Fprintln(bw, " N obj")
+	fmt.Fprintf(bw, " N %s\n", objRow)
 	for i := 0; i < m.NumConstrs(); i++ {
 		_, sense, _, _ := m.Constr(i)
 		var tag string
@@ -53,7 +67,7 @@ func (m *Model) WriteMPS(w io.Writer) error {
 	cols := make([][]entry, m.NumVars())
 	for j := 0; j < m.NumVars(); j++ {
 		if c := m.ObjCoeff(Var(j)); c != 0 {
-			cols[j] = append(cols[j], entry{"obj", c})
+			cols[j] = append(cols[j], entry{objRow, c})
 		}
 	}
 	for i := 0; i < m.NumConstrs(); i++ {
@@ -82,7 +96,7 @@ func (m *Model) WriteMPS(w io.Writer) error {
 		if len(cols[j]) == 0 {
 			// MPS requires every column to appear; emit a zero
 			// objective entry.
-			fmt.Fprintf(bw, " %s obj 0\n", colName(Var(j)))
+			fmt.Fprintf(bw, " %s %s 0\n", colName(Var(j)), objRow)
 			continue
 		}
 		for _, e := range cols[j] {
@@ -103,7 +117,7 @@ func (m *Model) WriteMPS(w io.Writer) error {
 	if c := m.ObjConstant(); c != 0 {
 		// Convention: objective constant as negated RHS of the
 		// objective row.
-		fmt.Fprintf(bw, " rhs obj %s\n", formatMPSNum(-c))
+		fmt.Fprintf(bw, " rhs %s %s\n", objRow, formatMPSNum(-c))
 	}
 
 	fmt.Fprintln(bw, "BOUNDS")
@@ -171,6 +185,11 @@ func ReadMPS(r io.Reader) (*Model, error) {
 		}
 		if !strings.HasPrefix(line, " ") && !strings.HasPrefix(line, "\t") {
 			fields := strings.Fields(line)
+			if len(fields) == 0 {
+				// Whitespace other than the trimmed set (e.g. a lone
+				// form feed) yields no fields.
+				continue
+			}
 			section = strings.ToUpper(fields[0])
 			if section == "NAME" && len(fields) > 1 {
 				m.Name = fields[1]
@@ -187,6 +206,11 @@ func ReadMPS(r io.Reader) (*Model, error) {
 				return nil, fmt.Errorf("milp: MPS line %d: bad ROWS entry", lineNo)
 			}
 			tag, name := strings.ToUpper(fields[0]), fields[1]
+			// MPS row names are unique; a duplicate would silently merge
+			// two rows' coefficients on re-read.
+			if _, dup := rows[name]; dup {
+				return nil, fmt.Errorf("milp: MPS line %d: duplicate row %q", lineNo, name)
+			}
 			switch tag {
 			case "N":
 				// objective row; remembered implicitly as "obj name"

@@ -48,6 +48,22 @@ const (
 	// KindWorkerStop marks a worker exiting; per-worker node counts are
 	// reported in Stats.NodesPerWorker.
 	KindWorkerStop
+	// KindCacheHit reports a plan served from the plan cache without a
+	// solve; the event carries the cached objective and bound.
+	KindCacheHit
+	// KindCacheMiss reports a cache lookup that found no reusable entry
+	// and is about to fall through to a solve.
+	KindCacheMiss
+	// KindCacheCoalesced reports a request that joined an identical
+	// in-flight solve (singleflight) instead of starting its own.
+	KindCacheCoalesced
+	// KindWarmStart reports that a cached plan for a structurally
+	// similar query was injected as the solver's MIP start.
+	KindWarmStart
+	// KindDegraded reports that a tight deadline was met with an
+	// immediate heuristic plan while the full solve continues in the
+	// background.
+	KindDegraded
 )
 
 // String names the kind (stable identifiers, used in JSON output).
@@ -71,6 +87,16 @@ func (k EventKind) String() string {
 		return "worker_start"
 	case KindWorkerStop:
 		return "worker_stop"
+	case KindCacheHit:
+		return "cache_hit"
+	case KindCacheMiss:
+		return "cache_miss"
+	case KindCacheCoalesced:
+		return "cache_coalesced"
+	case KindWarmStart:
+		return "warm_start"
+	case KindDegraded:
+		return "degraded"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

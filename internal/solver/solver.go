@@ -92,6 +92,14 @@ const (
 	KindNodeBatch    = obs.KindNodeBatch
 	KindWorkerStart  = obs.KindWorkerStart
 	KindWorkerStop   = obs.KindWorkerStop
+
+	// Cache-layer kinds, emitted by joinorder/cache rather than the
+	// solver itself; re-exported so all kinds live in one namespace.
+	KindCacheHit       = obs.KindCacheHit
+	KindCacheMiss      = obs.KindCacheMiss
+	KindCacheCoalesced = obs.KindCacheCoalesced
+	KindWarmStart      = obs.KindWarmStart
+	KindDegraded       = obs.KindDegraded
 )
 
 // Params tune the solver.

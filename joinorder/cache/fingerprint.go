@@ -1,0 +1,498 @@
+// Package cache provides a concurrent, bounded plan cache in front of the
+// public joinorder API: structurally identical queries are recognized by a
+// graph-isomorphism-safe fingerprint and served from memory, concurrent
+// identical requests coalesce into one solve (singleflight), and queries
+// that merely share a topology with a cached one reuse the cached plan as a
+// MIP start so branch and bound begins with a finite upper bound.
+//
+// The fingerprint is computed by canonicalizing the join graph: tables are
+// vertices, binary join predicates are weighted edges, and a canonical
+// labeling is derived by iterated color refinement with bounded
+// individualization backtracking. Relabeling the query's relations never
+// changes the fingerprint, so A⋈B⋈C and a permuted C⋈B⋈A hit the same
+// cache entry — and the canonical permutation lets a plan cached under one
+// labeling be translated into any isomorphic query's labeling.
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"milpjoin/joinorder"
+)
+
+// ErrUncacheable reports a query outside the fingerprint's reach: fewer
+// than two tables, non-binary predicates, projection columns, correlated
+// groups, or a join graph so symmetric that canonicalization exceeds its
+// search budget. Uncacheable queries bypass the cache and are solved
+// directly; correctness never depends on cacheability.
+var ErrUncacheable = errors.New("cache: query not cacheable")
+
+// Mode selects what the fingerprint distinguishes.
+type Mode int
+
+const (
+	// Exact fingerprints distinguish cardinalities and selectivities
+	// bit-for-bit: equal fingerprints mean the queries are isomorphic
+	// with identical statistics, so a cached plan, its cost, and its
+	// optimality proof all transfer.
+	Exact Mode = iota
+	// Shape fingerprints reduce cardinalities and selectivities to their
+	// ranks (order statistics) within the query: equal fingerprints mean
+	// the queries share a topology and the same relative ordering of
+	// statistics — the "same query, perturbed cardinalities" case — so a
+	// cached plan transfers as a warm start but not as an answer.
+	Shape
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Exact:
+		return "exact"
+	case Shape:
+		return "shape"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Canonical is the canonicalization of a query: a fingerprint key that is
+// invariant under relabeling of the query's tables, plus the permutation
+// that maps the query's table indices to canonical positions. Two queries
+// with equal keys are isomorphic (for the mode's notion of equality), and
+// composing one query's Perm with the other's inverse yields the
+// isomorphism — which is how cached plans are translated between label
+// spaces.
+type Canonical struct {
+	// Key is the hex digest of the canonical encoding. Equal keys imply
+	// isomorphic queries; the digest is collision-resistant (SHA-256).
+	Key string
+	// Perm maps an original table index to its canonical position.
+	Perm []int
+	// inv maps a canonical position back to the original table index.
+	inv []int
+}
+
+// ToCanonical translates a join order over original table indices into
+// canonical label space.
+func (c *Canonical) ToCanonical(order []int) []int {
+	out := make([]int, len(order))
+	for i, t := range order {
+		out[i] = c.Perm[t]
+	}
+	return out
+}
+
+// FromCanonical translates a join order in canonical label space back to
+// the query's original table indices.
+func (c *Canonical) FromCanonical(order []int) []int {
+	out := make([]int, len(order))
+	for i, t := range order {
+		out[i] = c.inv[t]
+	}
+	return out
+}
+
+// Canonicalization search budgets. Refinement discretizes almost every
+// real query (statistics are floats; exact ties are rare), so the
+// backtracking search over tied vertices is bounded: fully symmetric cells
+// (interchangeable tables, e.g. the identical leaves of a synthetic star)
+// cost one branch, and anything beyond the budget is declared uncacheable
+// rather than risking super-polynomial work. The budget trips on the size
+// of the label-invariant search tree, so whether a query is cacheable is
+// itself invariant under relabeling.
+const (
+	maxCanonLeaves = 2048
+	maxCanonNodes  = 1 << 14
+)
+
+var errCanonBudget = errors.New("cache: canonicalization budget exceeded")
+
+// Canonicalize computes the canonical form of the query's join graph under
+// the given mode. It returns ErrUncacheable for queries the fingerprint
+// cannot safely represent.
+func Canonicalize(q *joinorder.Query, mode Mode) (*Canonical, error) {
+	g, err := buildGraph(q, mode)
+	if err != nil {
+		return nil, err
+	}
+	s := &canonSearch{g: g}
+	if err := s.search(g.initialColors()); err != nil {
+		if errors.Is(err, errCanonBudget) {
+			return nil, fmt.Errorf("%w: join graph too symmetric (canonicalization budget exceeded)", ErrUncacheable)
+		}
+		return nil, err
+	}
+	sum := sha256.Sum256(s.bestEnc)
+	c := &Canonical{
+		Key:  hex.EncodeToString(sum[:]),
+		Perm: s.bestPerm,
+		inv:  make([]int, len(s.bestPerm)),
+	}
+	for orig, pos := range c.Perm {
+		c.inv[pos] = orig
+	}
+	return c, nil
+}
+
+// pairWeight is the invariant of one predicate on a table pair: selectivity
+// and evaluation cost, as raw float bits (Exact) or ranks (Shape).
+type pairWeight struct{ sel, eval uint64 }
+
+// graph is the abstract weighted join graph being canonicalized.
+type graph struct {
+	n    int
+	vert []uint64    // per-vertex invariant hash (cardinality, sorted flag)
+	vdat [][2]uint64 // per-vertex invariant data, emitted into encodings
+	adj  [][]uint64  // adj[v][u]: weight hash of pair {v,u}, 0 when no edge
+	pair map[[2]int][]pairWeight
+}
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// buildGraph validates cacheability and assembles the invariant-weighted
+// graph for the mode.
+func buildGraph(q *joinorder.Query, mode Mode) (*graph, error) {
+	n := len(q.Tables)
+	if n < 2 {
+		return nil, fmt.Errorf("%w: fewer than two tables", ErrUncacheable)
+	}
+	if len(q.Columns) > 0 {
+		return nil, fmt.Errorf("%w: projection columns", ErrUncacheable)
+	}
+	if len(q.Correlated) > 0 {
+		return nil, fmt.Errorf("%w: correlated predicate groups", ErrUncacheable)
+	}
+	for i := range q.Predicates {
+		if len(q.Predicates[i].Tables) != 2 {
+			return nil, fmt.Errorf("%w: predicate %d is not binary", ErrUncacheable, i)
+		}
+	}
+
+	// Invariant encodings of the statistics: raw float bits for Exact,
+	// ranks over the query's own value sets for Shape.
+	card := func(v float64) uint64 { return math.Float64bits(v) }
+	sel := card
+	eval := card
+	if mode == Shape {
+		cards := make([]float64, 0, n)
+		for i := range q.Tables {
+			cards = append(cards, q.Tables[i].Card)
+		}
+		sels := make([]float64, 0, len(q.Predicates))
+		evals := make([]float64, 0, len(q.Predicates))
+		for i := range q.Predicates {
+			sels = append(sels, q.Predicates[i].Sel)
+			evals = append(evals, q.Predicates[i].EvalCostPerTuple)
+		}
+		card = ranker(cards)
+		sel = ranker(sels)
+		eval = ranker(evals)
+	}
+
+	g := &graph{
+		n:    n,
+		vert: make([]uint64, n),
+		vdat: make([][2]uint64, n),
+		adj:  make([][]uint64, n),
+		pair: make(map[[2]int][]pairWeight),
+	}
+	for i := range q.Tables {
+		var sorted uint64
+		if q.Tables[i].Sorted {
+			sorted = 1
+		}
+		g.vdat[i] = [2]uint64{card(q.Tables[i].Card), sorted}
+		g.vert[i] = fnvMix(fnvOffset, g.vdat[i][0], g.vdat[i][1])
+	}
+	for i := range q.Predicates {
+		p := &q.Predicates[i]
+		k := pairKey(p.Tables[0], p.Tables[1])
+		g.pair[k] = append(g.pair[k], pairWeight{sel: sel(p.Sel), eval: eval(p.EvalCostPerTuple)})
+	}
+	// Parallel predicates on the same pair form an (order-canonical)
+	// multiset; sort so the weight is label-invariant.
+	for k, ws := range g.pair {
+		sort.Slice(ws, func(a, b int) bool {
+			if ws[a].sel != ws[b].sel {
+				return ws[a].sel < ws[b].sel
+			}
+			return ws[a].eval < ws[b].eval
+		})
+		g.pair[k] = ws
+	}
+	for v := 0; v < n; v++ {
+		g.adj[v] = make([]uint64, n)
+	}
+	for k, ws := range g.pair {
+		h := uint64(fnvOffset)
+		for _, w := range ws {
+			h = fnvMix(h, w.sel, w.eval)
+		}
+		h = fnvMix(h, uint64(len(ws)), 0x9e3779b97f4a7c15)
+		if h == 0 {
+			h = 1 // reserve 0 for "no edge"
+		}
+		g.adj[k[0]][k[1]] = h
+		g.adj[k[1]][k[0]] = h
+	}
+	return g, nil
+}
+
+// ranker maps each float value to its rank among the distinct values of
+// vals (0 for the smallest). Queries that differ only by a monotone
+// perturbation of their statistics receive identical ranks.
+func ranker(vals []float64) func(float64) uint64 {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	rank := make(map[uint64]uint64, len(sorted))
+	for _, v := range sorted {
+		b := math.Float64bits(v)
+		if _, ok := rank[b]; !ok {
+			rank[b] = uint64(len(rank))
+		}
+	}
+	return func(v float64) uint64 { return rank[math.Float64bits(v)] }
+}
+
+const fnvOffset = 0xcbf29ce484222325
+
+// fnvMix folds two words into a running FNV-1a style hash.
+func fnvMix(h, a, b uint64) uint64 {
+	const prime = 0x100000001b3
+	for i := 0; i < 8; i++ {
+		h = (h ^ (a & 0xff)) * prime
+		a >>= 8
+	}
+	for i := 0; i < 8; i++ {
+		h = (h ^ (b & 0xff)) * prime
+		b >>= 8
+	}
+	return h
+}
+
+func (g *graph) initialColors() []uint64 {
+	return append([]uint64(nil), g.vert...)
+}
+
+// refine runs Weisfeiler–Lehman color refinement to a fixpoint: each
+// vertex's color absorbs the sorted multiset of (neighbor color, edge
+// weight) pairs over all other vertices until no refinement round splits a
+// color class. The refined partition is an invariant of the abstract
+// graph.
+func (g *graph) refine(colors []uint64) []uint64 {
+	n := g.n
+	cur := append([]uint64(nil), colors...)
+	sig := make([]uint64, 0, n-1)
+	next := make([]uint64, n)
+	for {
+		for v := 0; v < n; v++ {
+			sig = sig[:0]
+			for u := 0; u < n; u++ {
+				if u == v {
+					continue
+				}
+				sig = append(sig, fnvMix(fnvOffset, cur[u], g.adj[v][u]))
+			}
+			sort.Slice(sig, func(a, b int) bool { return sig[a] < sig[b] })
+			h := fnvMix(fnvOffset, cur[v], 0)
+			for _, s := range sig {
+				h = fnvMix(h, s, 0)
+			}
+			next[v] = h
+		}
+		if samePartition(cur, next) {
+			return cur
+		}
+		cur = append(cur[:0], next...)
+	}
+}
+
+// samePartition reports whether two colorings induce the same partition of
+// the vertices.
+func samePartition(a, b []uint64) bool {
+	repA := make(map[uint64]int)
+	repB := make(map[uint64]int)
+	for i := range a {
+		ra, okA := repA[a[i]]
+		rb, okB := repB[b[i]]
+		if okA != okB {
+			return false
+		}
+		if okA && ra != rb {
+			return false
+		}
+		if !okA {
+			repA[a[i]] = i
+			repB[b[i]] = i
+		}
+	}
+	return true
+}
+
+// cells groups vertices by color, ordered by color value — an ordering
+// that is invariant under relabeling because colors are functions of the
+// abstract graph.
+func cells(colors []uint64) [][]int {
+	byColor := make(map[uint64][]int)
+	order := make([]uint64, 0)
+	for v, c := range colors {
+		if _, ok := byColor[c]; !ok {
+			order = append(order, c)
+		}
+		byColor[c] = append(byColor[c], v)
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
+	out := make([][]int, len(order))
+	for i, c := range order {
+		out[i] = byColor[c]
+	}
+	return out
+}
+
+// uniformCell reports whether every member of the cell is interchangeable
+// with every other: all intra-cell pair weights are equal and every member
+// sees the same weight towards each external vertex. Permuting such a cell
+// is an automorphism, so canonicalization needs to branch on only one
+// member — this is what keeps synthetic symmetric queries (identical star
+// leaves, uniform cliques) cheap to canonicalize.
+func (g *graph) uniformCell(cell []int) bool {
+	if len(cell) < 2 {
+		return true
+	}
+	intra := g.adj[cell[0]][cell[1]]
+	for i := 0; i < len(cell); i++ {
+		for j := i + 1; j < len(cell); j++ {
+			if g.adj[cell[i]][cell[j]] != intra {
+				return false
+			}
+		}
+	}
+	inCell := make(map[int]bool, len(cell))
+	for _, v := range cell {
+		inCell[v] = true
+	}
+	for x := 0; x < g.n; x++ {
+		if inCell[x] {
+			continue
+		}
+		w := g.adj[cell[0]][x]
+		for _, v := range cell[1:] {
+			if g.adj[v][x] != w {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// canonSearch is the individualization-refinement search for the minimal
+// canonical encoding. It explores the whole (budget-bounded) search tree
+// without pruning, so the set of visited leaves — and hence both the
+// resulting minimal encoding and whether the budget trips — is invariant
+// under relabeling of the input.
+type canonSearch struct {
+	g        *graph
+	bestEnc  []byte
+	bestPerm []int
+	leaves   int
+	nodes    int
+}
+
+func (s *canonSearch) search(colors []uint64) error {
+	s.nodes++
+	if s.nodes > maxCanonNodes {
+		return errCanonBudget
+	}
+	colors = s.g.refine(colors)
+	part := cells(colors)
+
+	target := -1
+	for i, cell := range part {
+		if len(cell) > 1 {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		// Discrete partition: a complete canonical labeling.
+		s.leaves++
+		if s.leaves > maxCanonLeaves {
+			return errCanonBudget
+		}
+		enc, perm := s.g.encode(part)
+		if s.bestEnc == nil || bytes.Compare(enc, s.bestEnc) < 0 {
+			s.bestEnc, s.bestPerm = enc, perm
+		}
+		return nil
+	}
+
+	cell := part[target]
+	candidates := cell
+	if s.g.uniformCell(cell) {
+		// Fully interchangeable members: any branch is an automorphic
+		// image of any other, one suffices.
+		candidates = cell[:1]
+	}
+	for _, v := range candidates {
+		branch := append([]uint64(nil), colors...)
+		branch[v] = fnvMix(branch[v], 0x6a09e667f3bcc909, 0xbb67ae8584caa73b)
+		if err := s.search(branch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encode serializes the graph under the discrete partition's labeling. The
+// encoding contains the complete invariant data (vertex statistics and
+// every edge's weight multiset), so equal encodings imply isomorphic
+// queries — fingerprint collisions between genuinely different queries
+// would require a SHA-256 collision.
+func (g *graph) encode(part [][]int) ([]byte, []int) {
+	n := g.n
+	perm := make([]int, n) // original -> canonical
+	inv := make([]int, n)  // canonical -> original
+	for pos, cell := range part {
+		perm[cell[0]] = pos
+		inv[pos] = cell[0]
+	}
+	var buf bytes.Buffer
+	w64 := func(vs ...uint64) {
+		var b [8]byte
+		for _, v := range vs {
+			binary.BigEndian.PutUint64(b[:], v)
+			buf.Write(b[:])
+		}
+	}
+	w64(uint64(n))
+	for pos := 0; pos < n; pos++ {
+		v := inv[pos]
+		w64(g.vdat[v][0], g.vdat[v][1])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ws := g.pair[pairKey(inv[i], inv[j])]
+			if len(ws) == 0 {
+				continue
+			}
+			w64(uint64(i), uint64(j), uint64(len(ws)))
+			for _, w := range ws {
+				w64(w.sel, w.eval)
+			}
+		}
+	}
+	return buf.Bytes(), perm
+}

@@ -1,0 +1,102 @@
+package cache
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"milpjoin/joinorder"
+)
+
+// queryFromBytes decodes fuzz data into a join query: the first byte picks
+// the table count, subsequent bytes drive cardinalities, edge structure,
+// and selectivities. Returns nil when the data is too short to build a
+// valid query.
+func queryFromBytes(data []byte) *joinorder.Query {
+	if len(data) < 3 {
+		return nil
+	}
+	n := 2 + int(data[0])%9 // 2..10 tables
+	next := func(i int) byte { return data[1+i%(len(data)-1)] }
+
+	q := &joinorder.Query{Tables: make([]joinorder.Table, n)}
+	b := 0
+	for i := range q.Tables {
+		q.Tables[i].Card = float64(1 + int(next(b))*7)
+		b++
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := next(b)
+			b++
+			if v%3 != 0 {
+				continue // ~1/3 edge density
+			}
+			q.Predicates = append(q.Predicates, joinorder.Predicate{
+				Tables: []int{i, j},
+				Sel:    float64(1+int(v)) / 512.0,
+			})
+		}
+	}
+	return q
+}
+
+// FuzzFingerprint drives arbitrary queries through canonicalization and
+// checks its two contracts: determinism (same query, same key) and
+// label-invariance (an isomorphic relabeling yields the same key — and
+// the same cacheability verdict — in both modes). A violation of either
+// means the cache could serve a wrong plan or split entries.
+func FuzzFingerprint(f *testing.F) {
+	f.Add([]byte{3, 10, 20, 30, 0, 3, 6})
+	f.Add([]byte{8, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0, 7, 7, 3})
+	f.Add([]byte{9, 200, 100, 50, 25, 12, 6, 3, 1, 0, 9, 9, 9, 3, 3, 3, 0, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{5}, 40))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q := queryFromBytes(data)
+		if q == nil {
+			return
+		}
+		n := len(q.Tables)
+		var seed int64
+		for _, by := range data {
+			seed = seed*131 + int64(by)
+		}
+		rng := rand.New(rand.NewSource(seed))
+
+		for _, mode := range []Mode{Exact, Shape} {
+			c1, err1 := Canonicalize(q, mode)
+			c1b, err1b := Canonicalize(q, mode)
+			if (err1 == nil) != (err1b == nil) {
+				t.Fatalf("mode %v: nondeterministic cacheability", mode)
+			}
+			if err1 != nil {
+				continue
+			}
+			if c1.Key != c1b.Key {
+				t.Fatalf("mode %v: nondeterministic key", mode)
+			}
+
+			for trial := 0; trial < 3; trial++ {
+				perm := rng.Perm(n)
+				rq := relabel(q, perm)
+				c2, err2 := Canonicalize(rq, mode)
+				if err2 != nil {
+					t.Fatalf("mode %v: relabeling flipped cacheability: %v", mode, err2)
+				}
+				if c2.Key != c1.Key {
+					t.Fatalf("mode %v: fingerprint not invariant under relabeling", mode)
+				}
+				// Perm/inv must be mutually inverse translations.
+				order := rng.Perm(n)
+				back := c2.FromCanonical(c2.ToCanonical(order))
+				for i := range order {
+					if back[i] != order[i] {
+						t.Fatalf("mode %v: ToCanonical/FromCanonical not inverse", mode)
+					}
+				}
+			}
+		}
+	})
+}

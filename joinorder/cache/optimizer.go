@@ -1,0 +1,446 @@
+package cache
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+	"sync"
+	"time"
+
+	"milpjoin/internal/obs"
+	"milpjoin/joinorder"
+)
+
+// OptimizeFunc is the underlying optimizer the cache fronts; it matches
+// joinorder.Optimize. Tests inject counting or failing implementations.
+type OptimizeFunc func(ctx context.Context, q *joinorder.Query, opts joinorder.Options) (*joinorder.Result, error)
+
+// Config configures an Optimizer. The zero value is usable: 1024 entries,
+// no TTL, warm starts on, degraded serving off.
+type Config struct {
+	// MaxEntries bounds the exact cache (default 1024). The warm-start
+	// donor index is bounded separately at the same size.
+	MaxEntries int
+	// TTL expires entries this long after insertion (0: never). Expiry
+	// is checked on lookup; an expired entry is treated as a miss and
+	// removed, so stale plans are never served.
+	TTL time.Duration
+	// DisableWarmStart turns off injecting shape-matched cached plans as
+	// MIP starts on misses.
+	DisableWarmStart bool
+	// DegradeUnder enables graceful degradation: when a request's
+	// effective time budget (Options.TimeLimit composed with the context
+	// deadline) is at most this, the cache serves a heuristic plan
+	// immediately and refines the real answer in the background,
+	// publishing it to the cache for the next request (0: disabled).
+	DegradeUnder time.Duration
+	// FallbackStrategy is the strategy served under degradation
+	// (default "greedy").
+	FallbackStrategy string
+	// BackgroundBudget is the time limit of a background refine solve
+	// (default 30s).
+	BackgroundBudget time.Duration
+	// Optimize is the underlying optimizer (default joinorder.Optimize).
+	Optimize OptimizeFunc
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// Optimizer is a concurrent plan cache in front of joinorder.Optimize.
+//
+// Lookups key on the canonical query fingerprint (see Canonicalize), so a
+// relabeled — graph-isomorphic — query hits the entry of the original.
+// Only proven-optimal results enter the exact cache; every solved plan
+// additionally feeds a shape-level donor index that warm-starts solves of
+// structurally identical queries whose cardinalities drifted. Identical
+// concurrent requests coalesce into one solve. All methods are safe for
+// concurrent use.
+type Optimizer struct {
+	cfg     Config
+	exact   *store[*canonicalResult]
+	donors  *store[*donor]
+	flights flightGroup
+	ctr     counters
+	bg      sync.WaitGroup
+}
+
+// canonicalResult is a cached result whose plan is stored in canonical
+// label space; serve translates it into any requesting query's labels.
+type canonicalResult struct {
+	res *joinorder.Result // Plan.Order in canonical labels; Tree nil
+}
+
+// donor is a shape-level warm-start candidate: a plan in shape-canonical
+// label space from the most recent solve of this query shape.
+type donor struct {
+	order []int
+	ops   []joinorder.Operator
+}
+
+// New builds a cache-fronted optimizer.
+func New(cfg Config) *Optimizer {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 1024
+	}
+	if cfg.FallbackStrategy == "" {
+		cfg.FallbackStrategy = "greedy"
+	}
+	if cfg.BackgroundBudget <= 0 {
+		cfg.BackgroundBudget = 30 * time.Second
+	}
+	if cfg.Optimize == nil {
+		cfg.Optimize = joinorder.Optimize
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	o := &Optimizer{cfg: cfg}
+	o.exact = newStore[*canonicalResult](cfg.MaxEntries, cfg.TTL, &o.ctr.evicted, &o.ctr.expired)
+	o.donors = newStore[*donor](cfg.MaxEntries, cfg.TTL, nil, nil)
+	return o
+}
+
+// Stats snapshots cache effectiveness counters.
+func (o *Optimizer) Stats() Stats {
+	s := o.ctr.snapshot()
+	s.Entries = o.exact.len()
+	s.Donors = o.donors.len()
+	return s
+}
+
+// Len is the current number of exact entries resident.
+func (o *Optimizer) Len() int { return o.exact.len() }
+
+// Wait blocks until all background refine solves started by degraded
+// serving have completed. Call before reading final Stats or shutting
+// down.
+func (o *Optimizer) Wait() { o.bg.Wait() }
+
+// EntryInfo describes one resident cache entry for stats output.
+type EntryInfo struct {
+	// Key is the entry's full cache key (options digest + fingerprint).
+	Key string
+	// Hits counts lookups served from this entry.
+	Hits int64
+	// Age is the time since insertion.
+	Age time.Duration
+	// Cost is the cached plan's exact cost.
+	Cost float64
+	// Tables is the cached plan's table count.
+	Tables int
+}
+
+// Entries lists resident exact entries, most recently used first.
+func (o *Optimizer) Entries() []EntryInfo {
+	var out []EntryInfo
+	o.exact.each(o.cfg.now(), func(key string, v *canonicalResult, age time.Duration, hits int64) {
+		out = append(out, EntryInfo{
+			Key:    key,
+			Hits:   hits,
+			Age:    age,
+			Cost:   v.res.Cost,
+			Tables: len(v.res.Plan.Order),
+		})
+	})
+	return out
+}
+
+// Optimize serves the query from cache when possible and falls through to
+// the underlying optimizer otherwise. Uncacheable queries (see
+// Canonicalize) pass through untouched. Cache activity is surfaced on the
+// caller's Options.OnEvent stream via the KindCache*, KindWarmStart, and
+// KindDegraded event kinds, interleaved with the underlying solver's
+// events under one monotonic sequence.
+func (o *Optimizer) Optimize(ctx context.Context, q *joinorder.Query, opts joinorder.Options) (*joinorder.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := o.cfg.now()
+	ce, err := Canonicalize(q, Exact)
+	if err != nil {
+		// Uncacheable or malformed: the underlying optimizer owns
+		// validation and the public error surface.
+		o.ctr.uncacheable.Add(1)
+		return o.cfg.Optimize(ctx, q, opts)
+	}
+	okey := optionsKey(opts)
+	ekey := "e|" + okey + "|" + ce.Key
+
+	em := newCallEmitter(start, opts)
+
+	if cres, ok := o.exact.get(ekey, start); ok {
+		o.ctr.hits.Add(1)
+		res := cres.serve(ce, o.cfg.now().Sub(start))
+		em.emitResult(joinorder.KindCacheHit, res)
+		return res, nil
+	}
+
+	if o.degradeBudget(ctx, opts, start) {
+		return o.serveDegraded(ctx, q, opts, ce, ekey, em, start)
+	}
+
+	f, leader := o.flights.join(ekey)
+	if !leader {
+		o.ctr.coalesced.Add(1)
+		em.emit(joinorder.Event{Kind: joinorder.KindCacheCoalesced})
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: %w", joinorder.ErrCanceled, ctx.Err())
+		}
+		if f.err != nil {
+			return nil, f.err
+		}
+		if f.res != nil {
+			res := f.res.serve(ce, o.cfg.now().Sub(start))
+			em.emitResult(joinorder.KindCacheHit, res)
+			return res, nil
+		}
+		// The leader's result was untranslatable (e.g. a bushy tree
+		// with no left-deep plan): solve independently.
+		o.ctr.misses.Add(1)
+		return o.cfg.Optimize(ctx, q, em.rewire(opts))
+	}
+	res, cres, err := o.solve(ctx, q, opts, ce, em)
+	o.flights.complete(ekey, f, cres, err)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// solve is the miss path run by a flight leader: warm-start lookup,
+// underlying solve, cache population. It returns the caller-space result
+// and its canonical-space form for coalesced waiters (nil when the result
+// carries no left-deep plan).
+func (o *Optimizer) solve(ctx context.Context, q *joinorder.Query, opts joinorder.Options, ce *Canonical, em *callEmitter) (*joinorder.Result, *canonicalResult, error) {
+	o.ctr.misses.Add(1)
+	em.emit(joinorder.Event{Kind: joinorder.KindCacheMiss})
+
+	okey := optionsKey(opts)
+	var cs *Canonical
+	warmed := false
+	if !o.cfg.DisableWarmStart && opts.InitialPlan == nil {
+		if c, err := Canonicalize(q, Shape); err == nil {
+			cs = c
+			if d, ok := o.donors.get("s|"+okey+"|"+cs.Key, o.cfg.now()); ok {
+				opts.InitialPlan = &joinorder.Plan{
+					Order:     cs.FromCanonical(d.order),
+					Operators: slices.Clone(d.ops),
+				}
+				warmed = true
+				o.ctr.warmStarts.Add(1)
+				em.emit(joinorder.Event{Kind: joinorder.KindWarmStart})
+			}
+		}
+	}
+
+	res, err := o.cfg.Optimize(ctx, q, em.rewire(opts))
+	if err != nil {
+		return nil, nil, err
+	}
+	if warmed && res.MIPStart == "plan" {
+		o.ctr.warmStartAccepted.Add(1)
+	}
+	if res.Plan == nil {
+		return res, nil, nil
+	}
+
+	now := o.cfg.now()
+	if cs == nil && !o.cfg.DisableWarmStart {
+		cs, _ = Canonicalize(q, Shape)
+	}
+	if cs != nil {
+		o.donors.put("s|"+okey+"|"+cs.Key, &donor{
+			order: cs.ToCanonical(res.Plan.Order),
+			ops:   slices.Clone(res.Plan.Operators),
+		}, now)
+	}
+	var cres *canonicalResult
+	if res.Status == joinorder.StatusOptimal {
+		// Only proven-optimal results are reusable verbatim: a
+		// time-limited incumbent from one request must not masquerade
+		// as the answer for the next.
+		cres = storeForm(res, ce)
+		o.exact.put("e|"+okey+"|"+ce.Key, cres, now)
+	} else {
+		// Still good enough to hand to coalesced waiters of this
+		// flight — they asked for exactly this solve.
+		cres = storeForm(res, ce)
+	}
+	return res, cres, nil
+}
+
+// degradeBudget reports whether the request's effective time budget is
+// tight enough to trigger degraded serving.
+func (o *Optimizer) degradeBudget(ctx context.Context, opts joinorder.Options, now time.Time) bool {
+	if o.cfg.DegradeUnder <= 0 {
+		return false
+	}
+	budget := opts.TimeLimit
+	if dl, ok := ctx.Deadline(); ok {
+		if r := dl.Sub(now); budget <= 0 || r < budget {
+			budget = r
+		}
+	}
+	return budget > 0 && budget <= o.cfg.DegradeUnder
+}
+
+// serveDegraded answers a tight-deadline miss immediately with the
+// fallback strategy and starts one background refine solve (deduplicated
+// through the flight group) whose result lands in the cache for the next
+// request.
+func (o *Optimizer) serveDegraded(ctx context.Context, q *joinorder.Query, opts joinorder.Options, ce *Canonical, ekey string, em *callEmitter, start time.Time) (*joinorder.Result, error) {
+	o.ctr.degraded.Add(1)
+	if f, leader := o.flights.join(ekey); leader {
+		bgOpts := opts
+		bgOpts.OnEvent, bgOpts.OnProgress = nil, nil
+		bgOpts.TimeLimit = o.cfg.BackgroundBudget
+		bgCtx := context.WithoutCancel(ctx)
+		o.bg.Add(1)
+		go func() {
+			defer o.bg.Done()
+			bctx, cancel := context.WithTimeout(bgCtx, o.cfg.BackgroundBudget)
+			defer cancel()
+			_, cres, err := o.solve(bctx, q, bgOpts, ce, newCallEmitter(o.cfg.now(), bgOpts))
+			o.flights.complete(ekey, f, cres, err)
+			o.ctr.refines.Add(1)
+		}()
+	}
+	fopts := opts
+	fopts.Strategy = o.cfg.FallbackStrategy
+	res, err := o.cfg.Optimize(ctx, q, em.rewire(fopts))
+	if err != nil {
+		return nil, err
+	}
+	em.emitResult(joinorder.KindDegraded, res)
+	return res, nil
+}
+
+// serve translates a canonical-space cached result into the labels of the
+// requesting query (via its canonical form) and stamps serving time.
+func (cr *canonicalResult) serve(c *Canonical, elapsed time.Duration) *joinorder.Result {
+	out := *cr.res
+	pl := &joinorder.Plan{
+		Order:     c.FromCanonical(cr.res.Plan.Order),
+		Operators: slices.Clone(cr.res.Plan.Operators),
+	}
+	out.Plan = pl
+	out.Tree = pl.LeftDeep()
+	out.Elapsed = elapsed
+	return &out
+}
+
+// storeForm clones res with its plan translated into canonical label
+// space. The Tree is dropped and rebuilt per serve.
+func storeForm(res *joinorder.Result, c *Canonical) *canonicalResult {
+	cp := *res
+	cp.Plan = &joinorder.Plan{
+		Order:     c.ToCanonical(res.Plan.Order),
+		Operators: slices.Clone(res.Plan.Operators),
+	}
+	cp.Tree = nil
+	return &canonicalResult{res: &cp}
+}
+
+// optionsKey digests every option that changes what a solve returns.
+// TimeLimit and Threads are deliberately excluded: they bound effort, not
+// the optimum, and a proven-optimal cached plan answers the query under
+// any budget. Callback fields never affect results.
+func optionsKey(o joinorder.Options) string {
+	strat := o.Strategy
+	if strat == "" {
+		strat = "milp"
+	}
+	return fmt.Sprintf("%s,m%d,op%d,p%d,tr%g,cc%g,gt%g,mn%d,co%t,io%t,ep%t,dp%d,s%d",
+		strat, o.Metric, o.Op, o.Precision, o.ThresholdRatio, o.CardCap,
+		o.GapTol, o.MaxNodes, o.ChooseOperators, o.InterestingOrders,
+		o.ExpensivePredicates, o.MaxDPTables, o.Seed)
+}
+
+// callEmitter re-serialises the caller's event stream for one cache call:
+// cache-layer events and the underlying solver's events share one
+// monotonic sequence, and the deprecated OnProgress adapter keeps
+// observing incumbent/bound events exactly as it would uncached.
+type callEmitter struct {
+	em         *obs.Emitter
+	onProgress func(joinorder.Progress)
+}
+
+func newCallEmitter(start time.Time, opts joinorder.Options) *callEmitter {
+	if opts.OnEvent == nil && opts.OnProgress == nil {
+		return nil
+	}
+	onEvent, onProgress := opts.OnEvent, opts.OnProgress
+	c := &callEmitter{onProgress: onProgress}
+	c.em = obs.NewEmitter(start, func(ev obs.Event) {
+		if onEvent != nil {
+			onEvent(ev)
+		}
+		if onProgress != nil && (ev.Kind == joinorder.KindIncumbent || ev.Kind == joinorder.KindBound) {
+			onProgress(joinorder.Progress{
+				Incumbent:    ev.Incumbent,
+				Bound:        ev.Bound,
+				Gap:          ev.Gap,
+				Nodes:        ev.Nodes,
+				Elapsed:      ev.Elapsed,
+				HasIncumbent: ev.HasIncumbent,
+			})
+		}
+	})
+	return c
+}
+
+// rewire routes the underlying solve's events through this call's
+// sequence. The solver's own elapsed stamps (nonzero) are preserved;
+// sequence numbers are reassigned so the merged stream stays monotonic.
+func (c *callEmitter) rewire(opts joinorder.Options) joinorder.Options {
+	if c == nil {
+		return opts
+	}
+	opts.OnProgress = nil
+	opts.OnEvent = c.em.Emit
+	return opts
+}
+
+// emit sends one cache-layer event with no anytime state.
+func (c *callEmitter) emit(ev joinorder.Event) {
+	if c == nil {
+		return
+	}
+	ev.Worker = -1
+	ev.Bound = math.Inf(-1)
+	ev.Gap = math.Inf(1)
+	c.em.Emit(ev)
+}
+
+// emitResult sends one cache-layer event carrying the served result's
+// objective and bound as its anytime state.
+func (c *callEmitter) emitResult(kind joinorder.EventKind, res *joinorder.Result) {
+	if c == nil {
+		return
+	}
+	c.em.Emit(joinorder.Event{
+		Kind:         kind,
+		Worker:       -1,
+		Incumbent:    res.Objective,
+		Bound:        res.Bound,
+		Gap:          res.Gap,
+		HasIncumbent: true,
+		Nodes:        res.Nodes,
+	})
+}
+
+// SortEntries orders an entry listing by descending hits (ties broken on
+// key) — the order joinopt -stats prints.
+func SortEntries(es []EntryInfo) {
+	sort.SliceStable(es, func(i, j int) bool {
+		if es[i].Hits != es[j].Hits {
+			return es[i].Hits > es[j].Hits
+		}
+		return es[i].Key < es[j].Key
+	})
+}

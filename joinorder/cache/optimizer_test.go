@@ -1,0 +1,459 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"milpjoin/internal/workload"
+	"milpjoin/joinorder"
+)
+
+// countingOptimize wraps joinorder.Optimize and counts underlying calls,
+// optionally per strategy.
+type countingOptimize struct {
+	calls      atomic.Int64
+	byStrategy sync.Map // string -> *atomic.Int64
+}
+
+func (c *countingOptimize) fn(ctx context.Context, q *joinorder.Query, opts joinorder.Options) (*joinorder.Result, error) {
+	c.calls.Add(1)
+	strat := opts.Strategy
+	if strat == "" {
+		strat = "milp"
+	}
+	v, _ := c.byStrategy.LoadOrStore(strat, new(atomic.Int64))
+	v.(*atomic.Int64).Add(1)
+	return joinorder.Optimize(ctx, q, opts)
+}
+
+func (c *countingOptimize) strategyCalls(s string) int64 {
+	v, ok := c.byStrategy.Load(s)
+	if !ok {
+		return 0
+	}
+	return v.(*atomic.Int64).Load()
+}
+
+func milpOpts() joinorder.Options {
+	return joinorder.Options{Strategy: "milp", TimeLimit: 30 * time.Second}
+}
+
+func TestCacheHitOnIdenticalAndRelabeledQuery(t *testing.T) {
+	co := &countingOptimize{}
+	o := New(Config{Optimize: co.fn})
+	q := workload.Generate(workload.Chain, 6, 3, workload.Config{})
+
+	r1, err := o.Optimize(context.Background(), q, milpOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Status != joinorder.StatusOptimal {
+		t.Fatalf("seed solve not optimal: %v", r1.Status)
+	}
+	r2, err := o.Optimize(context.Background(), q, milpOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := co.calls.Load(); got != 1 {
+		t.Fatalf("identical query re-solved: %d underlying calls", got)
+	}
+	if r2.Cost != r1.Cost || r2.Status != joinorder.StatusOptimal {
+		t.Fatalf("hit result differs: cost %g vs %g", r2.Cost, r1.Cost)
+	}
+
+	// A relabeled (graph-isomorphic) query must hit the same entry, and
+	// the served plan must be valid — and equally cheap — in the
+	// relabeled query's own table indices.
+	rng := rand.New(rand.NewSource(11))
+	rq := relabel(q, rng.Perm(6))
+	r3, err := o.Optimize(context.Background(), rq, milpOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := co.calls.Load(); got != 1 {
+		t.Fatalf("relabeled query re-solved: %d underlying calls", got)
+	}
+	if err := r3.Plan.Validate(rq); err != nil {
+		t.Fatalf("served plan invalid for relabeled query: %v", err)
+	}
+	if math.Abs(r3.Cost-r1.Cost) > 1e-9*math.Max(1, math.Abs(r1.Cost)) {
+		t.Fatalf("relabeled hit cost %g != original %g", r3.Cost, r1.Cost)
+	}
+	if r3.Tree == nil {
+		t.Fatal("hit result lost its tree")
+	}
+
+	s := o.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want 2 hits / 1 miss / 1 entry", s)
+	}
+	if s.HitRate() < 0.6 {
+		t.Fatalf("hit rate %g", s.HitRate())
+	}
+	es := o.Entries()
+	if len(es) != 1 || es[0].Hits != 2 || es[0].Tables != 6 {
+		t.Fatalf("entries = %+v", es)
+	}
+}
+
+func TestCacheDistinguishesOptions(t *testing.T) {
+	co := &countingOptimize{}
+	o := New(Config{Optimize: co.fn})
+	q := workload.Generate(workload.Star, 5, 2, workload.Config{})
+
+	opts := milpOpts()
+	if _, err := o.Optimize(context.Background(), q, opts); err != nil {
+		t.Fatal(err)
+	}
+	opts.Precision = joinorder.PrecisionLow
+	if _, err := o.Optimize(context.Background(), q, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := co.calls.Load(); got != 2 {
+		t.Fatalf("different precision shared an entry: %d calls", got)
+	}
+	// TimeLimit and Threads bound effort, not the optimum: same entry.
+	opts.TimeLimit = time.Minute
+	opts.Threads = 2
+	if _, err := o.Optimize(context.Background(), q, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := co.calls.Load(); got != 2 {
+		t.Fatalf("budget-only option change missed: %d calls", got)
+	}
+}
+
+func TestWarmStartOnPerturbedCardinalities(t *testing.T) {
+	co := &countingOptimize{}
+	o := New(Config{Optimize: co.fn})
+	q := workload.Generate(workload.Cycle, 7, 5, workload.Config{})
+
+	if _, err := o.Optimize(context.Background(), q, milpOpts()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same topology, drifted statistics: an exact miss, but the shape
+	// index should donate the previous plan as a MIP start.
+	pq := *q
+	pq.Tables = append([]joinorder.Table(nil), q.Tables...)
+	for i := range pq.Tables {
+		pq.Tables[i].Card *= 1.3
+	}
+	res, err := o.Optimize(context.Background(), &pq, milpOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := co.calls.Load(); got != 2 {
+		t.Fatalf("perturbed query should re-solve: %d calls", got)
+	}
+	s := o.Stats()
+	if s.WarmStarts != 1 {
+		t.Fatalf("warm starts = %d, want 1 (stats %+v)", s.WarmStarts, s)
+	}
+	if s.WarmStartAccepted != 1 || res.MIPStart != "plan" {
+		t.Fatalf("warm start not accepted: MIPStart=%q stats=%+v", res.MIPStart, s)
+	}
+}
+
+func TestDisableWarmStart(t *testing.T) {
+	co := &countingOptimize{}
+	o := New(Config{Optimize: co.fn, DisableWarmStart: true})
+	q := workload.Generate(workload.Cycle, 6, 5, workload.Config{})
+	if _, err := o.Optimize(context.Background(), q, milpOpts()); err != nil {
+		t.Fatal(err)
+	}
+	pq := *q
+	pq.Tables = append([]joinorder.Table(nil), q.Tables...)
+	for i := range pq.Tables {
+		pq.Tables[i].Card *= 1.5
+	}
+	res, err := o.Optimize(context.Background(), &pq, milpOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := o.Stats(); s.WarmStarts != 0 || s.Donors != 0 {
+		t.Fatalf("warm-start machinery ran while disabled: %+v", s)
+	}
+	if res.MIPStart == "plan" {
+		t.Fatal("plan MIP start injected while disabled")
+	}
+}
+
+func TestSingleflightCoalesces(t *testing.T) {
+	release := make(chan struct{})
+	var calls atomic.Int64
+	fn := func(ctx context.Context, q *joinorder.Query, opts joinorder.Options) (*joinorder.Result, error) {
+		calls.Add(1)
+		<-release
+		return joinorder.Optimize(ctx, q, opts)
+	}
+	o := New(Config{Optimize: fn})
+	q := workload.Generate(workload.Chain, 5, 9, workload.Config{})
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]*joinorder.Result, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = o.Optimize(context.Background(), q, milpOpts())
+		}(i)
+	}
+	// Wait for the leader to enter the solve, then release everyone.
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond) // let followers join the flight
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("coalescing failed: %d underlying calls", got)
+	}
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if results[i].Cost != results[0].Cost {
+			t.Fatalf("waiter %d got a different plan cost", i)
+		}
+	}
+	s := o.Stats()
+	if s.Misses != 1 || s.Coalesced != waiters-1 {
+		t.Fatalf("stats = %+v, want 1 miss / %d coalesced", s, waiters-1)
+	}
+}
+
+func TestCoalescedWaiterHonorsOwnContext(t *testing.T) {
+	release := make(chan struct{})
+	var calls atomic.Int64
+	fn := func(ctx context.Context, q *joinorder.Query, opts joinorder.Options) (*joinorder.Result, error) {
+		calls.Add(1)
+		<-release
+		return joinorder.Optimize(ctx, q, opts)
+	}
+	o := New(Config{Optimize: fn})
+	defer close(release)
+	q := workload.Generate(workload.Chain, 5, 13, workload.Config{})
+
+	go o.Optimize(context.Background(), q, milpOpts())
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := o.Optimize(ctx, q, milpOpts())
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, joinorder.ErrCanceled) {
+			t.Fatalf("want ErrCanceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled waiter did not return")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	co := &countingOptimize{}
+	o := New(Config{Optimize: co.fn, TTL: time.Minute, now: clock})
+	q := workload.Generate(workload.Star, 5, 4, workload.Config{})
+
+	if _, err := o.Optimize(context.Background(), q, milpOpts()); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(30 * time.Second)
+	if _, err := o.Optimize(context.Background(), q, milpOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if co.calls.Load() != 1 {
+		t.Fatal("entry expired early")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, err := o.Optimize(context.Background(), q, milpOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if co.calls.Load() != 2 {
+		t.Fatal("expired entry served")
+	}
+	if s := o.Stats(); s.Expired != 1 {
+		t.Fatalf("expired = %d, want 1", s.Expired)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	co := &countingOptimize{}
+	o := New(Config{Optimize: co.fn, MaxEntries: 2})
+	qs := []*joinorder.Query{
+		workload.Generate(workload.Chain, 5, 1, workload.Config{}),
+		workload.Generate(workload.Chain, 5, 2, workload.Config{}),
+		workload.Generate(workload.Chain, 5, 3, workload.Config{}),
+	}
+	for _, q := range qs {
+		if _, err := o.Optimize(context.Background(), q, milpOpts()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := o.Stats(); s.Entries != 2 || s.Evicted != 1 {
+		t.Fatalf("stats = %+v, want 2 entries / 1 evicted", s)
+	}
+	// The first query was least recently used: it must re-solve.
+	if _, err := o.Optimize(context.Background(), qs[0], milpOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if co.calls.Load() != 4 {
+		t.Fatalf("evicted entry served stale: %d calls", co.calls.Load())
+	}
+}
+
+func TestDegradedServing(t *testing.T) {
+	co := &countingOptimize{}
+	o := New(Config{
+		Optimize:         co.fn,
+		DegradeUnder:     50 * time.Millisecond,
+		BackgroundBudget: 30 * time.Second,
+	})
+	q := workload.Generate(workload.Cycle, 6, 8, workload.Config{})
+
+	opts := milpOpts()
+	opts.TimeLimit = 10 * time.Millisecond
+	res, err := o.Optimize(context.Background(), q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "greedy" {
+		t.Fatalf("degraded request served by %q, want greedy", res.Strategy)
+	}
+	o.Wait()
+	s := o.Stats()
+	if s.Degraded != 1 || s.Refines != 1 {
+		t.Fatalf("stats = %+v, want 1 degraded / 1 refine", s)
+	}
+
+	// The background refine populated the cache: a relaxed-deadline
+	// repeat is a hit with the full MILP answer.
+	res2, err := o.Optimize(context.Background(), q, milpOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Strategy != "milp" || res2.Status != joinorder.StatusOptimal {
+		t.Fatalf("post-refine request got %q/%v, want cached milp optimal", res2.Strategy, res2.Status)
+	}
+	if o.Stats().Hits != 1 {
+		t.Fatalf("post-refine request missed: %+v", o.Stats())
+	}
+	if co.strategyCalls("milp") != 1 || co.strategyCalls("greedy") != 1 {
+		t.Fatalf("underlying calls: milp=%d greedy=%d", co.strategyCalls("milp"), co.strategyCalls("greedy"))
+	}
+}
+
+func TestUncacheablePassesThrough(t *testing.T) {
+	co := &countingOptimize{}
+	o := New(Config{Optimize: co.fn})
+	q := workload.Generate(workload.Chain, 5, 6, workload.Config{})
+	q.Correlated = []joinorder.CorrelatedGroup{{Predicates: []int{0, 1}, CorrectionSel: 0.5}}
+
+	for i := 0; i < 2; i++ {
+		if _, err := o.Optimize(context.Background(), q, milpOpts()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if co.calls.Load() != 2 {
+		t.Fatal("uncacheable query was cached")
+	}
+	if s := o.Stats(); s.Uncacheable != 2 || s.Entries != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestEventStreamInterleavesCacheAndSolverEvents(t *testing.T) {
+	o := New(Config{})
+	q := workload.Generate(workload.Star, 6, 7, workload.Config{})
+
+	var events []joinorder.Event
+	opts := milpOpts()
+	opts.OnEvent = func(ev joinorder.Event) { events = append(events, ev) }
+
+	if _, err := o.Optimize(context.Background(), q, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 2 {
+		t.Fatalf("miss produced %d events, want cache miss + solver stream", len(events))
+	}
+	if events[0].Kind != joinorder.KindCacheMiss {
+		t.Fatalf("first event %v, want cache_miss", events[0].Kind)
+	}
+	sawSolver := false
+	for i, ev := range events {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d: merged stream not monotonic", i, ev.Seq)
+		}
+		if ev.Kind == joinorder.KindIncumbent || ev.Kind == joinorder.KindLPRelaxation {
+			sawSolver = true
+		}
+	}
+	if !sawSolver {
+		t.Fatal("solver events did not reach the caller through the cache")
+	}
+
+	events = nil
+	if _, err := o.Optimize(context.Background(), q, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Kind != joinorder.KindCacheHit {
+		t.Fatalf("hit produced %v, want exactly one cache_hit", events)
+	}
+	if !events[0].HasIncumbent || math.IsInf(events[0].Bound, -1) {
+		t.Fatalf("cache_hit event lacks anytime state: %+v", events[0])
+	}
+
+	// OnProgress keeps observing incumbents through the cache rewiring.
+	var progress int
+	p := milpOpts()
+	p.OnProgress = func(joinorder.Progress) { progress++ }
+	pq := workload.Generate(workload.Star, 6, 17, workload.Config{})
+	if _, err := o.Optimize(context.Background(), pq, p); err != nil {
+		t.Fatal(err)
+	}
+	if progress == 0 {
+		t.Fatal("OnProgress starved by the cache rewiring")
+	}
+}
+
+func TestCachedErrorsAreNotCached(t *testing.T) {
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	fn := func(ctx context.Context, q *joinorder.Query, opts joinorder.Options) (*joinorder.Result, error) {
+		if calls.Add(1) == 1 {
+			return nil, boom
+		}
+		return joinorder.Optimize(ctx, q, opts)
+	}
+	o := New(Config{Optimize: fn})
+	q := workload.Generate(workload.Chain, 5, 21, workload.Config{})
+
+	if _, err := o.Optimize(context.Background(), q, milpOpts()); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	res, err := o.Optimize(context.Background(), q, milpOpts())
+	if err != nil || res == nil {
+		t.Fatalf("error was cached: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d", calls.Load())
+	}
+}

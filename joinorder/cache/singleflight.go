@@ -1,0 +1,52 @@
+package cache
+
+import "sync"
+
+// flightGroup coalesces concurrent work on the same key: the first caller
+// becomes the leader and runs the solve, later callers wait for the
+// leader's result. Unlike golang.org/x/sync/singleflight, waiting is
+// context-aware at the call site: flight exposes a done channel the caller
+// selects on against its own context, so a waiter with a tight deadline
+// abandons the flight without cancelling it for everyone else.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// flight is one in-progress unit of work. Its fields other than done are
+// written once by the leader before close(done) and read only after done
+// is closed, so no further synchronisation is needed.
+type flight struct {
+	done chan struct{}
+	// res is the leader's result translated into canonical label space,
+	// so every waiter can translate it into its own query's labels.
+	res *canonicalResult
+	err error
+}
+
+// join returns the flight for key, creating it when absent. leader is true
+// for the caller that must run the work and complete the flight.
+func (g *flightGroup) join(key string) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	g.m[key] = f
+	return f, true
+}
+
+// complete publishes the leader's outcome and wakes all waiters. The key is
+// removed first so a request arriving after completion starts fresh (and
+// will typically hit the cache the leader just populated).
+func (g *flightGroup) complete(key string, f *flight, res *canonicalResult, err error) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	f.res, f.err = res, err
+	close(f.done)
+}

@@ -1,0 +1,105 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// store is a concurrency-safe bounded map with LRU eviction and optional
+// TTL expiry. It is instantiated twice by the Optimizer: once for exact
+// entries (full cached results) and once for shape-level warm-start
+// donors.
+type store[V any] struct {
+	mu      sync.Mutex
+	max     int
+	ttl     time.Duration
+	ll      *list.List // front = most recently used
+	m       map[string]*list.Element
+	evicted *atomic.Int64
+	expired *atomic.Int64
+}
+
+type storeEntry[V any] struct {
+	key  string
+	val  V
+	at   time.Time // insertion time, for TTL
+	hits int64
+}
+
+func newStore[V any](max int, ttl time.Duration, evicted, expired *atomic.Int64) *store[V] {
+	return &store[V]{
+		max:     max,
+		ttl:     ttl,
+		ll:      list.New(),
+		m:       make(map[string]*list.Element),
+		evicted: evicted,
+		expired: expired,
+	}
+}
+
+// get returns the live value for key, bumping it to most-recently-used and
+// counting a per-entry hit. An entry past its TTL is removed and reported
+// as absent, so a stale plan is never served.
+func (s *store[V]) get(key string, now time.Time) (V, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	e := el.Value.(*storeEntry[V])
+	if s.ttl > 0 && now.Sub(e.at) > s.ttl {
+		s.ll.Remove(el)
+		delete(s.m, key)
+		if s.expired != nil {
+			s.expired.Add(1)
+		}
+		var zero V
+		return zero, false
+	}
+	e.hits++
+	s.ll.MoveToFront(el)
+	return e.val, true
+}
+
+// put inserts or replaces the value for key, evicting the least recently
+// used entry when the bound is exceeded. Replacement resets the TTL clock
+// (the entry was just recomputed) but keeps the hit count.
+func (s *store[V]) put(key string, v V, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		e := el.Value.(*storeEntry[V])
+		e.val, e.at = v, now
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.m[key] = s.ll.PushFront(&storeEntry[V]{key: key, val: v, at: now})
+	for s.max > 0 && s.ll.Len() > s.max {
+		back := s.ll.Back()
+		s.ll.Remove(back)
+		delete(s.m, back.Value.(*storeEntry[V]).key)
+		if s.evicted != nil {
+			s.evicted.Add(1)
+		}
+	}
+}
+
+func (s *store[V]) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// each visits every resident entry in most-recently-used order.
+func (s *store[V]) each(now time.Time, fn func(key string, v V, age time.Duration, hits int64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*storeEntry[V])
+		fn(e.key, e.val, now.Sub(e.at), e.hits)
+	}
+}

@@ -1,0 +1,142 @@
+package cache
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"milpjoin/internal/workload"
+	"milpjoin/joinorder"
+)
+
+// stressWorkload builds a set of distinct queries plus, per query, the
+// optimal cost computed once outside the cache — the ground truth every
+// concurrently served result is checked against.
+func stressWorkload(t *testing.T, nQueries int) ([]*joinorder.Query, []float64, joinorder.Options) {
+	t.Helper()
+	// dp-leftdeep: proven optimal (hence cacheable) and fast enough to
+	// solve hundreds of times in a stress loop.
+	opts := joinorder.Options{Strategy: "dp-leftdeep"}
+	qs := make([]*joinorder.Query, nQueries)
+	costs := make([]float64, nQueries)
+	shapes := []workload.GraphShape{workload.Chain, workload.Cycle, workload.Star, workload.Clique}
+	for i := range qs {
+		qs[i] = workload.Generate(shapes[i%len(shapes)], 5+i%3, int64(100+i), workload.Config{})
+		res, err := joinorder.Optimize(context.Background(), qs[i], opts)
+		if err != nil {
+			t.Fatalf("reference solve %d: %v", i, err)
+		}
+		costs[i] = res.Cost
+	}
+	return qs, costs, opts
+}
+
+// TestStressExactlyOneSolvePerFingerprint hammers the cache from 64
+// goroutines with relabeled variants of a fixed query set and asserts the
+// underlying optimizer ran exactly once per distinct fingerprint —
+// concurrent first requests coalesce, later ones hit.
+func TestStressExactlyOneSolvePerFingerprint(t *testing.T) {
+	const (
+		goroutines = 64
+		iterations = 30
+		nQueries   = 8
+	)
+	qs, costs, opts := stressWorkload(t, nQueries)
+
+	var calls atomic.Int64
+	o := New(Config{Optimize: func(ctx context.Context, q *joinorder.Query, op joinorder.Options) (*joinorder.Result, error) {
+		calls.Add(1)
+		return joinorder.Optimize(ctx, q, op)
+	}})
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for it := 0; it < iterations; it++ {
+				i := rng.Intn(nQueries)
+				q := relabel(qs[i], rng.Perm(len(qs[i].Tables)))
+				res, err := o.Optimize(context.Background(), q, opts)
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if err := res.Plan.Validate(q); err != nil {
+					t.Errorf("goroutine %d: served plan invalid: %v", g, err)
+					return
+				}
+				if math.Abs(res.Cost-costs[i]) > 1e-9*math.Max(1, costs[i]) {
+					t.Errorf("goroutine %d query %d: cost %g, want %g", g, i, res.Cost, costs[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := calls.Load(); got != nQueries {
+		t.Fatalf("%d underlying solves for %d distinct fingerprints", got, nQueries)
+	}
+	s := o.Stats()
+	if s.Misses != nQueries {
+		t.Fatalf("misses = %d, want %d", s.Misses, nQueries)
+	}
+	if want := int64(goroutines*iterations) - s.Misses - s.Coalesced; s.Hits != want {
+		t.Fatalf("hits = %d, want %d (stats %+v)", s.Hits, want, s)
+	}
+}
+
+// TestStressEvictionServesNoStaleResults shrinks the cache far below the
+// working set so entries churn constantly, and checks every served result
+// is still correct for its exact query — an evicted-and-reinserted entry
+// must never leak a plan for a different query or statistics snapshot.
+func TestStressEvictionServesNoStaleResults(t *testing.T) {
+	const (
+		goroutines = 64
+		iterations = 20
+		nQueries   = 8
+	)
+	qs, costs, opts := stressWorkload(t, nQueries)
+
+	o := New(Config{MaxEntries: 2})
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			for it := 0; it < iterations; it++ {
+				i := rng.Intn(nQueries)
+				q := relabel(qs[i], rng.Perm(len(qs[i].Tables)))
+				res, err := o.Optimize(context.Background(), q, opts)
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if err := res.Plan.Validate(q); err != nil {
+					t.Errorf("goroutine %d: served plan invalid: %v", g, err)
+					return
+				}
+				if math.Abs(res.Cost-costs[i]) > 1e-9*math.Max(1, costs[i]) {
+					t.Errorf("goroutine %d query %d: stale cost %g, want %g", g, i, res.Cost, costs[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := o.Stats()
+	if s.Evicted == 0 {
+		t.Fatalf("eviction never triggered: %+v", s)
+	}
+	if s.Entries > 2 {
+		t.Fatalf("cache exceeded its bound: %+v", s)
+	}
+}

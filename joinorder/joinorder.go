@@ -47,6 +47,12 @@ type Table = qopt.Table
 // Predicate is a join or selection predicate of a Query.
 type Predicate = qopt.Predicate
 
+// Column is a per-table column of a Query (projection extension).
+type Column = qopt.Column
+
+// CorrelatedGroup marks predicates with correlated selectivities.
+type CorrelatedGroup = qopt.CorrelatedGroup
+
 // Plan is a left-deep join plan: a permutation of the query's tables,
 // optionally annotated with a join operator per join.
 type Plan = plan.Plan
@@ -116,6 +122,16 @@ const (
 	KindNodeBatch    = solver.KindNodeBatch
 	KindWorkerStart  = solver.KindWorkerStart
 	KindWorkerStop   = solver.KindWorkerStop
+
+	// Cache-layer kinds, emitted by the joinorder/cache front-end on the
+	// same stream: plan served from cache, lookup miss, request coalesced
+	// into an in-flight identical solve, cached plan injected as a MIP
+	// start, and deadline-degraded serving.
+	KindCacheHit       = solver.KindCacheHit
+	KindCacheMiss      = solver.KindCacheMiss
+	KindCacheCoalesced = solver.KindCacheCoalesced
+	KindWarmStart      = solver.KindWarmStart
+	KindDegraded       = solver.KindDegraded
 )
 
 // Options configure an optimization run. The zero value asks the default
@@ -170,6 +186,14 @@ type Options struct {
 
 	// Seed drives the randomized heuristics (deterministic per seed).
 	Seed int64
+
+	// InitialPlan optionally seeds the MILP search with a known-good plan
+	// as its first incumbent (a "MIP start"), instead of the default
+	// greedy join order. The cache layer uses this to warm-start solves
+	// of queries structurally similar to already-solved ones. The plan is
+	// feasibility-checked against the encoding; an unusable plan falls
+	// back to the greedy start (MILP strategy only, never an error).
+	InitialPlan *Plan
 
 	// OnEvent, when non-nil, receives the solver's structured event
 	// stream (MILP strategy only). Callbacks are serialised — they never
@@ -317,6 +341,10 @@ type Result struct {
 	// Stats aggregates per-phase solver effort (MILP strategy only; nil
 	// for the baselines and heuristics, which have no phases to report).
 	Stats *Stats
+	// MIPStart reports which initial incumbent seeded the MILP search:
+	// "plan" (Options.InitialPlan was accepted), "greedy" (the default
+	// heuristic start), or "" (cold start, or a non-MILP strategy).
+	MIPStart string
 }
 
 // Optimize runs the strategy selected by opts.Strategy on the query. It is

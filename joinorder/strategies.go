@@ -49,6 +49,7 @@ func optimizeMILP(ctx context.Context, q *Query, opts Options) (*Result, error) 
 		ChooseOperators:     opts.ChooseOperators,
 		InterestingOrders:   opts.InterestingOrders,
 		ExpensivePredicates: opts.ExpensivePredicates,
+		InitialPlan:         opts.InitialPlan,
 	}
 	params := solver.Params{
 		TimeLimit: opts.TimeLimit,
@@ -91,6 +92,7 @@ func optimizeMILP(ctx context.Context, q *Query, opts Options) (*Result, error) 
 		Nodes:    sres.Nodes,
 		Elapsed:  sres.Elapsed,
 		Stats:    &sres.Stats,
+		MIPStart: res.MIPStart,
 	}
 	if sres.Status == solver.StatusInfeasible {
 		return nil, fmt.Errorf("%w: the MILP proved no plan fits the encoding (try a higher CardCap)", ErrInfeasible)
