@@ -20,6 +20,16 @@ func benchCacheOpts() joinorder.Options {
 	return joinorder.Options{Strategy: "milp", TimeLimit: 30 * time.Second, Threads: 2}
 }
 
+// mustCache builds a cache-fronted optimizer or fails the benchmark.
+func mustCache(tb testing.TB, cfg cache.Config) *cache.Optimizer {
+	tb.Helper()
+	o, err := cache.New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return o
+}
+
 // relabelQuery permutes table indices: table i becomes perm[i].
 func relabelQuery(q *joinorder.Query, perm []int) *joinorder.Query {
 	out := &joinorder.Query{Tables: make([]joinorder.Table, len(q.Tables))}
@@ -41,7 +51,7 @@ func relabelQuery(q *joinorder.Query, perm []int) *joinorder.Query {
 // cache: one solve up front, then pure hits (fingerprint + lookup + plan
 // translation per iteration).
 func BenchmarkCachedOptimize(b *testing.B) {
-	o := cache.New(cache.Config{})
+	o := mustCache(b, cache.Config{})
 	q := workload.Generate(workload.Chain, 10, 1, workload.Config{})
 	if _, err := o.Optimize(context.Background(), q, benchCacheOpts()); err != nil {
 		b.Fatal(err)
@@ -66,7 +76,7 @@ func BenchmarkCachedOptimize(b *testing.B) {
 // isomorphic relabelings — every iteration pays full canonicalization and
 // still must hit.
 func BenchmarkCachedOptimizeRelabeled(b *testing.B) {
-	o := cache.New(cache.Config{})
+	o := mustCache(b, cache.Config{})
 	q := workload.Generate(workload.Chain, 10, 1, workload.Config{})
 	if _, err := o.Optimize(context.Background(), q, benchCacheOpts()); err != nil {
 		b.Fatal(err)
@@ -121,7 +131,7 @@ func BenchmarkCacheSuite(b *testing.B) {
 	var out suite
 	for i := 0; i < b.N; i++ {
 		// Hit latency vs solve latency on a 10-table chain.
-		o := cache.New(cache.Config{})
+		o := mustCache(b, cache.Config{})
 		q := workload.Generate(workload.Chain, 10, 1, workload.Config{})
 		start := time.Now()
 		if _, err := o.Optimize(context.Background(), q, benchCacheOpts()); err != nil {
@@ -154,7 +164,7 @@ func BenchmarkCacheSuite(b *testing.B) {
 		}
 		out.Star20ColdGap = cold.Gap
 
-		wo := cache.New(cache.Config{})
+		wo := mustCache(b, cache.Config{})
 		if _, err := wo.Optimize(context.Background(), star, opts); err != nil {
 			b.Fatal(err)
 		}

@@ -161,7 +161,10 @@ func main() {
 	}
 	var co *cache.Optimizer
 	if *cacheOn {
-		co = cache.New(cache.Config{})
+		var err error
+		if co, err = cache.New(cache.Config{}); err != nil {
+			fatal(err)
+		}
 	}
 	if *repeat < 1 {
 		fatal(fmt.Errorf("-repeat must be at least 1"))
@@ -279,7 +282,14 @@ func printJSON(w io.Writer, q *qopt.Query, res *joinorder.Result, strat, metric,
 		doc["events"] = events
 	}
 	if co != nil {
+		// Background refines from degraded serving land before the
+		// snapshot, so the document is self-contained: counters plus the
+		// per-entry table, hottest first — no second -stats run needed.
+		co.Wait()
 		doc["cache"] = co.Stats()
+		entries := co.Entries()
+		cache.SortEntries(entries)
+		doc["cache_entries"] = entries
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -11,6 +11,7 @@ import (
 
 	"milpjoin/internal/workload"
 	"milpjoin/joinorder"
+	"milpjoin/joinorder/cache"
 )
 
 func TestParseShape(t *testing.T) {
@@ -142,5 +143,50 @@ func TestPrintJSONDocument(t *testing.T) {
 	}
 	if len(doc.EventCounts) < 3 {
 		t.Errorf("want >= 3 distinct event kinds, got %v", doc.EventCounts)
+	}
+}
+
+// TestPrintJSONCacheDocument checks the -cache -json contract: one
+// self-contained document carrying the cache counters and the per-entry
+// table, with background refines already settled.
+func TestPrintJSONCacheDocument(t *testing.T) {
+	q, err := loadQuery("", "", "", "chain", 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := cache.New(cache.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := joinorder.Options{Strategy: "dp-leftdeep", TimeLimit: 10 * time.Second}
+	var res *joinorder.Result
+	for i := 0; i < 3; i++ { // first run solves, the rest hit
+		if res, err = co.Optimize(context.Background(), q, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := printJSON(&buf, q, res, "dp-leftdeep", "hash", "medium", nil, nil, co); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Cache *struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"cache"`
+		Entries []struct {
+			Key    string `json:"key"`
+			Hits   int64  `json:"hits"`
+			Tables int    `json:"tables"`
+		} `json:"cache_entries"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, buf.String())
+	}
+	if doc.Cache == nil || doc.Cache.Hits != 2 || doc.Cache.Misses != 1 {
+		t.Errorf("cache counters = %+v, want hits=2 misses=1", doc.Cache)
+	}
+	if len(doc.Entries) != 1 || doc.Entries[0].Key == "" || doc.Entries[0].Hits != 2 || doc.Entries[0].Tables != 6 {
+		t.Errorf("cache_entries = %+v", doc.Entries)
 	}
 }

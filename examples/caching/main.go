@@ -34,11 +34,14 @@ import (
 )
 
 func main() {
-	co := cache.New(cache.Config{
+	co, err := cache.New(cache.Config{
 		// Answer from the fallback strategy when under 250ms of budget
 		// remains, refining the real solution in the background.
 		DegradeUnder: 250 * time.Millisecond,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	opts := joinorder.Options{
 		Strategy:  "milp",
 		Precision: joinorder.PrecisionMedium,

@@ -1,0 +1,128 @@
+// Network serving: joinoptd as a library. The example starts the serving
+// daemon in-process on a loopback listener, then plays a client against
+// it: a plain JSON optimize round trip, a repeat of the same query showing
+// the plan-cache hit, and a streamed solve over Server-Sent Events where
+// the anytime gap tightens live — exactly what `joinoptd` serves over the
+// network, minus the process boundary.
+//
+//	go run ./examples/server
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"milpjoin/internal/workload"
+	"milpjoin/joinorder"
+	"milpjoin/joinorder/server"
+)
+
+func main() {
+	// The daemon, embedded: the same Server that cmd/joinoptd wraps.
+	srv, err := server.New(server.Config{
+		MaxWorkers:       4,
+		DefaultTimeLimit: 5 * time.Second,
+		Logger:           slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	fmt.Printf("joinoptd serving on %s\n\n", ts.URL)
+
+	// 1. One optimize round trip: a 12-table chain, exact DP.
+	body, _ := json.Marshal(map[string]any{
+		"query":    workload.Generate(workload.Chain, 12, 3, workload.Config{}),
+		"strategy": "dp-leftdeep",
+	})
+	out := post(ts.URL, body)
+	fmt.Printf("POST /v1/optimize      %-9s cost=%.4g  %v\n",
+		out.Result.Status, out.Result.Cost, out.Result.Plan)
+
+	// 2. The same query again: answered from the plan cache.
+	out = post(ts.URL, body)
+	fmt.Printf("POST /v1/optimize      %-9s cache_hit=%v  total=%.2fms\n\n",
+		out.Result.Status, out.CacheHit, out.TotalMillis)
+
+	// 3. A streamed MILP solve on a 20-table star: each SSE event is one
+	// solver event; watch the proven gap tighten until the budget ends.
+	body, _ = json.Marshal(map[string]any{
+		"query":    workload.Generate(workload.Star, 20, 42, workload.Config{}),
+		"strategy": "milp",
+		"timeout":  "3s",
+		"threads":  2,
+	})
+	fmt.Println("POST /v1/optimize/stream  (anytime trace)")
+	resp, err := http.Post(ts.URL+"/v1/optimize/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	var event string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "incumbent", "bound":
+				var ev joinorder.Event
+				if err := json.Unmarshal([]byte(data), &ev); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("  %-9s t=%-8s incumbent=%-12.6g bound=%-12.6g gap=%.4f\n",
+					event, ev.Elapsed.Truncate(time.Millisecond), ev.Incumbent, ev.Bound, ev.Gap)
+			case "result":
+				var final server.OptimizeResponse
+				if err := json.Unmarshal([]byte(data), &final); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("  result    %s: cost=%.6g gap=%.4f after %d nodes\n",
+					final.Result.Status, final.Result.Cost, final.Result.Gap, final.Result.Nodes)
+			}
+		}
+	}
+
+	// Graceful shutdown, as SIGTERM would do it in the daemon.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndrained cleanly")
+}
+
+// post sends one optimize request and decodes the response.
+func post(baseURL string, body []byte) *server.OptimizeResponse {
+	resp, err := http.Post(baseURL+"/v1/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		log.Fatalf("optimize: %s: %s", resp.Status, msg)
+	}
+	var out server.OptimizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	return &out
+}

@@ -107,6 +107,28 @@ func (k EventKind) MarshalJSON() ([]byte, error) {
 	return json.Marshal(k.String())
 }
 
+// eventKinds lists every kind, for parsing the string form back.
+var eventKinds = []EventKind{
+	KindPresolve, KindLPRelaxation, KindIncumbent, KindBound, KindCutRound,
+	KindHeuristic, KindNodeBatch, KindWorkerStart, KindWorkerStop,
+	KindCacheHit, KindCacheMiss, KindCacheCoalesced, KindWarmStart, KindDegraded,
+}
+
+// UnmarshalJSON parses the string form produced by MarshalJSON.
+func (k *EventKind) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	for _, cand := range eventKinds {
+		if cand.String() == name {
+			*k = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event kind %q", name)
+}
+
 // Event is one observation from the solver stack. Every event carries the
 // anytime state at emission time (incumbent, bound, gap, node count) plus
 // kind-specific payload fields; consumers that only care about the
@@ -230,6 +252,48 @@ func (e Event) MarshalJSON() ([]byte, error) {
 		out.Objective = finiteOrNil(e.Objective)
 	}
 	return json.Marshal(out)
+}
+
+// infOr restores a JSON null to the given non-finite sentinel.
+func infOr(v *float64, inf float64) float64 {
+	if v == nil {
+		return inf
+	}
+	return *v
+}
+
+// UnmarshalJSON parses the document produced by MarshalJSON, so network
+// consumers of the event stream (the serving daemon's SSE endpoint) can
+// decode events back into the native form. Null or absent numeric fields
+// restore their non-finite sentinels.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var in eventJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*e = Event{
+		Kind:         in.Kind,
+		Seq:          in.Seq,
+		Elapsed:      time.Duration(in.ElapsedSec * float64(time.Second)),
+		Worker:       -1,
+		Incumbent:    infOr(in.Incumbent, math.Inf(1)),
+		Bound:        infOr(in.Bound, math.Inf(-1)),
+		Gap:          infOr(in.Gap, math.Inf(1)),
+		HasIncumbent: in.HasIncumbent,
+		Nodes:        in.Nodes,
+		OpenNodes:    in.OpenNodes,
+		Objective:    infOr(in.Objective, math.Inf(1)),
+		Iters:        in.Iters,
+		Rounds:       in.Rounds,
+		RowsRemoved:  in.RowsRemoved,
+		ColsRemoved:  in.ColsRemoved,
+		Cuts:         in.Cuts,
+		Success:      in.Success,
+	}
+	if in.Worker != nil {
+		e.Worker = *in.Worker
+	}
+	return nil
 }
 
 // RelGap is the relative gap between an incumbent objective and a proven

@@ -169,3 +169,66 @@ func TestStatsReporting(t *testing.T) {
 		t.Errorf("total_sec = %v", doc["total_sec"])
 	}
 }
+
+// TestEventJSONRoundTrip checks that an Event survives the SSE wire
+// format: marshal → unmarshal restores the anytime state, with nulls
+// mapping back to the non-finite sentinels.
+func TestEventJSONRoundTrip(t *testing.T) {
+	in := Event{
+		Kind: KindBound, Seq: 7, Elapsed: 250 * time.Millisecond, Worker: 1,
+		Incumbent: 4000, Bound: 1200, Gap: 0.7, HasIncumbent: true,
+		Nodes: 42, OpenNodes: 5,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Event
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != in.Kind || out.Seq != in.Seq || out.Worker != in.Worker ||
+		out.Incumbent != in.Incumbent || out.Bound != in.Bound || out.Gap != in.Gap ||
+		!out.HasIncumbent || out.Nodes != in.Nodes || out.OpenNodes != in.OpenNodes {
+		t.Errorf("round trip lost fields: %+v", out)
+	}
+	if out.Elapsed != in.Elapsed {
+		t.Errorf("elapsed = %v, want %v", out.Elapsed, in.Elapsed)
+	}
+
+	// A pre-incumbent event: sentinels restored from nulls, worker -1
+	// restored from absence.
+	pre := Event{Kind: KindPresolve, Worker: -1,
+		Incumbent: math.Inf(1), Bound: math.Inf(-1), Gap: math.Inf(1), Objective: math.Inf(1)}
+	data, err = json.Marshal(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(out.Incumbent, 1) || !math.IsInf(out.Bound, -1) || !math.IsInf(out.Gap, 1) || out.Worker != -1 {
+		t.Errorf("sentinels not restored: %+v", out)
+	}
+}
+
+// TestEventKindJSONRoundTrip walks every kind through its string form.
+func TestEventKindJSONRoundTrip(t *testing.T) {
+	for _, k := range eventKinds {
+		data, err := json.Marshal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out EventKind
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if out != k {
+			t.Errorf("round trip %v → %v", k, out)
+		}
+	}
+	var bad EventKind
+	if err := json.Unmarshal([]byte(`"no-such-kind"`), &bad); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

@@ -80,27 +80,66 @@ type donor struct {
 	ops   []joinorder.Operator
 }
 
-// New builds a cache-fronted optimizer.
-func New(cfg Config) *Optimizer {
-	if cfg.MaxEntries <= 0 {
-		cfg.MaxEntries = 1024
+// WithDefaults returns the config with every zero field replaced by its
+// documented default. New applies it before validating, so the zero Config
+// stays usable.
+func (c Config) WithDefaults() Config {
+	if c.MaxEntries == 0 {
+		c.MaxEntries = 1024
 	}
-	if cfg.FallbackStrategy == "" {
-		cfg.FallbackStrategy = "greedy"
+	if c.FallbackStrategy == "" {
+		c.FallbackStrategy = "greedy"
 	}
-	if cfg.BackgroundBudget <= 0 {
-		cfg.BackgroundBudget = 30 * time.Second
+	if c.BackgroundBudget == 0 {
+		c.BackgroundBudget = 30 * time.Second
 	}
-	if cfg.Optimize == nil {
-		cfg.Optimize = joinorder.Optimize
+	if c.Optimize == nil {
+		c.Optimize = joinorder.Optimize
 	}
-	if cfg.now == nil {
-		cfg.now = time.Now
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Validate checks the caller-supplied config values, mirroring
+// joinorder.Options.Validate: it is called by New (after WithDefaults), so
+// no panic or silent misbehaviour is reachable from bad configuration.
+// Callers validating an explicit config directly should note that a zero
+// MaxEntries is rejected here but defaulted by New.
+func (c Config) Validate() error {
+	if c.MaxEntries <= 0 {
+		return fmt.Errorf("%w: cache MaxEntries %d must be positive", joinorder.ErrInvalidOptions, c.MaxEntries)
+	}
+	if c.TTL < 0 {
+		return fmt.Errorf("%w: negative cache TTL %v", joinorder.ErrInvalidOptions, c.TTL)
+	}
+	if c.DegradeUnder < 0 {
+		return fmt.Errorf("%w: negative DegradeUnder %v", joinorder.ErrInvalidOptions, c.DegradeUnder)
+	}
+	if c.BackgroundBudget < 0 {
+		return fmt.Errorf("%w: negative BackgroundBudget %v", joinorder.ErrInvalidOptions, c.BackgroundBudget)
+	}
+	if c.DegradeUnder > 0 && c.BackgroundBudget > 0 && c.DegradeUnder >= c.BackgroundBudget {
+		return fmt.Errorf("%w: DegradeUnder %v must be below the background refine budget %v",
+			joinorder.ErrInvalidOptions, c.DegradeUnder, c.BackgroundBudget)
+	}
+	return nil
+}
+
+// New builds a cache-fronted optimizer. Zero config fields take their
+// documented defaults; values no cache can honor (negative sizes or
+// budgets, a degrade threshold at or above the refine budget) return an
+// error wrapping joinorder.ErrInvalidOptions.
+func New(cfg Config) (*Optimizer, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	o := &Optimizer{cfg: cfg}
 	o.exact = newStore[*canonicalResult](cfg.MaxEntries, cfg.TTL, &o.ctr.evicted, &o.ctr.expired)
 	o.donors = newStore[*donor](cfg.MaxEntries, cfg.TTL, nil, nil)
-	return o
+	return o, nil
 }
 
 // Stats snapshots cache effectiveness counters.
@@ -122,15 +161,15 @@ func (o *Optimizer) Wait() { o.bg.Wait() }
 // EntryInfo describes one resident cache entry for stats output.
 type EntryInfo struct {
 	// Key is the entry's full cache key (options digest + fingerprint).
-	Key string
+	Key string `json:"key"`
 	// Hits counts lookups served from this entry.
-	Hits int64
-	// Age is the time since insertion.
-	Age time.Duration
+	Hits int64 `json:"hits"`
+	// Age is the time since insertion, in nanoseconds on the wire.
+	Age time.Duration `json:"age_ns"`
 	// Cost is the cached plan's exact cost.
-	Cost float64
+	Cost float64 `json:"cost"`
 	// Tables is the cached plan's table count.
-	Tables int
+	Tables int `json:"tables"`
 }
 
 // Entries lists resident exact entries, most recently used first.

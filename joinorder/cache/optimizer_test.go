@@ -44,9 +44,46 @@ func milpOpts() joinorder.Options {
 	return joinorder.Options{Strategy: "milp", TimeLimit: 30 * time.Second}
 }
 
+// mustNew builds the optimizer or fails the test; every config used by
+// these tests is valid by construction.
+func mustNew(tb testing.TB, cfg Config) *Optimizer {
+	tb.Helper()
+	o, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return o
+}
+
+func TestConfigValidate(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"negative max entries":  {MaxEntries: -1},
+		"negative ttl":          {TTL: -time.Second},
+		"negative degrade":      {DegradeUnder: -time.Millisecond},
+		"negative budget":       {BackgroundBudget: -time.Second},
+		"degrade above budget":  {DegradeUnder: time.Minute, BackgroundBudget: time.Second},
+		"degrade equals budget": {DegradeUnder: time.Second, BackgroundBudget: time.Second},
+	} {
+		if _, err := New(cfg); !errors.Is(err, joinorder.ErrInvalidOptions) {
+			t.Errorf("%s: New err = %v, want ErrInvalidOptions", name, err)
+		}
+	}
+	// Zero MaxEntries is defaulted by New but rejected by a direct
+	// Validate of an explicit config.
+	if err := (Config{}).Validate(); !errors.Is(err, joinorder.ErrInvalidOptions) {
+		t.Errorf("Validate(zero) err = %v, want ErrInvalidOptions (MaxEntries)", err)
+	}
+	if _, err := New(Config{}); err != nil {
+		t.Errorf("New(zero config) err = %v, want nil", err)
+	}
+	if err := (Config{MaxEntries: 64, DegradeUnder: time.Second, BackgroundBudget: time.Minute}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
 func TestCacheHitOnIdenticalAndRelabeledQuery(t *testing.T) {
 	co := &countingOptimize{}
-	o := New(Config{Optimize: co.fn})
+	o := mustNew(t, Config{Optimize: co.fn})
 	q := workload.Generate(workload.Chain, 6, 3, workload.Config{})
 
 	r1, err := o.Optimize(context.Background(), q, milpOpts())
@@ -104,7 +141,7 @@ func TestCacheHitOnIdenticalAndRelabeledQuery(t *testing.T) {
 
 func TestCacheDistinguishesOptions(t *testing.T) {
 	co := &countingOptimize{}
-	o := New(Config{Optimize: co.fn})
+	o := mustNew(t, Config{Optimize: co.fn})
 	q := workload.Generate(workload.Star, 5, 2, workload.Config{})
 
 	opts := milpOpts()
@@ -131,7 +168,7 @@ func TestCacheDistinguishesOptions(t *testing.T) {
 
 func TestWarmStartOnPerturbedCardinalities(t *testing.T) {
 	co := &countingOptimize{}
-	o := New(Config{Optimize: co.fn})
+	o := mustNew(t, Config{Optimize: co.fn})
 	q := workload.Generate(workload.Cycle, 7, 5, workload.Config{})
 
 	if _, err := o.Optimize(context.Background(), q, milpOpts()); err != nil {
@@ -163,7 +200,7 @@ func TestWarmStartOnPerturbedCardinalities(t *testing.T) {
 
 func TestDisableWarmStart(t *testing.T) {
 	co := &countingOptimize{}
-	o := New(Config{Optimize: co.fn, DisableWarmStart: true})
+	o := mustNew(t, Config{Optimize: co.fn, DisableWarmStart: true})
 	q := workload.Generate(workload.Cycle, 6, 5, workload.Config{})
 	if _, err := o.Optimize(context.Background(), q, milpOpts()); err != nil {
 		t.Fatal(err)
@@ -193,7 +230,7 @@ func TestSingleflightCoalesces(t *testing.T) {
 		<-release
 		return joinorder.Optimize(ctx, q, opts)
 	}
-	o := New(Config{Optimize: fn})
+	o := mustNew(t, Config{Optimize: fn})
 	q := workload.Generate(workload.Chain, 5, 9, workload.Config{})
 
 	const waiters = 8
@@ -240,7 +277,7 @@ func TestCoalescedWaiterHonorsOwnContext(t *testing.T) {
 		<-release
 		return joinorder.Optimize(ctx, q, opts)
 	}
-	o := New(Config{Optimize: fn})
+	o := mustNew(t, Config{Optimize: fn})
 	defer close(release)
 	q := workload.Generate(workload.Chain, 5, 13, workload.Config{})
 
@@ -270,7 +307,7 @@ func TestTTLExpiry(t *testing.T) {
 	now := time.Unix(1000, 0)
 	clock := func() time.Time { return now }
 	co := &countingOptimize{}
-	o := New(Config{Optimize: co.fn, TTL: time.Minute, now: clock})
+	o := mustNew(t, Config{Optimize: co.fn, TTL: time.Minute, now: clock})
 	q := workload.Generate(workload.Star, 5, 4, workload.Config{})
 
 	if _, err := o.Optimize(context.Background(), q, milpOpts()); err != nil {
@@ -297,7 +334,7 @@ func TestTTLExpiry(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	co := &countingOptimize{}
-	o := New(Config{Optimize: co.fn, MaxEntries: 2})
+	o := mustNew(t, Config{Optimize: co.fn, MaxEntries: 2})
 	qs := []*joinorder.Query{
 		workload.Generate(workload.Chain, 5, 1, workload.Config{}),
 		workload.Generate(workload.Chain, 5, 2, workload.Config{}),
@@ -322,7 +359,7 @@ func TestLRUEviction(t *testing.T) {
 
 func TestDegradedServing(t *testing.T) {
 	co := &countingOptimize{}
-	o := New(Config{
+	o := mustNew(t, Config{
 		Optimize:         co.fn,
 		DegradeUnder:     50 * time.Millisecond,
 		BackgroundBudget: 30 * time.Second,
@@ -363,7 +400,7 @@ func TestDegradedServing(t *testing.T) {
 
 func TestUncacheablePassesThrough(t *testing.T) {
 	co := &countingOptimize{}
-	o := New(Config{Optimize: co.fn})
+	o := mustNew(t, Config{Optimize: co.fn})
 	q := workload.Generate(workload.Chain, 5, 6, workload.Config{})
 	q.Correlated = []joinorder.CorrelatedGroup{{Predicates: []int{0, 1}, CorrectionSel: 0.5}}
 
@@ -381,7 +418,7 @@ func TestUncacheablePassesThrough(t *testing.T) {
 }
 
 func TestEventStreamInterleavesCacheAndSolverEvents(t *testing.T) {
-	o := New(Config{})
+	o := mustNew(t, Config{})
 	q := workload.Generate(workload.Star, 6, 7, workload.Config{})
 
 	var events []joinorder.Event
@@ -443,7 +480,7 @@ func TestCachedErrorsAreNotCached(t *testing.T) {
 		}
 		return joinorder.Optimize(ctx, q, opts)
 	}
-	o := New(Config{Optimize: fn})
+	o := mustNew(t, Config{Optimize: fn})
 	q := workload.Generate(workload.Chain, 5, 21, workload.Config{})
 
 	if _, err := o.Optimize(context.Background(), q, milpOpts()); !errors.Is(err, boom) {

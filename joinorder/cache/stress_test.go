@@ -47,7 +47,7 @@ func TestStressExactlyOneSolvePerFingerprint(t *testing.T) {
 	qs, costs, opts := stressWorkload(t, nQueries)
 
 	var calls atomic.Int64
-	o := New(Config{Optimize: func(ctx context.Context, q *joinorder.Query, op joinorder.Options) (*joinorder.Result, error) {
+	o := mustNew(t, Config{Optimize: func(ctx context.Context, q *joinorder.Query, op joinorder.Options) (*joinorder.Result, error) {
 		calls.Add(1)
 		return joinorder.Optimize(ctx, q, op)
 	}})
@@ -103,7 +103,7 @@ func TestStressEvictionServesNoStaleResults(t *testing.T) {
 	)
 	qs, costs, opts := stressWorkload(t, nQueries)
 
-	o := New(Config{MaxEntries: 2})
+	o := mustNew(t, Config{MaxEntries: 2})
 
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {

@@ -13,6 +13,21 @@ func (s Status) MarshalJSON() ([]byte, error) {
 	return json.Marshal(s.String())
 }
 
+// UnmarshalJSON parses the string form produced by MarshalJSON.
+func (s *Status) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	for _, cand := range []Status{StatusOptimal, StatusFeasible, StatusTimeLimit, StatusCanceled} {
+		if cand.String() == name {
+			*s = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("joinorder: unknown status %q", name)
+}
+
 // planJSON is the wire form of a left-deep plan.
 type planJSON struct {
 	Order     []int    `json:"order"`
@@ -72,6 +87,60 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		out.Tree = r.Tree.String()
 	}
 	return json.Marshal(out)
+}
+
+// jsonOrInf is the inverse of jsonFinite: null restores the given
+// non-finite sentinel.
+func jsonOrInf(v *float64, inf float64) float64 {
+	if v == nil {
+		return inf
+	}
+	return *v
+}
+
+// UnmarshalJSON parses the document produced by MarshalJSON, so clients of
+// the serving daemon can decode responses back into a Result. Null numeric
+// fields restore their non-finite sentinels (no bound → -Inf, no gap →
+// +Inf). The rendered Tree string is presentation-only and is not parsed
+// back: Tree stays nil; Plan (when present) round-trips in full.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var in resultJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*r = Result{
+		Strategy:  in.Strategy,
+		Status:    in.Status,
+		Cost:      jsonOrInf(in.Cost, math.Inf(1)),
+		Objective: jsonOrInf(in.Objective, math.Inf(1)),
+		Bound:     jsonOrInf(in.Bound, math.Inf(-1)),
+		Gap:       jsonOrInf(in.Gap, math.Inf(1)),
+		Nodes:     in.Nodes,
+		Elapsed:   time.Duration(in.ElapsedSec * float64(time.Second)),
+		Stats:     in.Stats,
+	}
+	if in.Plan != nil {
+		p := &Plan{Order: in.Plan.Order}
+		for _, name := range in.Plan.Operators {
+			op, err := parseOperator(name)
+			if err != nil {
+				return err
+			}
+			p.Operators = append(p.Operators, op)
+		}
+		r.Plan = p
+	}
+	return nil
+}
+
+// parseOperator maps an Operator's String() form back to the operator.
+func parseOperator(name string) (Operator, error) {
+	for _, op := range []Operator{HashJoin, SortMergeJoin, BlockNestedLoopJoin} {
+		if op.String() == name {
+			return op, nil
+		}
+	}
+	return 0, fmt.Errorf("joinorder: unknown join operator %q", name)
 }
 
 // String renders the result as a short human-readable report.

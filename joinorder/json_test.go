@@ -1,0 +1,93 @@
+package joinorder
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestResultJSONRoundTrip checks that a Result survives the wire format
+// the serving daemon speaks: marshal → unmarshal restores every field a
+// client consumes, with nulls mapping back to non-finite sentinels.
+func TestResultJSONRoundTrip(t *testing.T) {
+	in := &Result{
+		Strategy: "milp",
+		Status:   StatusTimeLimit,
+		Plan: &Plan{
+			Order:     []int{2, 0, 1},
+			Operators: []Operator{HashJoin, SortMergeJoin},
+		},
+		Cost:      123.5,
+		Bound:     100,
+		Gap:       0.19,
+		Objective: 123.5,
+		Nodes:     17,
+		Elapsed:   1500 * time.Millisecond,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Strategy != in.Strategy || out.Status != in.Status || out.Cost != in.Cost ||
+		out.Bound != in.Bound || out.Gap != in.Gap || out.Nodes != in.Nodes {
+		t.Errorf("round trip lost fields: %+v", out)
+	}
+	if out.Elapsed != in.Elapsed {
+		t.Errorf("elapsed = %v, want %v", out.Elapsed, in.Elapsed)
+	}
+	if out.Plan == nil || len(out.Plan.Order) != 3 || out.Plan.Order[0] != 2 {
+		t.Fatalf("plan order lost: %+v", out.Plan)
+	}
+	if len(out.Plan.Operators) != 2 || out.Plan.Operators[1] != SortMergeJoin {
+		t.Errorf("operators lost: %v", out.Plan.Operators)
+	}
+}
+
+// TestResultJSONNonFinite checks the null ↔ sentinel mapping for a
+// heuristic result that certifies nothing.
+func TestResultJSONNonFinite(t *testing.T) {
+	in := &Result{
+		Strategy: "greedy",
+		Status:   StatusFeasible,
+		Plan:     &Plan{Order: []int{0, 1}},
+		Cost:     10,
+		Bound:    math.Inf(-1),
+		Gap:      math.Inf(1),
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(out.Bound, -1) || !math.IsInf(out.Gap, 1) {
+		t.Errorf("sentinels not restored: bound=%v gap=%v", out.Bound, out.Gap)
+	}
+}
+
+func TestStatusJSONRoundTrip(t *testing.T) {
+	for _, s := range []Status{StatusOptimal, StatusFeasible, StatusTimeLimit, StatusCanceled} {
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out Status
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if out != s {
+			t.Errorf("round trip %v → %v", s, out)
+		}
+	}
+	var bad Status
+	if err := json.Unmarshal([]byte(`"definitely-not-a-status"`), &bad); err == nil {
+		t.Error("unknown status accepted")
+	}
+}

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+	"sync"
+	"time"
+)
+
+// errSaturated reports an admission queue at capacity; the caller sheds
+// the request (degraded answer or 429).
+var errSaturated = errors.New("server: admission queue saturated")
+
+// ticket is one request's place in the admission queue. A dispatched
+// ticket holds a worker slot until release; a queued ticket waits on
+// ready and can be withdrawn by cancel.
+type ticket struct {
+	deadline time.Time
+	seq      int64         // FIFO tiebreak among equal deadlines
+	ready    chan struct{} // closed when a worker slot is granted
+	idx      int           // heap index; -1 once dispatched or withdrawn
+}
+
+// ticketHeap orders queued tickets by deadline (earliest first), then
+// arrival order — the request closest to missing its deadline runs next.
+type ticketHeap []*ticket
+
+func (h ticketHeap) Len() int { return len(h) }
+func (h ticketHeap) Less(i, j int) bool {
+	if !h[i].deadline.Equal(h[j].deadline) {
+		return h[i].deadline.Before(h[j].deadline)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h ticketHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *ticketHeap) Push(x any) {
+	t := x.(*ticket)
+	t.idx = len(*h)
+	*h = append(*h, t)
+}
+func (h *ticketHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.idx = -1
+	*h = old[:n-1]
+	return t
+}
+
+// admitter is the bounded worker pool behind /v1/optimize: at most
+// workers requests solve concurrently, at most depth more wait in a
+// deadline-ordered queue, and everything beyond that is refused with
+// errSaturated. There is no dispatcher goroutine — slots transfer from
+// releasing to queued requests under one lock, so dispatch order is
+// deterministic under test.
+type admitter struct {
+	mu      sync.Mutex
+	workers int
+	depth   int
+	running int
+	seq     int64
+	q       ticketHeap
+}
+
+func newAdmitter(workers, depth int) *admitter {
+	return &admitter{workers: workers, depth: depth}
+}
+
+// admit asks for a worker slot for a request due by deadline. The
+// returned ticket's ready channel is already closed when a slot was free;
+// otherwise the caller waits on it (racing its own context) and must call
+// cancel if it gives up. Every admitted-and-dispatched ticket must be
+// released exactly once.
+func (a *admitter) admit(deadline time.Time) (*ticket, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.seq++
+	t := &ticket{deadline: deadline, seq: a.seq, ready: make(chan struct{}), idx: -1}
+	if a.running < a.workers {
+		a.running++
+		close(t.ready)
+		return t, nil
+	}
+	if len(a.q) >= a.depth {
+		return nil, errSaturated
+	}
+	heap.Push(&a.q, t)
+	return t, nil
+}
+
+// cancel withdraws a ticket that is still queued. It reports false when
+// the ticket was already dispatched — the slot is then owned by the
+// caller, which must release it.
+func (a *admitter) cancel(t *ticket) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if t.idx < 0 {
+		return false
+	}
+	heap.Remove(&a.q, t.idx)
+	return true
+}
+
+// release returns a worker slot and hands it to the earliest-deadline
+// queued request, if any.
+func (a *admitter) release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.q) > 0 {
+		next := heap.Pop(&a.q).(*ticket)
+		close(next.ready) // slot transfers; running stays constant
+		return
+	}
+	a.running--
+}
+
+// load snapshots the pool: running solves and queued requests.
+func (a *admitter) load() (running, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.running, len(a.q)
+}
+
+// tenantBuckets is a lazily-grown set of per-tenant token buckets with a
+// shared rate and burst. Buckets refill continuously; a denied request
+// learns how long until one token accrues.
+type tenantBuckets struct {
+	mu    sync.Mutex
+	rate  float64 // tokens per second
+	burst float64
+	m     map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantBuckets(rate float64, burst int) *tenantBuckets {
+	if rate <= 0 {
+		return nil // nil: unlimited, all methods no-op
+	}
+	return &tenantBuckets{rate: rate, burst: float64(burst), m: map[string]*tokenBucket{}}
+}
+
+// maxTenants bounds the bucket map; beyond it, full (idle) buckets are
+// swept before admitting new tenants, so an attacker cycling tenant names
+// cannot grow memory without bound.
+const maxTenants = 16384
+
+// allow spends one token of tenant's bucket. When the bucket is empty it
+// returns false and the wait until one token accrues (the Retry-After).
+func (b *tenantBuckets) allow(tenant string, now time.Time) (bool, time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	tb, ok := b.m[tenant]
+	if !ok {
+		if len(b.m) >= maxTenants {
+			b.sweep()
+		}
+		tb = &tokenBucket{tokens: b.burst, last: now}
+		b.m[tenant] = tb
+	}
+	if dt := now.Sub(tb.last).Seconds(); dt > 0 {
+		tb.tokens = math.Min(b.burst, tb.tokens+dt*b.rate)
+		tb.last = now
+	}
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - tb.tokens) / b.rate * float64(time.Second))
+	return false, wait
+}
+
+// sweep drops buckets that have refilled completely — tenants idle long
+// enough that forgetting them is indistinguishable from remembering.
+// Called with mu held.
+func (b *tenantBuckets) sweep() {
+	for k, tb := range b.m {
+		if tb.tokens >= b.burst {
+			delete(b.m, k)
+		}
+	}
+}

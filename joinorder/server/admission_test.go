@@ -1,0 +1,126 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func dispatched(t *ticket) bool {
+	select {
+	case <-t.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+func TestAdmitterDispatchesByDeadline(t *testing.T) {
+	a := newAdmitter(1, 8)
+	now := time.Now()
+
+	holder, err := a.admit(now.Add(time.Second))
+	if err != nil || !dispatched(holder) {
+		t.Fatalf("first admit: err=%v dispatched=%v", err, dispatched(holder))
+	}
+	late, err := a.admit(now.Add(3 * time.Second))
+	if err != nil || dispatched(late) {
+		t.Fatalf("late admit should queue: err=%v", err)
+	}
+	early, err := a.admit(now.Add(2 * time.Second))
+	if err != nil || dispatched(early) {
+		t.Fatalf("early admit should queue: err=%v", err)
+	}
+
+	a.release() // the earlier deadline must win despite arriving later
+	if !dispatched(early) || dispatched(late) {
+		t.Fatalf("deadline order violated: early=%v late=%v", dispatched(early), dispatched(late))
+	}
+	a.release()
+	if !dispatched(late) {
+		t.Fatal("second release did not dispatch the remaining ticket")
+	}
+	a.release()
+	if running, queued := a.load(); running != 0 || queued != 0 {
+		t.Fatalf("pool not drained: running=%d queued=%d", running, queued)
+	}
+}
+
+func TestAdmitterSaturationAndCancel(t *testing.T) {
+	a := newAdmitter(1, 1)
+	now := time.Now()
+	if _, err := a.admit(now); err != nil {
+		t.Fatal(err)
+	}
+	queued, err := a.admit(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.admit(now); !errors.Is(err, errSaturated) {
+		t.Fatalf("full queue admit err = %v, want errSaturated", err)
+	}
+	if !a.cancel(queued) {
+		t.Fatal("cancel of a queued ticket reported dispatched")
+	}
+	if _, err := a.admit(now); err != nil {
+		t.Fatalf("admit after cancel: %v", err)
+	}
+	if a.cancel(queued) {
+		t.Fatal("double cancel succeeded")
+	}
+}
+
+func TestAdmitterCancelAfterDispatchTransfersSlot(t *testing.T) {
+	a := newAdmitter(1, 2)
+	now := time.Now()
+	if _, err := a.admit(now); err != nil {
+		t.Fatal(err)
+	}
+	q1, _ := a.admit(now.Add(time.Second))
+	a.release() // dispatches q1
+	if a.cancel(q1) {
+		t.Fatal("cancel after dispatch must report false (caller owns the slot)")
+	}
+	// The caller that lost the cancel race releases the slot it owns.
+	a.release()
+	if running, _ := a.load(); running != 0 {
+		t.Fatalf("running = %d after releases, want 0", running)
+	}
+}
+
+func TestTenantBuckets(t *testing.T) {
+	b := newTenantBuckets(1, 2) // 1 rps, burst 2
+	now := time.Now()
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.allow("a", now); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, wait := b.allow("a", now)
+	if ok {
+		t.Fatal("over-burst request allowed")
+	}
+	if wait <= 0 || wait > time.Second+time.Millisecond {
+		t.Fatalf("retry-after %v outside (0, 1s]", wait)
+	}
+	if ok, _ := b.allow("b", now); !ok {
+		t.Fatal("fresh tenant denied")
+	}
+	// Half a second refills half a token; a full second refills one.
+	if ok, _ := b.allow("a", now.Add(500*time.Millisecond)); ok {
+		t.Fatal("allowed before a full token accrued")
+	}
+	if ok, _ := b.allow("a", now.Add(1600*time.Millisecond)); !ok {
+		t.Fatal("denied after a full token accrued")
+	}
+}
+
+func TestTenantBucketsNilUnlimited(t *testing.T) {
+	var b *tenantBuckets
+	if ok, _ := b.allow("anyone", time.Now()); !ok {
+		t.Fatal("nil buckets must admit everything")
+	}
+	if newTenantBuckets(0, 0) != nil {
+		t.Fatal("zero rate should build the unlimited (nil) bucket set")
+	}
+}

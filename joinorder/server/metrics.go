@@ -1,0 +1,200 @@
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"milpjoin/joinorder/cache"
+)
+
+// Snapshot is a point-in-time view of the daemon's counters, served as
+// JSON on /varz (under the expvar key "joinoptd") and as Prometheus text
+// on /metrics.
+type Snapshot struct {
+	Requests    int64 `json:"requests"`
+	OK          int64 `json:"ok"`
+	Degraded    int64 `json:"degraded"`
+	Shed        int64 `json:"shed"`
+	Rejected    int64 `json:"rejected"`
+	RateLimited int64 `json:"rate_limited"`
+	BadRequest  int64 `json:"bad_request"`
+	Canceled    int64 `json:"canceled"`
+	Timeouts    int64 `json:"timeouts"`
+	Failed      int64 `json:"failed"`
+	DrainReject int64 `json:"drain_rejected"`
+
+	Streams       int64 `json:"sse_streams"`
+	EventsRelayed int64 `json:"sse_events_relayed"`
+	EventsDropped int64 `json:"sse_events_dropped"`
+
+	Solves        int64   `json:"solves"`
+	QueueWaitSec  float64 `json:"queue_wait_sec_total"`
+	SolveSec      float64 `json:"solve_sec_total"`
+	RunningSolves int     `json:"running_solves"`
+	QueuedJobs    int     `json:"queued_requests"`
+	Draining      bool    `json:"draining"`
+
+	SolverNodes  int64 `json:"solver_nodes"`
+	SimplexIters int64 `json:"solver_simplex_iters"`
+	Incumbents   int64 `json:"solver_incumbents"`
+
+	Cache cache.Stats `json:"cache"`
+}
+
+// Snapshot captures the current counters.
+func (s *Server) Snapshot() Snapshot {
+	running, queued := s.adm.load()
+	return Snapshot{
+		Requests:      s.ctr.requests.Load(),
+		OK:            s.ctr.ok.Load(),
+		Degraded:      s.ctr.degraded.Load(),
+		Shed:          s.ctr.shed.Load(),
+		Rejected:      s.ctr.rejected.Load(),
+		RateLimited:   s.ctr.rateLimited.Load(),
+		BadRequest:    s.ctr.badRequest.Load(),
+		Canceled:      s.ctr.canceled.Load(),
+		Timeouts:      s.ctr.timeouts.Load(),
+		Failed:        s.ctr.failed.Load(),
+		DrainReject:   s.ctr.drainReject.Load(),
+		Streams:       s.ctr.streams.Load(),
+		EventsRelayed: s.ctr.eventsSent.Load(),
+		EventsDropped: s.ctr.eventsDrop.Load(),
+		Solves:        s.ctr.solves.Load(),
+		QueueWaitSec:  time.Duration(s.ctr.queueNanos.Load()).Seconds(),
+		SolveSec:      time.Duration(s.ctr.solveNanos.Load()).Seconds(),
+		RunningSolves: running,
+		QueuedJobs:    queued,
+		Draining:      s.draining.Load(),
+		SolverNodes:   s.ctr.solverNodes.Load(),
+		SimplexIters:  s.ctr.simplexIters.Load(),
+		Incumbents:    s.ctr.incumbents.Load(),
+		Cache:         s.co.Stats(),
+	}
+}
+
+// handleVarz serves GET /varz through the process-wide expvar registry —
+// the same document /debug/vars would show — including the "joinoptd"
+// var this package publishes for all live servers.
+func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	expvar.Handler().ServeHTTP(w, r)
+}
+
+// handleMetrics serves GET /metrics in Prometheus text exposition format,
+// built from the same snapshot as /varz.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	fmt.Fprintf(w, "# HELP joinoptd_responses_total Optimize responses by outcome.\n# TYPE joinoptd_responses_total counter\n")
+	for _, o := range []struct {
+		label string
+		v     int64
+	}{
+		{"ok", snap.OK - snap.Degraded},
+		{"degraded", snap.Degraded},
+		{"rejected", snap.Rejected},
+		{"rate_limited", snap.RateLimited},
+		{"bad_request", snap.BadRequest},
+		{"canceled", snap.Canceled},
+		{"timeout", snap.Timeouts},
+		{"failed", snap.Failed},
+		{"draining", snap.DrainReject},
+	} {
+		fmt.Fprintf(w, "joinoptd_responses_total{outcome=%q} %d\n", o.label, o.v)
+	}
+	counter("joinoptd_requests_total", "Optimize requests received.", snap.Requests)
+	counter("joinoptd_shed_total", "Requests shed by the saturated admission queue (answered degraded).", snap.Shed)
+	counter("joinoptd_solves_total", "Solves dispatched to a worker.", snap.Solves)
+	counter("joinoptd_sse_streams_total", "Streaming optimize requests.", snap.Streams)
+	counter("joinoptd_sse_events_relayed_total", "Solver events relayed to SSE clients.", snap.EventsRelayed)
+	counter("joinoptd_sse_events_dropped_total", "Solver events dropped on slow SSE clients.", snap.EventsDropped)
+	gauge("joinoptd_queue_wait_seconds_total", "Total admission-queue wait.", snap.QueueWaitSec)
+	gauge("joinoptd_solve_seconds_total", "Total in-solve wall time.", snap.SolveSec)
+	gauge("joinoptd_running_solves", "Solves currently holding a worker.", float64(snap.RunningSolves))
+	gauge("joinoptd_queued_requests", "Requests waiting in the admission queue.", float64(snap.QueuedJobs))
+	gauge("joinoptd_draining", "1 while the server drains.", boolGauge(snap.Draining))
+	counter("joinoptd_solver_nodes_total", "Branch-and-bound nodes explored, summed over solves.", snap.SolverNodes)
+	counter("joinoptd_solver_simplex_iters_total", "Simplex iterations, summed over solves.", snap.SimplexIters)
+	counter("joinoptd_solver_incumbents_total", "Incumbent improvements, summed over solves.", snap.Incumbents)
+
+	counter("joinoptd_cache_hits_total", "Requests served from the exact plan cache.", snap.Cache.Hits)
+	counter("joinoptd_cache_misses_total", "Requests that fell through to a solve.", snap.Cache.Misses)
+	counter("joinoptd_cache_coalesced_total", "Requests that joined an identical in-flight solve.", snap.Cache.Coalesced)
+	counter("joinoptd_cache_warm_starts_total", "Misses warm-started from a shape-matched cached plan.", snap.Cache.WarmStarts)
+	counter("joinoptd_cache_degraded_total", "Tight-deadline requests served a fallback plan.", snap.Cache.Degraded)
+	counter("joinoptd_cache_refines_total", "Background refine solves completed.", snap.Cache.Refines)
+	counter("joinoptd_cache_evicted_total", "Entries evicted by the LRU bound.", snap.Cache.Evicted)
+	counter("joinoptd_cache_expired_total", "Entries expired by TTL.", snap.Cache.Expired)
+	gauge("joinoptd_cache_entries", "Exact cache entries resident.", float64(snap.Cache.Entries))
+	gauge("joinoptd_cache_donors", "Warm-start donor entries resident.", float64(snap.Cache.Donors))
+	gauge("joinoptd_cache_hit_rate", "Hits over cacheable lookups.", snap.Cache.HitRate())
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// The expvar bridge: one process-wide "joinoptd" var aggregating every
+// live Server (expvar.Publish panics on duplicates, so servers register
+// into a shared map instead of publishing individually — httptest servers
+// in the same process coexist).
+var (
+	varzOnce    sync.Once
+	varzMu      sync.Mutex
+	varzNextID  int
+	varzServers = map[*Server]string{}
+)
+
+func registerVarz(s *Server) {
+	varzOnce.Do(func() {
+		expvar.Publish("joinoptd", expvar.Func(varzValue))
+	})
+	varzMu.Lock()
+	defer varzMu.Unlock()
+	varzNextID++
+	varzServers[s] = fmt.Sprintf("server%d", varzNextID)
+}
+
+func unregisterVarz(s *Server) {
+	varzMu.Lock()
+	defer varzMu.Unlock()
+	delete(varzServers, s)
+}
+
+// varzValue renders the registered servers: one snapshot when a single
+// server is live (the production case), a name→snapshot map otherwise.
+func varzValue() any {
+	varzMu.Lock()
+	type entry struct {
+		name string
+		srv  *Server
+	}
+	entries := make([]entry, 0, len(varzServers))
+	for srv, name := range varzServers {
+		entries = append(entries, entry{name, srv})
+	}
+	varzMu.Unlock()
+	if len(entries) == 1 {
+		return entries[0].srv.Snapshot()
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	out := make(map[string]Snapshot, len(entries))
+	for _, e := range entries {
+		out[e.name] = e.srv.Snapshot()
+	}
+	return out
+}

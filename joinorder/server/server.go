@@ -1,0 +1,480 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"milpjoin/internal/obs"
+	"milpjoin/joinorder"
+	"milpjoin/joinorder/cache"
+)
+
+// Server is the optimization daemon: an http.Handler fronting a
+// cache.Optimizer with admission control. Construct with New, mount via
+// Handler (or pass the Server itself, it implements http.Handler), and
+// stop with Drain. All methods are safe for concurrent use.
+type Server struct {
+	cfg Config
+	co  *cache.Optimizer
+	adm *admitter
+	tb  *tenantBuckets
+	log *slog.Logger
+	mux *http.ServeMux
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	reqID    atomic.Int64
+	ctr      serverCounters
+}
+
+// serverCounters is the live, atomically updated request accounting
+// behind /varz and /metrics.
+type serverCounters struct {
+	requests     atomic.Int64 // optimize requests received (both endpoints)
+	ok           atomic.Int64 // 2xx answers carrying a plan
+	degraded     atomic.Int64 // answers served by the fallback strategy
+	shed         atomic.Int64 // saturated-queue requests answered degraded
+	rejected     atomic.Int64 // 429s (saturated and degradation refused)
+	rateLimited  atomic.Int64 // 429s from the tenant token bucket
+	badRequest   atomic.Int64 // 400s
+	canceled     atomic.Int64 // client disconnected before the answer
+	timeouts     atomic.Int64 // budget expired with no plan at all (504)
+	failed       atomic.Int64 // 5xx/422
+	drainReject  atomic.Int64 // 503s while draining
+	streams      atomic.Int64 // SSE requests
+	eventsSent   atomic.Int64 // SSE events relayed
+	eventsDrop   atomic.Int64 // SSE events dropped on slow consumers
+	queueNanos   atomic.Int64 // total admission-queue wait
+	solveNanos   atomic.Int64 // total in-solve wall time
+	solves       atomic.Int64 // solves dispatched to a worker
+	solverNodes  atomic.Int64 // branch-and-bound nodes, summed over solves
+	simplexIters atomic.Int64 // simplex iterations, summed over solves
+	incumbents   atomic.Int64 // incumbent improvements, summed over solves
+}
+
+// New builds a Server from the config (zero fields defaulted, invalid
+// values rejected with joinorder.ErrInvalidOptions).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	co, err := cache.New(cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg: cfg,
+		co:  co,
+		adm: newAdmitter(cfg.MaxWorkers, cfg.QueueDepth),
+		tb:  newTenantBuckets(cfg.TenantRate, cfg.TenantBurst),
+		log: cfg.Logger,
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("POST /v1/optimize/stream", s.handleStream)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /varz", s.handleVarz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	registerVarz(s)
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Cache exposes the fronted plan cache (stats, entries) for CLIs and
+// tests.
+func (s *Server) Cache() *cache.Optimizer { return s.co }
+
+// Draining reports whether the server has stopped accepting new
+// optimization work.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// BeginDrain stops admitting new optimization requests (they get 503 +
+// Retry-After) and flips /healthz to 503 so load balancers stop routing
+// here. In-flight solves continue; call Drain to wait for them.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Drain gracefully stops the server: no new work is admitted, in-flight
+// requests run to completion (each already bounded by its own deadline),
+// background cache refines finish, and the final cache statistics are
+// flushed to the log. The context bounds the wait; on expiry Drain
+// returns the context error with work still in flight.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		s.co.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	unregisterVarz(s)
+	cs := s.co.Stats()
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "drain complete",
+		slog.Bool("clean", err == nil),
+		slog.Int64("requests", s.ctr.requests.Load()),
+		slog.Int64("cache_hits", cs.Hits),
+		slog.Int64("cache_misses", cs.Misses),
+		slog.Int64("coalesced", cs.Coalesced),
+		slog.Int64("degraded", cs.Degraded),
+		slog.Int64("refines", cs.Refines),
+		slog.Int("entries", cs.Entries),
+	)
+	return err
+}
+
+// prepared is one admitted-for-processing optimize request: parsed,
+// rate-limit cleared, options resolved.
+type prepared struct {
+	req     *OptimizeRequest
+	q       *joinorder.Query
+	opts    joinorder.Options
+	arrived time.Time
+	id      string
+}
+
+// httpError is a terminal non-2xx outcome of serve.
+type httpError struct {
+	status     int
+	msg        string
+	retryAfter time.Duration
+}
+
+// prepare runs the pre-admission gates shared by both endpoints: drain
+// check, body decode, tenant rate limit, query and option resolution. On
+// failure it writes the error response and returns ok=false.
+func (s *Server) prepare(w http.ResponseWriter, r *http.Request) (*prepared, bool) {
+	s.ctr.requests.Add(1)
+	if s.draining.Load() {
+		s.ctr.drainReject.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return nil, false
+	}
+	req, err := decodeRequest(w, r)
+	if err != nil {
+		s.ctr.badRequest.Add(1)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, false
+	}
+	if ok, wait := s.tb.allow(req.tenant(r), s.cfg.now()); !ok {
+		s.ctr.rateLimited.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(wait))
+		writeError(w, http.StatusTooManyRequests, "tenant %q over rate limit", req.tenant(r))
+		return nil, false
+	}
+	q, err := req.query()
+	if err != nil {
+		s.ctr.badRequest.Add(1)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, false
+	}
+	opts, err := req.options(s.cfg)
+	if err != nil {
+		s.ctr.badRequest.Add(1)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, false
+	}
+	return &prepared{
+		req:     req,
+		q:       q,
+		opts:    opts,
+		arrived: s.cfg.now(),
+		id:      fmt.Sprintf("r%06d", s.reqID.Add(1)),
+	}, true
+}
+
+// callFlags records what the cache-layer event stream reported about one
+// request. Event callbacks are serialised and complete before Optimize
+// returns, so plain fields suffice.
+type callFlags struct {
+	cacheHit  bool
+	coalesced bool
+	degraded  bool
+}
+
+func (f *callFlags) observe(ev joinorder.Event) {
+	switch ev.Kind {
+	case joinorder.KindCacheHit:
+		f.cacheHit = true
+	case joinorder.KindCacheCoalesced:
+		f.coalesced = true
+	case joinorder.KindDegraded:
+		f.degraded = true
+	}
+}
+
+// serve runs one prepared request through admission and the cached
+// optimizer. onEvent, when non-nil, additionally receives every solver
+// event (the SSE relay). Exactly one of the response and the error is
+// non-nil.
+func (s *Server) serve(ctx context.Context, pr *prepared, onEvent func(joinorder.Event)) (*OptimizeResponse, *httpError) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+
+	deadline := pr.arrived.Add(pr.opts.TimeLimit)
+	t, err := s.adm.admit(deadline)
+	if errors.Is(err, errSaturated) {
+		if !pr.req.allowDegraded() {
+			s.ctr.rejected.Add(1)
+			s.logRequest(pr, "rejected", 0, 0, nil)
+			return nil, &httpError{
+				status:     http.StatusTooManyRequests,
+				msg:        "admission queue saturated and request refuses degraded answers",
+				retryAfter: s.shedRetryAfter(),
+			}
+		}
+		s.ctr.shed.Add(1)
+		return s.serveDegraded(ctx, pr, onEvent)
+	}
+
+	// Wait for a worker slot, racing the client's connection and the
+	// request deadline.
+	waitCtx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+	select {
+	case <-t.ready:
+	case <-waitCtx.Done():
+		if s.adm.cancel(t) {
+			// Withdrawn while still queued: no slot to release.
+			if ctx.Err() != nil {
+				s.ctr.canceled.Add(1)
+				s.logRequest(pr, "client gone", 0, 0, nil)
+				return nil, &httpError{status: statusClientClosedRequest, msg: "client closed request"}
+			}
+			// Deadline burned entirely in the queue: the degraded
+			// answer is all that is left of the budget.
+			if pr.req.allowDegraded() {
+				s.ctr.shed.Add(1)
+				return s.serveDegraded(ctx, pr, onEvent)
+			}
+			s.ctr.timeouts.Add(1)
+			s.logRequest(pr, "queue timeout", 0, 0, nil)
+			return nil, &httpError{
+				status:     http.StatusGatewayTimeout,
+				msg:        "request deadline expired in the admission queue",
+				retryAfter: s.shedRetryAfter(),
+			}
+		}
+		// The slot was granted concurrently with our withdrawal; fall
+		// through and use it — the solve context below handles the
+		// expired budget or gone client immediately.
+	}
+	defer s.adm.release()
+	queueWait := s.cfg.now().Sub(pr.arrived)
+	s.ctr.queueNanos.Add(int64(queueWait))
+	s.ctr.solves.Add(1)
+
+	// The budget shrinks by the time spent queueing. It never reaches
+	// zero — that would mean "unlimited" to the optimizer; the context
+	// deadline set above ends an already-exhausted budget immediately.
+	opts := pr.opts
+	if remaining := deadline.Sub(s.cfg.now()); remaining < opts.TimeLimit {
+		opts.TimeLimit = max(remaining, time.Millisecond)
+	}
+	return s.runSolve(waitCtx, pr, opts, queueWait, onEvent)
+}
+
+// serveDegraded answers a shed request immediately through the cache's
+// degraded path: the fallback strategy's plan now, one deduplicated
+// background refine warming the cache for the retry. The solve budget is
+// pinned to the cache's degrade threshold so the path triggers regardless
+// of the requested budget.
+func (s *Server) serveDegraded(ctx context.Context, pr *prepared, onEvent func(joinorder.Event)) (*OptimizeResponse, *httpError) {
+	opts := pr.opts
+	opts.TimeLimit = s.cfg.Cache.DegradeUnder
+	resp, herr := s.runSolve(ctx, pr, opts, 0, onEvent)
+	// resp.Degraded comes from the cache's KindDegraded event — a shed
+	// request that hits the exact cache gets the full cached answer and
+	// is not marked degraded.
+	if herr != nil {
+		herr.retryAfter = s.shedRetryAfter()
+	}
+	return resp, herr
+}
+
+// runSolve executes the solve with the given options and maps the
+// outcome to a response. The caller has already settled admission.
+func (s *Server) runSolve(ctx context.Context, pr *prepared, opts joinorder.Options, queueWait time.Duration, onEvent func(joinorder.Event)) (*OptimizeResponse, *httpError) {
+	flags := &callFlags{}
+	sinks := []func(joinorder.Event){flags.observe}
+	if onEvent != nil {
+		sinks = append(sinks, onEvent)
+	}
+	if s.cfg.LogEvents {
+		sinks = append(sinks, obs.SlogHandler(s.log, slog.LevelDebug, slog.String("req", pr.id)))
+	}
+	opts.OnEvent = func(ev joinorder.Event) {
+		for _, sink := range sinks {
+			sink(ev)
+		}
+	}
+
+	solveStart := s.cfg.now()
+	res, err := s.co.Optimize(ctx, pr.q, opts)
+	solveWait := s.cfg.now().Sub(solveStart)
+	s.ctr.solveNanos.Add(int64(solveWait))
+
+	if err != nil {
+		switch {
+		case errors.Is(err, joinorder.ErrCanceled) && ctx.Err() != nil && errors.Is(ctx.Err(), context.Canceled):
+			s.ctr.canceled.Add(1)
+			s.logRequest(pr, "client gone mid-solve", queueWait, solveWait, nil)
+			return nil, &httpError{status: statusClientClosedRequest, msg: "client closed request"}
+		case errors.Is(err, joinorder.ErrCanceled), errors.Is(err, joinorder.ErrNoPlan):
+			s.ctr.timeouts.Add(1)
+			s.logRequest(pr, "no plan within budget", queueWait, solveWait, nil)
+			return nil, &httpError{status: http.StatusGatewayTimeout, msg: fmt.Sprintf("no plan within the budget: %v", err)}
+		case errors.Is(err, joinorder.ErrInvalidQuery), errors.Is(err, joinorder.ErrInvalidOptions), errors.Is(err, joinorder.ErrUnknownStrategy):
+			s.ctr.badRequest.Add(1)
+			return nil, &httpError{status: http.StatusBadRequest, msg: err.Error()}
+		case errors.Is(err, joinorder.ErrInfeasible):
+			s.ctr.failed.Add(1)
+			return nil, &httpError{status: http.StatusUnprocessableEntity, msg: err.Error()}
+		default:
+			s.ctr.failed.Add(1)
+			s.logRequest(pr, "solve failed: "+err.Error(), queueWait, solveWait, nil)
+			return nil, &httpError{status: http.StatusInternalServerError, msg: err.Error()}
+		}
+	}
+
+	s.ctr.ok.Add(1)
+	if flags.degraded {
+		s.ctr.degraded.Add(1)
+	}
+	s.ctr.solverNodes.Add(int64(res.Nodes))
+	if res.Stats != nil {
+		s.ctr.simplexIters.Add(int64(res.Stats.SimplexIters))
+		s.ctr.incumbents.Add(int64(res.Stats.Incumbents))
+	}
+	resp := &OptimizeResponse{
+		Result:      res,
+		Degraded:    flags.degraded,
+		CacheHit:    flags.cacheHit,
+		Coalesced:   flags.coalesced,
+		QueueMillis: float64(queueWait) / float64(time.Millisecond),
+		TotalMillis: float64(s.cfg.now().Sub(pr.arrived)) / float64(time.Millisecond),
+	}
+	s.logRequest(pr, "ok", queueWait, solveWait, resp)
+	return resp, nil
+}
+
+// statusClientClosedRequest is nginx's non-standard 499: the client went
+// away before an answer existed. Nothing is usually written — the
+// connection is gone — but handler tests can still observe it.
+const statusClientClosedRequest = 499
+
+// shedRetryAfter estimates when shed work could be admitted: the queue is
+// full of requests each holding at most the default budget, spread over
+// the worker pool.
+func (s *Server) shedRetryAfter() time.Duration {
+	running, queued := s.adm.load()
+	_ = running
+	per := s.cfg.Cache.DegradeUnder
+	if per <= 0 {
+		per = 100 * time.Millisecond
+	}
+	est := time.Duration(queued+1) * per / time.Duration(s.cfg.MaxWorkers)
+	if est < time.Second {
+		est = time.Second
+	}
+	return est
+}
+
+// retryAfterSeconds formats a wait for the Retry-After header (whole
+// seconds, at least 1).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// logRequest emits the one structured record every optimize request gets.
+func (s *Server) logRequest(pr *prepared, outcome string, queueWait, solveWait time.Duration, resp *OptimizeResponse) {
+	attrs := []slog.Attr{
+		slog.String("req", pr.id),
+		slog.String("outcome", outcome),
+		slog.Int("tables", pr.q.NumTables()),
+		slog.String("strategy", defaultStrategy(pr.opts.Strategy)),
+		slog.Duration("queue", queueWait.Truncate(time.Microsecond)),
+		slog.Duration("solve", solveWait.Truncate(time.Microsecond)),
+	}
+	if t := pr.req.Tenant; t != "" {
+		attrs = append(attrs, slog.String("tenant", t))
+	}
+	if resp != nil && resp.Result != nil {
+		attrs = append(attrs,
+			slog.String("status", resp.Result.Status.String()),
+			slog.Float64("cost", resp.Result.Cost))
+		if !math.IsInf(resp.Result.Gap, 0) {
+			attrs = append(attrs, slog.Float64("gap", resp.Result.Gap))
+		}
+		if resp.Degraded {
+			attrs = append(attrs, slog.Bool("degraded", true))
+		}
+		if resp.CacheHit {
+			attrs = append(attrs, slog.Bool("cache_hit", true))
+		}
+	}
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "optimize", attrs...)
+}
+
+func defaultStrategy(s string) string {
+	if s == "" {
+		return joinorder.DefaultStrategy
+	}
+	return s
+}
+
+// handleOptimize is POST /v1/optimize: one JSON answer when the solve
+// finishes (or is degraded/shed).
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	pr, ok := s.prepare(w, r)
+	if !ok {
+		return
+	}
+	resp, herr := s.serve(r.Context(), pr, nil)
+	if herr != nil {
+		if herr.retryAfter > 0 {
+			w.Header().Set("Retry-After", retryAfterSeconds(herr.retryAfter))
+		}
+		writeError(w, herr.status, "%s", herr.msg)
+		return
+	}
+	if resp.Degraded {
+		// A degraded answer is still an answer, but the header tells the
+		// client when a non-degraded retry is likely to be admitted.
+		w.Header().Set("Retry-After", retryAfterSeconds(s.shedRetryAfter()))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

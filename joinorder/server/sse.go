@@ -1,0 +1,94 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"milpjoin/joinorder"
+)
+
+// sseEventBuffer bounds the relay channel between solver callbacks and
+// the HTTP writer. Callbacks must never block the solve (some run under
+// search locks), so a full buffer drops the event instead — the anytime
+// state is monotone, so a later event subsumes a dropped one.
+const sseEventBuffer = 512
+
+// handleStream is POST /v1/optimize/stream: the same request as
+// /v1/optimize, answered as a Server-Sent-Events stream. Every solver and
+// cache event becomes one SSE event named after its kind, carrying the
+// event's JSON; the stream ends with a "result" event holding the
+// OptimizeResponse (or an "error" event). Disconnecting cancels the
+// request context, which threads into the solve — the solver unwinds
+// promptly and the worker slot frees.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	pr, ok := s.prepare(w, r)
+	if !ok {
+		return
+	}
+	s.ctr.streams.Add(1)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // reverse proxies: do not buffer
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	// The solve runs concurrently with the writer loop. Callbacks are
+	// serialised by the emitter; a full channel drops (never blocks) so a
+	// slow reader cannot stall solver goroutines.
+	events := make(chan joinorder.Event, sseEventBuffer)
+	type outcome struct {
+		resp *OptimizeResponse
+		herr *httpError
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		resp, herr := s.serve(r.Context(), pr, func(ev joinorder.Event) {
+			select {
+			case events <- ev:
+			default:
+				s.ctr.eventsDrop.Add(1)
+			}
+		})
+		close(events)
+		done <- outcome{resp, herr}
+	}()
+
+	for ev := range events {
+		if err := writeSSE(w, ev.Kind.String(), ev); err != nil {
+			// Client gone; keep draining so the solve's cancellation
+			// (via r.Context()) is observed and the goroutine exits.
+			continue
+		}
+		s.ctr.eventsSent.Add(1)
+		fl.Flush()
+	}
+	out := <-done
+	if out.herr != nil {
+		writeSSE(w, "error", map[string]any{ //nolint:errcheck // client may be gone
+			"error":          out.herr.msg,
+			"status":         out.herr.status,
+			"retry_after_ms": out.herr.retryAfter.Milliseconds(),
+		})
+	} else {
+		writeSSE(w, "result", out.resp) //nolint:errcheck // client may be gone
+	}
+	fl.Flush()
+}
+
+// writeSSE writes one Server-Sent Event with the JSON encoding of v as
+// its data line.
+func writeSSE(w http.ResponseWriter, event string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err
+}

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"milpjoin/internal/sql"
+	"milpjoin/joinorder"
+)
+
+// maxRequestBytes bounds a request body; a catalog plus query for even a
+// thousand-table join fits comfortably.
+const maxRequestBytes = 8 << 20
+
+// OptimizeRequest is the JSON body of POST /v1/optimize and
+// /v1/optimize/stream. The query arrives either pre-modeled ("query", the
+// joinorder.Query JSON the CLI's -query flag reads) or as SQL text plus a
+// catalog of table statistics ("sql" + "catalog", the -sql/-catalog
+// formats). The remaining knobs mirror the CLI flags and map onto
+// joinorder.Options.
+type OptimizeRequest struct {
+	// Query is the pre-modeled form: tables with cardinalities and
+	// predicates with selectivities.
+	Query *joinorder.Query `json:"query,omitempty"`
+	// SQL is a select-project-join statement; requires Catalog.
+	SQL string `json:"sql,omitempty"`
+	// Catalog maps table names to statistics for SQL translation.
+	Catalog map[string]sql.TableStats `json:"catalog,omitempty"`
+
+	// Strategy names the optimizer to run (default "milp").
+	Strategy string `json:"strategy,omitempty"`
+	// Metric is the cost model: cout, hash, smj, bnl, or choose
+	// (default hash).
+	Metric string `json:"metric,omitempty"`
+	// Precision is the MILP cardinality approximation: high, medium, or
+	// low (default medium).
+	Precision string `json:"precision,omitempty"`
+	// Timeout is the solve budget as a Go duration string ("500ms",
+	// "5s"); defaulted and capped by the server config.
+	Timeout string `json:"timeout,omitempty"`
+	// GapTol is the relative optimality gap at which to stop (default
+	// 1e-6).
+	GapTol float64 `json:"gap_tol,omitempty"`
+	// Threads is the solver's parallel worker count (default 1).
+	Threads int `json:"threads,omitempty"`
+	// Seed drives randomized strategies.
+	Seed int64 `json:"seed,omitempty"`
+
+	// Tenant names the rate-limiting bucket; the X-Tenant header wins
+	// when both are set.
+	Tenant string `json:"tenant,omitempty"`
+	// AllowDegraded permits a fallback-strategy answer when the server
+	// is saturated (default true). Requests that must have the asked-for
+	// strategy set it to false and accept 429s instead.
+	AllowDegraded *bool `json:"allow_degraded,omitempty"`
+}
+
+// allowDegraded resolves the tri-state flag (default true).
+func (r *OptimizeRequest) allowDegraded() bool {
+	return r.AllowDegraded == nil || *r.AllowDegraded
+}
+
+// query materializes the request's query, validating exactly one source
+// was provided.
+func (r *OptimizeRequest) query() (*joinorder.Query, error) {
+	switch {
+	case r.Query != nil && r.SQL != "":
+		return nil, fmt.Errorf("request carries both query and sql; send one")
+	case r.Query != nil:
+		return r.Query, r.Query.Validate()
+	case r.SQL != "":
+		if len(r.Catalog) == 0 {
+			return nil, fmt.Errorf("sql requires a catalog")
+		}
+		stmt, err := sql.Parse(r.SQL)
+		if err != nil {
+			return nil, err
+		}
+		cat := sql.NewCatalog()
+		cat.Tables = r.Catalog
+		q, _, err := cat.Translate(stmt)
+		return q, err
+	default:
+		return nil, fmt.Errorf("request carries neither query nor sql")
+	}
+}
+
+// options maps the request knobs onto joinorder.Options, applying the
+// server's default and maximum budgets. The mapping mirrors the CLI's
+// flag parsing so a request body and a joinopt invocation describe the
+// same solve.
+func (r *OptimizeRequest) options(cfg Config) (joinorder.Options, error) {
+	opts := joinorder.Options{
+		Strategy: r.Strategy,
+		GapTol:   r.GapTol,
+		Threads:  r.Threads,
+		Seed:     r.Seed,
+	}
+	switch r.Precision {
+	case "", "medium":
+		opts.Precision = joinorder.PrecisionMedium
+	case "high":
+		opts.Precision = joinorder.PrecisionHigh
+	case "low":
+		opts.Precision = joinorder.PrecisionLow
+	default:
+		return opts, fmt.Errorf("unknown precision %q", r.Precision)
+	}
+	switch r.Metric {
+	case "cout":
+		opts.Metric = joinorder.Cout
+	case "", "hash":
+		opts.Metric = joinorder.OperatorCost
+		opts.Op = joinorder.HashJoin
+	case "smj":
+		opts.Metric = joinorder.OperatorCost
+		opts.Op = joinorder.SortMergeJoin
+	case "bnl":
+		opts.Metric = joinorder.OperatorCost
+		opts.Op = joinorder.BlockNestedLoopJoin
+		opts.CardCap = 1e8
+	case "choose":
+		opts.Metric = joinorder.OperatorCost
+		opts.Op = joinorder.HashJoin
+		opts.ChooseOperators = true
+		opts.CardCap = 1e8
+	default:
+		return opts, fmt.Errorf("unknown metric %q", r.Metric)
+	}
+	opts.TimeLimit = cfg.DefaultTimeLimit
+	if r.Timeout != "" {
+		d, err := time.ParseDuration(r.Timeout)
+		if err != nil {
+			return opts, fmt.Errorf("bad timeout: %v", err)
+		}
+		if d <= 0 {
+			return opts, fmt.Errorf("timeout %v must be positive", d)
+		}
+		opts.TimeLimit = d
+	}
+	if cfg.MaxTimeLimit > 0 && opts.TimeLimit > cfg.MaxTimeLimit {
+		opts.TimeLimit = cfg.MaxTimeLimit
+	}
+	return opts, opts.Validate()
+}
+
+// decodeRequest reads and parses one optimize request body.
+func decodeRequest(w http.ResponseWriter, r *http.Request) (*OptimizeRequest, error) {
+	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		return nil, fmt.Errorf("reading request: %v", err)
+	}
+	var req OptimizeRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("parsing request: %v", err)
+	}
+	return &req, nil
+}
+
+// tenant resolves the rate-limiting bucket name: header, then body field,
+// then the shared anonymous bucket.
+func (r *OptimizeRequest) tenant(hr *http.Request) string {
+	if t := hr.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return r.Tenant
+}
+
+// OptimizeResponse is the JSON body of a successful POST /v1/optimize,
+// and the payload of the final "result" SSE event on the stream endpoint.
+type OptimizeResponse struct {
+	// Result is the optimization outcome: plan, cost, proven bound, gap,
+	// status, and (for the MILP strategy) per-phase solver stats.
+	Result *joinorder.Result `json:"result"`
+	// Degraded marks an answer served by the fallback strategy — under a
+	// saturated queue or a budget below the cache's degrade threshold —
+	// while a background refine warms the cache for a retry.
+	Degraded bool `json:"degraded,omitempty"`
+	// CacheHit marks an answer served from the plan cache without a solve.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Coalesced marks a request that shared an identical in-flight solve.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// QueueMillis is time spent in the admission queue.
+	QueueMillis float64 `json:"queue_ms"`
+	// TotalMillis is time from arrival to response.
+	TotalMillis float64 `json:"total_ms"`
+}
+
+// errorResponse is the JSON body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}

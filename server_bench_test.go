@@ -1,0 +1,183 @@
+// Serving-daemon benchmarks: end-to-end HTTP throughput and latency
+// percentiles through joinoptd's optimize endpoint, against a live
+// httptest server with the real solver behind the plan cache.
+package milpjoin_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"milpjoin/internal/workload"
+	"milpjoin/joinorder/server"
+)
+
+// benchServerBodies builds a mixed workload of optimize requests: a pool
+// of chain/star/cycle queries in realistic sizes, solved with the exact
+// DP strategy so plans are proven optimal and cacheable — the serving
+// steady state is a hot cache with a trickle of fresh shapes.
+func benchServerBodies(tb testing.TB, distinct int) [][]byte {
+	tb.Helper()
+	shapes := []workload.GraphShape{workload.Chain, workload.Star, workload.Cycle}
+	bodies := make([][]byte, distinct)
+	for i := range bodies {
+		req := map[string]any{
+			"query":    workload.Generate(shapes[i%len(shapes)], 6+i%6, int64(i), workload.Config{}),
+			"strategy": "dp-leftdeep",
+			"timeout":  "10s",
+		}
+		data, err := json.Marshal(req)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		bodies[i] = data
+	}
+	return bodies
+}
+
+// BenchmarkServerThroughput drives the daemon with 64 concurrent clients
+// over a 48-query working set and reports sustained requests/sec plus
+// p50/p95/p99 latency. The metrics land in BENCH_pr5.json (path
+// overridable via BENCH_PR5_OUT) for the CI benchmark guard.
+func BenchmarkServerThroughput(b *testing.B) {
+	srv, err := server.New(server.Config{
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 256
+	tr.MaxIdleConnsPerHost = 256
+	client := &http.Client{Transport: tr, Timeout: 30 * time.Second}
+
+	bodies := benchServerBodies(b, 48)
+	const concurrency = 64
+
+	// Warm the cache so the benchmark measures the serving steady state.
+	for _, body := range bodies {
+		resp, err := client.Post(ts.URL+"/v1/optimize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("warmup status %d", resp.StatusCode)
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		next      atomic.Int64
+		failures  atomic.Int64
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, 256)
+			for range work {
+				body := bodies[int(next.Add(1))%len(bodies)]
+				t0 := time.Now()
+				resp, err := client.Post(ts.URL+"/v1/optimize", "application/json", bytes.NewReader(body))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+					continue
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}()
+	}
+	for i := 0; i < b.N; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	if n := failures.Load(); n > 0 {
+		b.Fatalf("%d requests failed", n)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	rps := float64(len(latencies)) / elapsed.Seconds()
+	p50, p95, p99 := pct(0.50), pct(0.95), pct(0.99)
+	b.ReportMetric(rps, "req/s")
+	b.ReportMetric(float64(p50.Microseconds()), "p50-µs")
+	b.ReportMetric(float64(p95.Microseconds()), "p95-µs")
+	b.ReportMetric(float64(p99.Microseconds()), "p99-µs")
+
+	snap := srv.Snapshot()
+	out := struct {
+		Requests    int     `json:"requests"`
+		Concurrency int     `json:"concurrency"`
+		ReqPerSec   float64 `json:"req_per_sec"`
+		P50Micros   int64   `json:"p50_us"`
+		P95Micros   int64   `json:"p95_us"`
+		P99Micros   int64   `json:"p99_us"`
+		CacheHits   int64   `json:"cache_hits"`
+		CacheMisses int64   `json:"cache_misses"`
+		Coalesced   int64   `json:"coalesced"`
+		Degraded    int64   `json:"degraded"`
+		Shed        int64   `json:"shed"`
+	}{
+		Requests:    len(latencies),
+		Concurrency: concurrency,
+		ReqPerSec:   rps,
+		P50Micros:   p50.Microseconds(),
+		P95Micros:   p95.Microseconds(),
+		P99Micros:   p99.Microseconds(),
+		CacheHits:   snap.Cache.Hits,
+		CacheMisses: snap.Cache.Misses,
+		Coalesced:   snap.Cache.Coalesced,
+		Degraded:    snap.Degraded,
+		Shed:        snap.Shed,
+	}
+	path := os.Getenv("BENCH_PR5_OUT")
+	if path == "" {
+		path = "BENCH_pr5.json"
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
