@@ -63,6 +63,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "generator seed (also drives randomized strategies)")
 		strat     = flag.String("strategy", joinorder.DefaultStrategy,
 			"optimization strategy: "+strings.Join(joinorder.Strategies(), ", "))
+		portfolio = flag.String("portfolio", "",
+			"comma-separated members for -strategy auto (default: the built-in portfolio)")
 		precision = flag.String("precision", "medium", "cardinality approximation: high, medium, low")
 		metric    = flag.String("metric", "hash", "cost metric: cout, hash, smj, bnl, choose")
 		timeout   = flag.Duration("timeout", 30*time.Second, "optimization time budget")
@@ -105,6 +107,9 @@ func main() {
 	opts.GapTol = *gap
 	opts.Threads = *threads
 	opts.Seed = *seed
+	if *portfolio != "" {
+		opts.Portfolio = strings.Split(*portfolio, ",")
+	}
 
 	// Event counters back both the JSON document and the expvar endpoint.
 	// The solver serialises event callbacks, so no extra locking is needed.
@@ -209,6 +214,9 @@ func main() {
 		fmt.Printf(" (%d nodes)", res.Nodes)
 	}
 	fmt.Println()
+	if res.Winner != "" {
+		fmt.Printf("winner:     %s\n", res.Winner)
+	}
 	switch {
 	case res.Plan != nil:
 		fmt.Printf("plan:       %s\n", res.Plan)

@@ -74,6 +74,16 @@ type Params struct {
 	// values are recomputed and the candidate is validated before
 	// installation; an infeasible start is silently ignored.
 	InitialIncumbent []float64
+	// Incumbents, when non-nil, is a live injection feed: candidate
+	// structural assignments (same space and length as
+	// InitialIncumbent) published by concurrent portfolio peers. Workers
+	// drain the channel at node boundaries; each candidate is completed
+	// with logical values, revalidated against the root bounds, and
+	// installed only if it improves the incumbent — tightening the
+	// primal cutoff mid-solve. Infeasible or worse candidates are
+	// dropped silently. The sender owns the channel lifecycle; closing
+	// it stops the draining.
+	Incumbents <-chan []float64
 }
 
 // Progress is an anytime snapshot of the search.

@@ -152,10 +152,12 @@ type searcher struct {
 	heurSuccesses  int
 	incumbents     int
 	boundImps      int
+	injInstalled   int // injected incumbents installed (guarded by mu)
 
-	stopFlag atomic.Bool
-	pc       *pseudocosts
-	pricing  simplex.PricingStats // aggregated under mu
+	stopFlag  atomic.Bool
+	injClosed atomic.Bool // Params.Incumbents observed closed
+	pc        *pseudocosts
+	pricing   simplex.PricingStats // aggregated under mu
 
 	// Per-worker reusable state: simplex workspaces, the hoisted node LP
 	// problem, and node/dive scratch buffers. Indexed by worker id; each
@@ -190,6 +192,7 @@ func (s *searcher) worker(id int) {
 	s.emitLocked(obs.Event{Kind: obs.KindWorkerStart, Worker: id})
 	s.mu.Unlock()
 	for {
+		s.drainInjected(id)
 		s.mu.Lock()
 		for !s.done && len(s.open) == 0 && len(s.inFlight) > 0 {
 			s.cond.Wait()
@@ -245,6 +248,39 @@ func (s *searcher) worker(id int) {
 		}
 		s.cond.Broadcast()
 		s.mu.Unlock()
+	}
+}
+
+// drainInjected installs candidates published on Params.Incumbents: each
+// structural assignment is completed with exact logical values,
+// revalidated against the root bounds, and installed only when it
+// improves the incumbent. Called at node boundaries by every worker,
+// outside the search lock; multiple workers receiving from the shared
+// channel concurrently is safe. A closed feed flips injClosed so workers
+// stop selecting on it (a closed channel would otherwise spin).
+func (s *searcher) drainInjected(wid int) {
+	if s.params.Incumbents == nil || s.injClosed.Load() {
+		return
+	}
+	for {
+		select {
+		case xs, ok := <-s.params.Incumbents:
+			if !ok {
+				s.injClosed.Store(true)
+				return
+			}
+			if len(xs) != s.comp.NumStructural {
+				continue
+			}
+			if s.completeAndOffer(s.workers[wid], xs) {
+				s.mu.Lock()
+				s.injInstalled++
+				s.emitLocked(obs.Event{Kind: obs.KindInjected, Worker: wid})
+				s.mu.Unlock()
+			}
+		default:
+			return
+		}
 	}
 }
 
@@ -799,6 +835,7 @@ func (s *searcher) finish() *Result {
 			HeuristicSuccesses: s.heurSuccesses,
 			Incumbents:         s.incumbents,
 			BoundImprovements:  s.boundImps,
+			InjectedIncumbents: s.injInstalled,
 		},
 	}
 	if s.pc != nil {

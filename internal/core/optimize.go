@@ -84,6 +84,42 @@ func Optimize(ctx context.Context, q *qopt.Query, opts Options, params solver.Pa
 			}
 		}
 	}
+	if opts.Incumbents != nil && params.Incumbents == nil {
+		// Live injection pump: plans arriving mid-solve are translated
+		// into model-space assignments and forwarded to the solver,
+		// which offers them to branch and bound at node boundaries.
+		// The stop channel unblocks a pending send once the solve
+		// returns so a slow consumer never strands the sender.
+		inner := make(chan []float64, 4)
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			defer close(inner)
+			for {
+				select {
+				case <-stop:
+					return
+				case pl, ok := <-opts.Incumbents:
+					if !ok {
+						return
+					}
+					if pl == nil {
+						continue
+					}
+					vals, aerr := enc.AssignmentForPlan(pl)
+					if aerr != nil || enc.Model.CheckFeasible(vals, 1e-6) != nil {
+						continue
+					}
+					select {
+					case inner <- vals:
+					case <-stop:
+						return
+					}
+				}
+			}
+		}()
+		params.Incumbents = inner
+	}
 	sres, err := solver.Solve(ctx, enc.Model, params)
 	if err != nil {
 		return nil, err

@@ -111,6 +111,17 @@ type Options struct {
 	// (projection or expensive-predicate encodings, or a plan the
 	// cardinality cap excludes) the greedy fallback applies as usual.
 	InitialPlan *plan.Plan
+	// Incumbents, when non-nil, is the live generalisation of
+	// InitialPlan: a feed of candidate plans published while the solve
+	// runs, e.g. by portfolio peers racing the same query. Each plan
+	// passes through the same validate → AssignmentForPlan →
+	// feasibility-check path as InitialPlan and is offered to branch and
+	// bound at node boundaries, which installs it only when it improves
+	// the current incumbent — tightening the primal bound mid-solve.
+	// Plans the encoding cannot represent are dropped silently. The
+	// sender owns the channel lifecycle; closing it stops the feed, and
+	// the forwarding pump stops when the solve returns.
+	Incumbents <-chan *plan.Plan
 	// Projection enables the Section 5.2 extension: column variables and
 	// byte-size based outer costing. Requires the query to carry
 	// columns.

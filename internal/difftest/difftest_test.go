@@ -185,7 +185,7 @@ func TestMILPAgainstExactDP(t *testing.T) {
 func TestStrategyHierarchy(t *testing.T) {
 	forEachQuery(t, func(t *testing.T, shape workload.GraphShape, n int, seed int64, q *joinorder.Query) {
 		costs := map[string]float64{}
-		for _, strat := range []string{"dp-bushy", "dp-leftdeep", "greedy"} {
+		for _, strat := range []string{"dp-bushy", "dpconv", "dp-leftdeep", "greedy"} {
 			res, err := joinorder.Optimize(context.Background(), q, joinorder.Options{Strategy: strat})
 			if err != nil {
 				t.Fatalf("n=%d seed=%d: %s: %v", n, seed, strat, err)
@@ -200,6 +200,10 @@ func TestStrategyHierarchy(t *testing.T) {
 		if costs["dp-leftdeep"] > costs["greedy"]*tol {
 			t.Errorf("%v n=%d seed=%d: left-deep optimum %g worse than greedy %g",
 				shape, n, seed, costs["dp-leftdeep"], costs["greedy"])
+		}
+		if costs["dpconv"] > costs["dp-leftdeep"]*tol {
+			t.Errorf("%v n=%d seed=%d: dpconv optimum %g worse than left-deep %g (bushy space contains left-deep)",
+				shape, n, seed, costs["dpconv"], costs["dp-leftdeep"])
 		}
 	})
 }
@@ -224,6 +228,31 @@ func TestDPAgainstExhaustiveOracle(t *testing.T) {
 		}
 		if math.Abs(res.Cost-best) > 1e-6*math.Max(1, best) {
 			t.Errorf("%v n=%d seed=%d: DP cost %g != exhaustive optimum %g", shape, n, seed, res.Cost, best)
+		}
+	})
+}
+
+// TestDPConvAgainstBushyOracle cross-checks the two exact bushy
+// optimizers — subset-recursion dp-bushy and layered-enumeration dpconv —
+// on the whole matrix: walking the same plan space, they must agree on
+// the optimal cost exactly (both also re-cost their trees, so agreement
+// here pins the enumeration, not just the pricing).
+func TestDPConvAgainstBushyOracle(t *testing.T) {
+	forEachQuery(t, func(t *testing.T, shape workload.GraphShape, n int, seed int64, q *joinorder.Query) {
+		bushy, err := joinorder.Optimize(context.Background(), q, joinorder.Options{Strategy: "dp-bushy"})
+		if err != nil {
+			t.Fatalf("n=%d seed=%d: dp-bushy: %v", n, seed, err)
+		}
+		conv, err := joinorder.Optimize(context.Background(), q, joinorder.Options{Strategy: "dpconv"})
+		if err != nil {
+			t.Fatalf("n=%d seed=%d: dpconv: %v", n, seed, err)
+		}
+		if math.Abs(conv.Cost-bushy.Cost) > 1e-6*math.Max(1, bushy.Cost) {
+			t.Errorf("%v n=%d seed=%d: dpconv %g != dp-bushy %g (conv %v, bushy %v)",
+				shape, n, seed, conv.Cost, bushy.Cost, conv.Tree, bushy.Tree)
+		}
+		if conv.Status != joinorder.StatusOptimal || bushy.Status != joinorder.StatusOptimal {
+			t.Errorf("%v n=%d seed=%d: statuses %v/%v, want optimal", shape, n, seed, conv.Status, bushy.Status)
 		}
 	})
 }

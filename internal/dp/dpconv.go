@@ -1,0 +1,221 @@
+package dp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+
+	"milpjoin/internal/cost"
+	"milpjoin/internal/plan"
+	"milpjoin/internal/qopt"
+)
+
+// ErrNoneBetter reports that the DPconv search proved no bushy plan beats
+// the caller-supplied cutoff: every partial plan was pruned against it, so
+// the incumbent the cutoff tracks is optimal over the bushy plan space.
+// Portfolio callers treat this as a proof of optimality for the racing
+// incumbent rather than a failure.
+var ErrNoneBetter = errors.New("dp: no plan better than cutoff")
+
+// ConvOptions extend Options with the anytime hooks of the DPconv-style
+// layered search.
+type ConvOptions struct {
+	Options
+	// Cutoff, when non-nil, returns the exact cost of the best plan known
+	// so far from outside the search (for example a racing portfolio
+	// peer's incumbent). Layers re-read it and prune every subset whose
+	// best partial cost already reaches it: join costs are monotone
+	// non-negative, so no completion of a pruned subset can beat the
+	// cutoff. When the full set is pruned away entirely the search
+	// returns ErrNoneBetter — a proof that the cutoff incumbent is
+	// optimal. +Inf (or a nil hook) disables pruning.
+	Cutoff func() float64
+}
+
+// OptimizeConv finds the cost-minimal bushy join tree with the layered
+// DPconv-style enumeration (arXiv:2409.08013): subsets are processed in
+// layers of increasing cardinality, splits are canonicalised to the half
+// containing the subset's lowest table so each unordered partition is
+// priced once (both orientations are priced under asymmetric operator
+// costs), and an optional live cutoff prunes dominated layers — giving the
+// exact DP an anytime interface. Cardinalities follow the same canonical
+// lowest-bit recurrence as OptimizeBushy, so both searches agree exactly on
+// every subset and, with no cutoff, on the optimal plan and cost.
+func OptimizeConv(ctx context.Context, q *qopt.Query, spec cost.Spec, opts ConvOptions) (*plan.Tree, float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := q.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, fmt.Errorf("dp: %w", err)
+	}
+	opts.Options = opts.Options.withDefaults()
+	if opts.MaxTables > 20 {
+		opts.MaxTables = 20 // layered split enumeration is still Θ(3^n)
+	}
+	n := q.NumTables()
+	if n > opts.MaxTables {
+		return nil, 0, fmt.Errorf("%w: %d tables (bushy limit %d)", ErrTooLarge, n, opts.MaxTables)
+	}
+	params := spec.Params.WithDefaults()
+
+	size := 1 << n
+	card := make([]float64, size)
+	best := make([]float64, size)
+	split := make([]int32, size) // left subset of the best split; 0 for leaves
+	for s := range best {
+		best[s] = math.Inf(1)
+	}
+
+	type predInfo struct {
+		mask int
+		sel  float64
+	}
+	predsByTable := make([][]predInfo, n)
+	for _, p := range q.Predicates {
+		mask := 0
+		for _, t := range p.Tables {
+			mask |= 1 << t
+		}
+		for _, t := range p.Tables {
+			predsByTable[t] = append(predsByTable[t], predInfo{mask: mask, sel: p.Sel})
+		}
+	}
+	type groupInfo struct {
+		mask int
+		corr float64
+	}
+	var groups []groupInfo
+	for _, g := range q.Correlated {
+		mask := 0
+		for _, pi := range g.Predicates {
+			for _, t := range q.Predicates[pi].Tables {
+				mask |= 1 << t
+			}
+		}
+		groups = append(groups, groupInfo{mask: mask, corr: g.CorrectionSel})
+	}
+
+	for t := 0; t < n; t++ {
+		card[1<<t] = q.Tables[t].Card
+		best[1<<t] = 0
+	}
+
+	full := size - 1
+	pruned := false
+	check := 0
+	for k := 2; k <= n; k++ {
+		// Re-read the cutoff once per layer: tight enough to benefit
+		// from racing incumbents, cheap enough to keep the inner loop
+		// branch-free of callbacks. The epsilon keeps a plan that ties
+		// the cutoff prunable — equality is not an improvement.
+		cut := math.Inf(1)
+		if opts.Cutoff != nil {
+			if c := opts.Cutoff(); c < math.Inf(1) {
+				cut = c * (1 + 1e-9)
+			}
+		}
+		for s := (1 << k) - 1; s < size; s = nextSubsetSameCount(s) {
+			if check++; check&0x3FFF == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, 0, fmt.Errorf("dp: %w", err)
+				}
+				if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+					return nil, 0, ErrTimeout
+				}
+			}
+			// Cardinality via the canonical lowest-bit chain (identical
+			// to OptimizeBushy so both DPs agree on every subset).
+			t := bits.TrailingZeros(uint(s))
+			bit := 1 << t
+			prev := s &^ bit
+			c := card[prev] * q.Tables[t].Card
+			for _, pi := range predsByTable[t] {
+				if pi.mask&s == pi.mask {
+					c *= pi.sel
+				}
+			}
+			for _, g := range groups {
+				if g.mask&s == g.mask && g.mask&prev != g.mask {
+					c *= g.corr
+				}
+			}
+			card[s] = c
+
+			// Canonical splits: the half containing the lowest table.
+			// Each unordered partition is enumerated exactly once; under
+			// asymmetric operator costs both orientations are priced.
+			var coutCost float64
+			if spec.Metric == cost.Cout && s != full {
+				coutCost = card[s]
+			}
+			for low := (prev - 1) & prev; ; low = (low - 1) & prev {
+				sub := low | bit
+				rest := s ^ sub // never empty: low is a proper subset of prev
+				if math.IsInf(best[sub], 1) || math.IsInf(best[rest], 1) {
+					if low == 0 {
+						break
+					}
+					continue
+				}
+				base := best[sub] + best[rest]
+				switch spec.Metric {
+				case cost.Cout:
+					if total := base + coutCost; total < best[s] {
+						best[s] = total
+						split[s] = int32(sub)
+					}
+				case cost.OperatorCost:
+					pgSub := params.Pages(card[sub])
+					pgRest := params.Pages(card[rest])
+					if total := base + cost.JoinCost(spec.Op, pgSub, pgRest, params); total < best[s] {
+						best[s] = total
+						split[s] = int32(sub)
+					}
+					if total := base + cost.JoinCost(spec.Op, pgRest, pgSub, params); total < best[s] {
+						best[s] = total
+						split[s] = int32(rest)
+					}
+				}
+				if low == 0 {
+					break
+				}
+			}
+			if best[s] >= cut {
+				best[s] = math.Inf(1)
+				pruned = true
+			}
+		}
+	}
+
+	if math.IsInf(best[full], 1) {
+		if pruned {
+			return nil, 0, ErrNoneBetter
+		}
+		return nil, 0, fmt.Errorf("dp: conv search found no plan (internal error)")
+	}
+
+	var build func(s int) *plan.Tree
+	build = func(s int) *plan.Tree {
+		if bits.OnesCount(uint(s)) == 1 {
+			return plan.Leaf(bits.TrailingZeros(uint(s)))
+		}
+		sub := int(split[s])
+		return plan.Join(build(sub), build(s^sub))
+	}
+	tree := build(full)
+	return tree, best[full], nil
+}
+
+// nextSubsetSameCount returns the next-larger integer with the same
+// popcount (Gosper's hack) — the layer iterator of the DPconv enumeration.
+func nextSubsetSameCount(s int) int {
+	c := s & -s
+	r := s + c
+	return (((r ^ s) >> 2) / c) | r
+}

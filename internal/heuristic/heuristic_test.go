@@ -23,6 +23,7 @@ func algorithms() []algo {
 		{"II", IterativeImprovement},
 		{"SA", SimulatedAnnealing},
 		{"2PO", TwoPhase},
+		{"GD", GradientDescent},
 		{"RS", func(ctx context.Context, q *qopt.Query, spec cost.Spec, opts Options) (*plan.Plan, float64, error) {
 			return RandomSampling(ctx, q, spec, 500, opts)
 		}},
@@ -164,5 +165,54 @@ func TestTwoPhaseAtLeastAsGoodAsIIHalf(t *testing.T) {
 	// should not be wildly worse (allow slack — different RNG streams).
 	if tp > ii*10 {
 		t.Errorf("2PO %g far worse than II %g", tp, ii)
+	}
+}
+
+// TestGradientDescentFindsSmallOptimum: on a 6-table query the SPSA
+// relaxation with a few restarts lands on (or very near) the left-deep
+// optimum.
+func TestGradientDescentFindsSmallOptimum(t *testing.T) {
+	q := workload.Generate(workload.Chain, 6, 7, workload.Config{})
+	_, opt, err := dp.OptimizeLeftDeep(context.Background(), q, cost.CoutSpec(), dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c, err := GradientDescent(context.Background(), q, cost.CoutSpec(), Options{Seed: 3, Restarts: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c > opt*1.05 {
+		t.Fatalf("gradient descent cost %g, optimum %g", c, opt)
+	}
+}
+
+// TestGradientDescentAnytime: OnImprovement fires with strictly
+// decreasing costs and each published plan is valid.
+func TestGradientDescentAnytime(t *testing.T) {
+	q := workload.Generate(workload.Star, 9, 4, workload.Config{})
+	last := math.Inf(1)
+	calls := 0
+	_, final, err := GradientDescent(context.Background(), q, cost.CoutSpec(), Options{
+		Seed:     1,
+		Restarts: 6,
+		OnImprovement: func(p *plan.Plan, c float64, _ time.Duration) {
+			calls++
+			if c >= last {
+				t.Errorf("improvement %d not monotone: %g after %g", calls, c, last)
+			}
+			last = c
+			if err := p.Validate(q); err != nil {
+				t.Errorf("improvement %d invalid plan: %v", calls, err)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("no improvements published")
+	}
+	if final != last {
+		t.Errorf("final cost %g differs from last published improvement %g", final, last)
 	}
 }

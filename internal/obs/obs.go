@@ -64,6 +64,21 @@ const (
 	// immediate heuristic plan while the full solve continues in the
 	// background.
 	KindDegraded
+	// KindInjected reports that an incumbent published by a portfolio
+	// peer was validated and installed mid-solve, tightening the primal
+	// bound of the running branch-and-bound search. It always follows
+	// the KindIncumbent event for the same installation.
+	KindInjected
+	// KindStrategyStart marks a portfolio member strategy starting; the
+	// Strategy field names the member.
+	KindStrategyStart
+	// KindStrategyStop marks a portfolio member exiting (finished,
+	// canceled, or failed); the event carries the member's final
+	// anytime state.
+	KindStrategyStop
+	// KindWinner reports the portfolio race outcome: the Strategy field
+	// names the member whose plan is returned.
+	KindWinner
 )
 
 // String names the kind (stable identifiers, used in JSON output).
@@ -97,6 +112,14 @@ func (k EventKind) String() string {
 		return "warm_start"
 	case KindDegraded:
 		return "degraded"
+	case KindInjected:
+		return "injected"
+	case KindStrategyStart:
+		return "strategy_start"
+	case KindStrategyStop:
+		return "strategy_stop"
+	case KindWinner:
+		return "winner"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -112,6 +135,7 @@ var eventKinds = []EventKind{
 	KindPresolve, KindLPRelaxation, KindIncumbent, KindBound, KindCutRound,
 	KindHeuristic, KindNodeBatch, KindWorkerStart, KindWorkerStop,
 	KindCacheHit, KindCacheMiss, KindCacheCoalesced, KindWarmStart, KindDegraded,
+	KindInjected, KindStrategyStart, KindStrategyStop, KindWinner,
 }
 
 // UnmarshalJSON parses the string form produced by MarshalJSON.
@@ -143,6 +167,12 @@ type Event struct {
 	Elapsed time.Duration // since the solve started
 	Worker  int           // emitting worker ID, -1 when not worker-bound
 
+	// Strategy names the portfolio member the event originated from
+	// (empty outside portfolio runs). On a merged portfolio stream the
+	// monotonicity guarantees below hold per strategy, not globally:
+	// each member's incumbents never worsen within its own sub-stream.
+	Strategy string
+
 	// Anytime state at emission time.
 	Incumbent    float64 // best integer objective (+Inf while none)
 	Bound        float64 // proven global lower bound (-Inf initially)
@@ -165,6 +195,9 @@ type Event struct {
 func (e Event) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "[%8s] #%-4d %-13s", e.Elapsed.Truncate(time.Millisecond), e.Seq, e.Kind)
+	if e.Strategy != "" {
+		fmt.Fprintf(&sb, " strategy=%s", e.Strategy)
+	}
 	if e.Worker >= 0 {
 		fmt.Fprintf(&sb, " worker=%d", e.Worker)
 	}
@@ -198,6 +231,7 @@ type eventJSON struct {
 	Kind         EventKind `json:"kind"`
 	Seq          int       `json:"seq"`
 	ElapsedSec   float64   `json:"elapsed_sec"`
+	Strategy     string    `json:"strategy,omitempty"`
 	Worker       *int      `json:"worker,omitempty"`
 	Incumbent    *float64  `json:"incumbent,omitempty"`
 	Bound        *float64  `json:"bound,omitempty"`
@@ -229,6 +263,7 @@ func (e Event) MarshalJSON() ([]byte, error) {
 		Kind:         e.Kind,
 		Seq:          e.Seq,
 		ElapsedSec:   e.Elapsed.Seconds(),
+		Strategy:     e.Strategy,
 		HasIncumbent: e.HasIncumbent,
 		Nodes:        e.Nodes,
 		OpenNodes:    e.OpenNodes,
@@ -275,6 +310,7 @@ func (e *Event) UnmarshalJSON(data []byte) error {
 		Kind:         in.Kind,
 		Seq:          in.Seq,
 		Elapsed:      time.Duration(in.ElapsedSec * float64(time.Second)),
+		Strategy:     in.Strategy,
 		Worker:       -1,
 		Incumbent:    infOr(in.Incumbent, math.Inf(1)),
 		Bound:        infOr(in.Bound, math.Inf(-1)),

@@ -57,9 +57,10 @@ type Stats struct {
 	HeuristicSuccesses int // attempts that improved the incumbent
 
 	// Anytime trajectory.
-	Incumbents        int // incumbent improvements observed
-	BoundImprovements int // bound-improvement notifications
-	Events            int // events emitted to the stream
+	Incumbents         int // incumbent improvements observed
+	BoundImprovements  int // bound-improvement notifications
+	InjectedIncumbents int // portfolio-peer incumbents installed mid-solve
+	Events             int // events emitted to the stream
 }
 
 // HeuristicSuccessRate is the fraction of primal heuristic attempts that
@@ -105,6 +106,9 @@ func (s Stats) String() string {
 		s.HeuristicSuccesses, s.HeuristicCalls, 100*s.HeuristicSuccessRate(), d(s.HeuristicTime))
 	fmt.Fprintf(&sb, "anytime:    %d incumbents, %d bound improvements, %d events",
 		s.Incumbents, s.BoundImprovements, s.Events)
+	if s.InjectedIncumbents > 0 {
+		fmt.Fprintf(&sb, ", %d injected", s.InjectedIncumbents)
+	}
 	return sb.String()
 }
 
@@ -139,6 +143,7 @@ type statsJSON struct {
 	HeuristicRate      float64 `json:"heuristic_success_rate"`
 	Incumbents         int     `json:"incumbents"`
 	BoundImprovements  int     `json:"bound_improvements"`
+	InjectedIncumbents int     `json:"injected_incumbents,omitempty"`
 	Events             int     `json:"events"`
 }
 
@@ -174,6 +179,7 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		HeuristicRate:      s.HeuristicSuccessRate(),
 		Incumbents:         s.Incumbents,
 		BoundImprovements:  s.BoundImprovements,
+		InjectedIncumbents: s.InjectedIncumbents,
 		Events:             s.Events,
 	})
 }

@@ -100,6 +100,14 @@ const (
 	KindCacheCoalesced = obs.KindCacheCoalesced
 	KindWarmStart      = obs.KindWarmStart
 	KindDegraded       = obs.KindDegraded
+
+	// Portfolio kinds: live-injected incumbents and strategy-race
+	// lifecycle, emitted by branch and bound and the joinorder portfolio
+	// orchestrator respectively.
+	KindInjected      = obs.KindInjected
+	KindStrategyStart = obs.KindStrategyStart
+	KindStrategyStop  = obs.KindStrategyStop
+	KindWinner        = obs.KindWinner
 )
 
 // Params tune the solver.
@@ -132,6 +140,18 @@ type Params struct {
 	// assignment in model space (a "MIP start"), length NumVars. An
 	// infeasible start is ignored.
 	InitialSolution []float64
+	// Incumbents, when non-nil, is a live injection feed: candidate
+	// feasible assignments in model space (length NumVars, same space as
+	// InitialSolution) published while the solve runs, e.g. by portfolio
+	// peers racing the same problem. Each candidate passes through the
+	// same presolve-reduce and column-scaling transform as
+	// InitialSolution and is then offered to branch and bound at node
+	// boundaries; infeasible or worse candidates are dropped silently.
+	// The sender owns the channel; closing it stops the feed. The
+	// receiving pump stops when the solve returns, so late sends are
+	// discarded rather than blocking the sender forever (the feed is
+	// drained with a bounded buffer).
+	Incumbents <-chan []float64
 }
 
 // Result reports the outcome.
@@ -329,6 +349,48 @@ func Solve(ctx context.Context, m *milp.Model, params Params) (*Result, error) {
 			}
 			bbParams.InitialIncumbent = scaled
 		}
+	}
+	if params.Incumbents != nil {
+		// Forwarding pump: model-space candidates from the caller are
+		// reduced and scaled into the computational space branch and
+		// bound searches. The stop channel unblocks a pending inner
+		// send when the solve finishes before the feed closes.
+		inner := make(chan []float64, 4)
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			defer close(inner)
+			for {
+				select {
+				case <-stop:
+					return
+				case vals, ok := <-params.Incumbents:
+					if !ok {
+						return
+					}
+					if len(vals) != m.NumVars() {
+						continue
+					}
+					cand := vals
+					if pre != nil {
+						cand = pre.Reduce(cand)
+					}
+					if cand == nil || len(cand) != len(comp.ColScale) {
+						continue
+					}
+					scaled := make([]float64, len(cand))
+					for j := range cand {
+						scaled[j] = cand[j] / comp.ColScale[j]
+					}
+					select {
+					case inner <- scaled:
+					case <-stop:
+						return
+					}
+				}
+			}
+		}()
+		bbParams.Incumbents = inner
 	}
 
 	res, err := bb.Solve(ctx, comp, bbParams)

@@ -335,8 +335,12 @@ func (o *Optimizer) degradeBudget(ctx context.Context, opts joinorder.Options, n
 func (o *Optimizer) serveDegraded(ctx context.Context, q *joinorder.Query, opts joinorder.Options, ce *Canonical, ekey string, em *callEmitter, start time.Time) (*joinorder.Result, error) {
 	o.ctr.degraded.Add(1)
 	if f, leader := o.flights.join(ekey); leader {
+		// The refine keeps the request's Strategy (and Portfolio): an
+		// "auto" request is refined by the full portfolio race, so the
+		// cached answer is the race winner's plan, not only the MILP's.
+		// Callbacks are severed — the requester already returned.
 		bgOpts := opts
-		bgOpts.OnEvent, bgOpts.OnProgress = nil, nil
+		bgOpts.OnEvent, bgOpts.OnProgress, bgOpts.OnPlan = nil, nil, nil
 		bgOpts.TimeLimit = o.cfg.BackgroundBudget
 		bgCtx := context.WithoutCancel(ctx)
 		o.bg.Add(1)
@@ -351,6 +355,7 @@ func (o *Optimizer) serveDegraded(ctx context.Context, q *joinorder.Query, opts 
 	}
 	fopts := opts
 	fopts.Strategy = o.cfg.FallbackStrategy
+	fopts.Portfolio = nil // portfolio members ride the refine, not the fallback
 	res, err := o.cfg.Optimize(ctx, q, em.rewire(fopts))
 	if err != nil {
 		return nil, err
@@ -394,10 +399,12 @@ func optionsKey(o joinorder.Options) string {
 	if strat == "" {
 		strat = "milp"
 	}
-	return fmt.Sprintf("%s,m%d,op%d,p%d,tr%g,cc%g,gt%g,mn%d,co%t,io%t,ep%t,dp%d,s%d",
+	// Portfolio membership changes what "auto" returns, so it is part of
+	// the digest; member order is kept (it breaks cost ties).
+	return fmt.Sprintf("%s,m%d,op%d,p%d,tr%g,cc%g,gt%g,mn%d,co%t,io%t,ep%t,dp%d,s%d,pf%v",
 		strat, o.Metric, o.Op, o.Precision, o.ThresholdRatio, o.CardCap,
 		o.GapTol, o.MaxNodes, o.ChooseOperators, o.InterestingOrders,
-		o.ExpensivePredicates, o.MaxDPTables, o.Seed)
+		o.ExpensivePredicates, o.MaxDPTables, o.Seed, o.Portfolio)
 }
 
 // callEmitter re-serialises the caller's event stream for one cache call:

@@ -494,3 +494,94 @@ func TestCachedErrorsAreNotCached(t *testing.T) {
 		t.Fatalf("calls = %d", calls.Load())
 	}
 }
+
+// TestAutoResultCachedWithWinner: portfolio results are cacheable like any
+// other strategy, the Winner provenance survives the cache round trip, and
+// the portfolio membership is part of the entry key — two auto requests
+// with different member lists never share an entry.
+func TestAutoResultCachedWithWinner(t *testing.T) {
+	co := &countingOptimize{}
+	o := mustNew(t, Config{Optimize: co.fn})
+	q := workload.Generate(workload.Star, 6, 4, workload.Config{})
+
+	// milp + greedy: the proven winner carries a left-deep Plan, which is
+	// what the translation cache can store. (A dpconv winner whose optimum
+	// is genuinely bushy — star optima use cross-product subtrees — has
+	// Tree but no Plan and passes through uncached, like dp-bushy always
+	// has.)
+	opts := joinorder.Options{
+		Strategy:  "auto",
+		Portfolio: []string{"milp", "greedy"},
+		TimeLimit: 30 * time.Second,
+		Threads:   1,
+	}
+	r1, err := o.Optimize(context.Background(), q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Winner == "" || r1.Strategy != "auto" {
+		t.Fatalf("seed solve: strategy=%q winner=%q", r1.Strategy, r1.Winner)
+	}
+	r2, err := o.Optimize(context.Background(), q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := co.calls.Load(); got != 1 {
+		t.Fatalf("identical auto request re-solved: %d underlying calls", got)
+	}
+	if r2.Winner != r1.Winner || r2.Cost != r1.Cost || r2.Strategy != "auto" {
+		t.Fatalf("cache hit lost provenance: winner %q vs %q", r2.Winner, r1.Winner)
+	}
+
+	// A different membership is a different answer space: distinct entry.
+	opts.Portfolio = []string{"greedy"}
+	if _, err := o.Optimize(context.Background(), q, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := co.calls.Load(); got != 2 {
+		t.Fatalf("different portfolio shared an entry: %d calls", got)
+	}
+}
+
+// TestDegradedAutoRefinesWithPortfolio: a degraded auto request is served
+// by the fallback heuristic, but the background refine re-runs the full
+// portfolio race — the next relaxed-deadline request hits the cached auto
+// result complete with its winner.
+func TestDegradedAutoRefinesWithPortfolio(t *testing.T) {
+	co := &countingOptimize{}
+	o := mustNew(t, Config{
+		Optimize:         co.fn,
+		DegradeUnder:     50 * time.Millisecond,
+		BackgroundBudget: 30 * time.Second,
+	})
+	q := workload.Generate(workload.Star, 6, 9, workload.Config{})
+
+	opts := joinorder.Options{
+		Strategy:  "auto",
+		Portfolio: []string{"milp", "greedy"},
+		TimeLimit: 10 * time.Millisecond,
+		Threads:   1,
+	}
+	res, err := o.Optimize(context.Background(), q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "greedy" || res.Winner != "" {
+		t.Fatalf("degraded request served by %q (winner %q), want plain greedy", res.Strategy, res.Winner)
+	}
+	o.Wait()
+
+	opts.TimeLimit = 30 * time.Second
+	res2, err := o.Optimize(context.Background(), q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Strategy != "auto" || res2.Winner == "" || res2.Status != joinorder.StatusOptimal {
+		t.Fatalf("post-refine request got %q/%v winner=%q, want cached auto optimal with a winner",
+			res2.Strategy, res2.Status, res2.Winner)
+	}
+	if co.strategyCalls("auto") != 1 || co.strategyCalls("greedy") != 1 {
+		t.Fatalf("underlying calls: auto=%d greedy=%d, want 1/1",
+			co.strategyCalls("auto"), co.strategyCalls("greedy"))
+	}
+}

@@ -132,14 +132,51 @@ const (
 	KindCacheCoalesced = solver.KindCacheCoalesced
 	KindWarmStart      = solver.KindWarmStart
 	KindDegraded       = solver.KindDegraded
+
+	// Portfolio kinds, observable when Strategy is "auto": a peer
+	// incumbent installed mid-solve by branch and bound, member
+	// lifecycle, and the race outcome. Events on a portfolio stream
+	// carry the emitting member in Event.Strategy, and the incumbent/
+	// bound monotonicity guarantees hold per member, not globally.
+	KindInjected      = solver.KindInjected
+	KindStrategyStart = solver.KindStrategyStart
+	KindStrategyStop  = solver.KindStrategyStop
+	KindWinner        = solver.KindWinner
 )
+
+// PlanUpdate is one anytime plan improvement surfaced by a strategy: the
+// strategy's new best plan with its exact cost under the options' cost
+// model. Strategies that search in a transformed space (the MILP) surface
+// their trajectory on the event stream instead and report the decoded plan
+// once, on completion.
+type PlanUpdate struct {
+	// Strategy is the reporting strategy (the portfolio member name
+	// under "auto").
+	Strategy string
+	// Plan is the new best left-deep plan. Treat it as immutable; it may
+	// be shared with concurrent portfolio members.
+	Plan *Plan
+	// Cost is the plan's exact cost under the options' cost model.
+	Cost float64
+	// Elapsed is the time since the strategy started.
+	Elapsed time.Duration
+}
 
 // Options configure an optimization run. The zero value asks the default
 // strategy ("milp") for a C_out-optimal plan with no time limit.
 type Options struct {
 	// Strategy names the registered optimizer to run (default "milp").
-	// Strategies() lists the available names.
+	// Strategies() lists the available names. The "auto" strategy races
+	// a portfolio of strategies concurrently, feeding every incumbent
+	// into the MILP branch and bound as a live MIP start.
 	Strategy string
+
+	// Portfolio names the members the "auto" strategy races (default
+	// DefaultPortfolio()). Setting it with any other strategy, listing a
+	// member twice, nesting "auto" inside itself, or supplying an
+	// explicitly empty list is rejected by Validate with
+	// ErrInvalidOptions.
+	Portfolio []string
 
 	// Metric selects the objective (default Cout).
 	Metric Metric
@@ -210,6 +247,25 @@ type Options struct {
 	// (incumbent and bound events only); new code should use OnEvent.
 	// Both callbacks may be set; they observe the same serialised stream.
 	OnProgress func(Progress)
+
+	// OnPlan, when non-nil, observes every strict plan improvement a
+	// strategy reports, with the plan itself — the uniform anytime
+	// surface across strategies. Heuristics report every improvement
+	// live; exact strategies report their final plan; the MILP reports
+	// its decoded plan on completion (mid-solve MILP incumbents appear
+	// on the event stream only). Callbacks are serialised per strategy
+	// but may run concurrently across portfolio members.
+	OnPlan func(PlanUpdate)
+
+	// incumbents, when non-nil, feeds plans published mid-solve into the
+	// MILP branch and bound as live MIP starts (portfolio injection
+	// path; set by the "auto" orchestrator, never by callers).
+	incumbents <-chan *Plan
+
+	// cutoff, when non-nil, returns the exact cost of the best plan
+	// known outside the strategy; pruning searches (dpconv) drop every
+	// partial plan that cannot beat it (set by the "auto" orchestrator).
+	cutoff func() float64
 }
 
 // Validate checks the caller-supplied option values. Every public entry
@@ -252,6 +308,31 @@ func (o Options) Validate() error {
 	}
 	if o.InterestingOrders && !o.ChooseOperators {
 		return fmt.Errorf("%w: InterestingOrders requires ChooseOperators", ErrInvalidOptions)
+	}
+	if o.Portfolio != nil {
+		name := o.Strategy
+		if name == "" {
+			name = DefaultStrategy
+		}
+		if name != "auto" {
+			return fmt.Errorf("%w: Portfolio requires strategy %q, got %q", ErrInvalidOptions, "auto", name)
+		}
+		if len(o.Portfolio) == 0 {
+			return fmt.Errorf("%w: empty portfolio member list", ErrInvalidOptions)
+		}
+		seen := make(map[string]bool, len(o.Portfolio))
+		for _, m := range o.Portfolio {
+			if m == "" || m == "auto" {
+				return fmt.Errorf("%w: portfolio member %q (the portfolio cannot nest itself)", ErrInvalidOptions, m)
+			}
+			if seen[m] {
+				return fmt.Errorf("%w: duplicate portfolio member %q", ErrInvalidOptions, m)
+			}
+			seen[m] = true
+			if _, err := Lookup(m); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -345,6 +426,11 @@ type Result struct {
 	// "plan" (Options.InitialPlan was accepted), "greedy" (the default
 	// heuristic start), or "" (cold start, or a non-MILP strategy).
 	MIPStart string
+	// Winner names the portfolio member whose plan this result carries
+	// (Strategy "auto" only; empty for single-strategy runs). The other
+	// members' incumbents still shaped the result through live
+	// injection.
+	Winner string
 }
 
 // Optimize runs the strategy selected by opts.Strategy on the query. It is

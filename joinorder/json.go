@@ -50,6 +50,8 @@ type resultJSON struct {
 	Nodes      int       `json:"nodes,omitempty"`
 	ElapsedSec float64   `json:"elapsed_sec"`
 	Stats      *Stats    `json:"stats,omitempty"`
+	MIPStart   string    `json:"mip_start,omitempty"`
+	Winner     string    `json:"winner,omitempty"`
 }
 
 // jsonFinite maps non-finite values to nil for JSON.
@@ -75,6 +77,8 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		Nodes:      r.Nodes,
 		ElapsedSec: r.Elapsed.Seconds(),
 		Stats:      r.Stats,
+		MIPStart:   r.MIPStart,
+		Winner:     r.Winner,
 	}
 	if r.Plan != nil {
 		pj := &planJSON{Order: r.Plan.Order, Text: r.Plan.String()}
@@ -118,6 +122,8 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 		Nodes:     in.Nodes,
 		Elapsed:   time.Duration(in.ElapsedSec * float64(time.Second)),
 		Stats:     in.Stats,
+		MIPStart:  in.MIPStart,
+		Winner:    in.Winner,
 	}
 	if in.Plan != nil {
 		p := &Plan{Order: in.Plan.Order}
@@ -147,6 +153,9 @@ func parseOperator(name string) (Operator, error) {
 func (r *Result) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s: %s", r.Strategy, r.Status)
+	if r.Winner != "" {
+		fmt.Fprintf(&sb, " winner=%s", r.Winner)
+	}
 	switch {
 	case r.Plan != nil:
 		fmt.Fprintf(&sb, " plan=%s", r.Plan)

@@ -24,6 +24,8 @@ func TestResultJSONRoundTrip(t *testing.T) {
 		Objective: 123.5,
 		Nodes:     17,
 		Elapsed:   1500 * time.Millisecond,
+		MIPStart:  "plan",
+		Winner:    "milp",
 	}
 	data, err := json.Marshal(in)
 	if err != nil {
@@ -36,6 +38,9 @@ func TestResultJSONRoundTrip(t *testing.T) {
 	if out.Strategy != in.Strategy || out.Status != in.Status || out.Cost != in.Cost ||
 		out.Bound != in.Bound || out.Gap != in.Gap || out.Nodes != in.Nodes {
 		t.Errorf("round trip lost fields: %+v", out)
+	}
+	if out.MIPStart != in.MIPStart || out.Winner != in.Winner {
+		t.Errorf("provenance lost: mip_start=%q winner=%q", out.MIPStart, out.Winner)
 	}
 	if out.Elapsed != in.Elapsed {
 		t.Errorf("elapsed = %v, want %v", out.Elapsed, in.Elapsed)

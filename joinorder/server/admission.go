@@ -13,12 +13,13 @@ import (
 var errSaturated = errors.New("server: admission queue saturated")
 
 // ticket is one request's place in the admission queue. A dispatched
-// ticket holds a worker slot until release; a queued ticket waits on
-// ready and can be withdrawn by cancel.
+// ticket holds weight worker slots until release; a queued ticket waits
+// on ready and can be withdrawn by cancel.
 type ticket struct {
 	deadline time.Time
+	weight   int           // worker slots the request occupies (≥1)
 	seq      int64         // FIFO tiebreak among equal deadlines
-	ready    chan struct{} // closed when a worker slot is granted
+	ready    chan struct{} // closed when the slots are granted
 	idx      int           // heap index; -1 once dispatched or withdrawn
 }
 
@@ -53,16 +54,18 @@ func (h *ticketHeap) Pop() any {
 }
 
 // admitter is the bounded worker pool behind /v1/optimize: at most
-// workers requests solve concurrently, at most depth more wait in a
-// deadline-ordered queue, and everything beyond that is refused with
-// errSaturated. There is no dispatcher goroutine — slots transfer from
+// workers weight units solve concurrently, at most depth requests wait
+// in a deadline-ordered queue, and everything beyond that is refused
+// with errSaturated. A plain request weighs 1; a portfolio request
+// weighs one unit per racing member so strategy=auto cannot oversubscribe
+// the pool. There is no dispatcher goroutine — capacity transfers from
 // releasing to queued requests under one lock, so dispatch order is
 // deterministic under test.
 type admitter struct {
 	mu      sync.Mutex
 	workers int
 	depth   int
-	running int
+	running int // weight units currently dispatched
 	seq     int64
 	q       ticketHeap
 }
@@ -71,18 +74,23 @@ func newAdmitter(workers, depth int) *admitter {
 	return &admitter{workers: workers, depth: depth}
 }
 
-// admit asks for a worker slot for a request due by deadline. The
-// returned ticket's ready channel is already closed when a slot was free;
-// otherwise the caller waits on it (racing its own context) and must call
-// cancel if it gives up. Every admitted-and-dispatched ticket must be
-// released exactly once.
-func (a *admitter) admit(deadline time.Time) (*ticket, error) {
+// admit asks for weight worker slots for a request due by deadline.
+// Weight is clamped to [1, workers] so a wide portfolio degrades to
+// whole-pool occupancy instead of never fitting. The returned ticket's
+// ready channel is already closed when the slots were free; otherwise
+// the caller waits on it (racing its own context) and must call cancel
+// if it gives up. Every admitted-and-dispatched ticket must be released
+// exactly once. A request dispatches immediately only when nothing is
+// queued ahead of it — lighter latecomers do not starve a heavy ticket
+// already waiting.
+func (a *admitter) admit(deadline time.Time, weight int) (*ticket, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	weight = min(max(weight, 1), a.workers)
 	a.seq++
-	t := &ticket{deadline: deadline, seq: a.seq, ready: make(chan struct{}), idx: -1}
-	if a.running < a.workers {
-		a.running++
+	t := &ticket{deadline: deadline, weight: weight, seq: a.seq, ready: make(chan struct{}), idx: -1}
+	if len(a.q) == 0 && a.running+weight <= a.workers {
+		a.running += weight
 		close(t.ready)
 		return t, nil
 	}
@@ -94,8 +102,9 @@ func (a *admitter) admit(deadline time.Time) (*ticket, error) {
 }
 
 // cancel withdraws a ticket that is still queued. It reports false when
-// the ticket was already dispatched — the slot is then owned by the
-// caller, which must release it.
+// the ticket was already dispatched — the slots are then owned by the
+// caller, which must release them. Withdrawing a heavy ticket at the
+// head of the queue can unblock lighter ones behind it.
 func (a *admitter) cancel(t *ticket) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -103,23 +112,30 @@ func (a *admitter) cancel(t *ticket) bool {
 		return false
 	}
 	heap.Remove(&a.q, t.idx)
+	a.dispatchLocked()
 	return true
 }
 
-// release returns a worker slot and hands it to the earliest-deadline
-// queued request, if any.
-func (a *admitter) release() {
+// release returns a dispatched ticket's worker slots and grants queued
+// requests, earliest deadline first, for as long as they fit.
+func (a *admitter) release(t *ticket) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if len(a.q) > 0 {
-		next := heap.Pop(&a.q).(*ticket)
-		close(next.ready) // slot transfers; running stays constant
-		return
-	}
-	a.running--
+	a.running -= t.weight
+	a.dispatchLocked()
 }
 
-// load snapshots the pool: running solves and queued requests.
+// dispatchLocked grants queue heads while the freed capacity fits them.
+// Called with mu held.
+func (a *admitter) dispatchLocked() {
+	for len(a.q) > 0 && a.running+a.q[0].weight <= a.workers {
+		next := heap.Pop(&a.q).(*ticket)
+		a.running += next.weight
+		close(next.ready)
+	}
+}
+
+// load snapshots the pool: dispatched weight units and queued requests.
 func (a *admitter) load() (running, queued int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()

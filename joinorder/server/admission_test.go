@@ -19,28 +19,28 @@ func TestAdmitterDispatchesByDeadline(t *testing.T) {
 	a := newAdmitter(1, 8)
 	now := time.Now()
 
-	holder, err := a.admit(now.Add(time.Second))
+	holder, err := a.admit(now.Add(time.Second), 1)
 	if err != nil || !dispatched(holder) {
 		t.Fatalf("first admit: err=%v dispatched=%v", err, dispatched(holder))
 	}
-	late, err := a.admit(now.Add(3 * time.Second))
+	late, err := a.admit(now.Add(3*time.Second), 1)
 	if err != nil || dispatched(late) {
 		t.Fatalf("late admit should queue: err=%v", err)
 	}
-	early, err := a.admit(now.Add(2 * time.Second))
+	early, err := a.admit(now.Add(2*time.Second), 1)
 	if err != nil || dispatched(early) {
 		t.Fatalf("early admit should queue: err=%v", err)
 	}
 
-	a.release() // the earlier deadline must win despite arriving later
+	a.release(holder) // the earlier deadline must win despite arriving later
 	if !dispatched(early) || dispatched(late) {
 		t.Fatalf("deadline order violated: early=%v late=%v", dispatched(early), dispatched(late))
 	}
-	a.release()
+	a.release(early)
 	if !dispatched(late) {
 		t.Fatal("second release did not dispatch the remaining ticket")
 	}
-	a.release()
+	a.release(late)
 	if running, queued := a.load(); running != 0 || queued != 0 {
 		t.Fatalf("pool not drained: running=%d queued=%d", running, queued)
 	}
@@ -49,20 +49,20 @@ func TestAdmitterDispatchesByDeadline(t *testing.T) {
 func TestAdmitterSaturationAndCancel(t *testing.T) {
 	a := newAdmitter(1, 1)
 	now := time.Now()
-	if _, err := a.admit(now); err != nil {
+	if _, err := a.admit(now, 1); err != nil {
 		t.Fatal(err)
 	}
-	queued, err := a.admit(now)
+	queued, err := a.admit(now, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.admit(now); !errors.Is(err, errSaturated) {
+	if _, err := a.admit(now, 1); !errors.Is(err, errSaturated) {
 		t.Fatalf("full queue admit err = %v, want errSaturated", err)
 	}
 	if !a.cancel(queued) {
 		t.Fatal("cancel of a queued ticket reported dispatched")
 	}
-	if _, err := a.admit(now); err != nil {
+	if _, err := a.admit(now, 1); err != nil {
 		t.Fatalf("admit after cancel: %v", err)
 	}
 	if a.cancel(queued) {
@@ -73,18 +73,105 @@ func TestAdmitterSaturationAndCancel(t *testing.T) {
 func TestAdmitterCancelAfterDispatchTransfersSlot(t *testing.T) {
 	a := newAdmitter(1, 2)
 	now := time.Now()
-	if _, err := a.admit(now); err != nil {
+	holder, err := a.admit(now, 1)
+	if err != nil {
 		t.Fatal(err)
 	}
-	q1, _ := a.admit(now.Add(time.Second))
-	a.release() // dispatches q1
+	q1, _ := a.admit(now.Add(time.Second), 1)
+	a.release(holder) // dispatches q1
 	if a.cancel(q1) {
 		t.Fatal("cancel after dispatch must report false (caller owns the slot)")
 	}
 	// The caller that lost the cancel race releases the slot it owns.
-	a.release()
+	a.release(q1)
 	if running, _ := a.load(); running != 0 {
 		t.Fatalf("running = %d after releases, want 0", running)
+	}
+}
+
+// TestAdmitterWeightedOccupancy: a portfolio request occupies one slot
+// per member, so concurrent weighted requests cannot oversubscribe the
+// pool.
+func TestAdmitterWeightedOccupancy(t *testing.T) {
+	a := newAdmitter(4, 8)
+	now := time.Now()
+
+	auto, err := a.admit(now.Add(time.Second), 3)
+	if err != nil || !dispatched(auto) {
+		t.Fatalf("weight-3 admit into empty pool: err=%v dispatched=%v", err, dispatched(auto))
+	}
+	one, err := a.admit(now.Add(time.Second), 1)
+	if err != nil || !dispatched(one) {
+		t.Fatalf("weight-1 admit with one free slot: err=%v dispatched=%v", err, dispatched(one))
+	}
+	if running, _ := a.load(); running != 4 {
+		t.Fatalf("running = %d, want 4 weight units", running)
+	}
+	// A second portfolio must queue: only 0 units free.
+	auto2, err := a.admit(now.Add(2*time.Second), 3)
+	if err != nil || dispatched(auto2) {
+		t.Fatalf("weight-3 admit into full pool should queue: err=%v", err)
+	}
+	// Releasing the single-slot request frees 1 unit — not enough for the
+	// queued portfolio, and dispatch must not overshoot.
+	a.release(one)
+	if dispatched(auto2) {
+		t.Fatal("weight-3 ticket dispatched with only 1 free unit")
+	}
+	a.release(auto)
+	if !dispatched(auto2) {
+		t.Fatal("weight-3 ticket not dispatched with 4 free units")
+	}
+	a.release(auto2)
+	if running, queued := a.load(); running != 0 || queued != 0 {
+		t.Fatalf("pool not drained: running=%d queued=%d", running, queued)
+	}
+}
+
+// TestAdmitterHeavyHeadBlocksLightLatecomer: FIFO fairness — while a
+// heavy ticket waits at the queue head, lighter later arrivals queue
+// behind it instead of stealing the partial capacity it is waiting for.
+func TestAdmitterHeavyHeadBlocksLightLatecomer(t *testing.T) {
+	a := newAdmitter(2, 8)
+	now := time.Now()
+	holder, _ := a.admit(now.Add(time.Second), 1)
+	heavy, _ := a.admit(now.Add(2*time.Second), 2)
+	if dispatched(heavy) {
+		t.Fatal("weight-2 ticket dispatched with 1 free unit")
+	}
+	light, _ := a.admit(now.Add(3*time.Second), 1)
+	if dispatched(light) {
+		t.Fatal("light latecomer jumped the queued heavy ticket")
+	}
+	// Withdrawing the heavy head lets the light ticket use the free unit.
+	if !a.cancel(heavy) {
+		t.Fatal("cancel of queued heavy ticket failed")
+	}
+	if !dispatched(light) {
+		t.Fatal("light ticket not dispatched after heavy head withdrew")
+	}
+	a.release(light)
+	a.release(holder)
+	if running, queued := a.load(); running != 0 || queued != 0 {
+		t.Fatalf("pool not drained: running=%d queued=%d", running, queued)
+	}
+}
+
+// TestAdmitterClampsOversizedWeight: a portfolio wider than the pool
+// degrades to whole-pool occupancy rather than queueing forever.
+func TestAdmitterClampsOversizedWeight(t *testing.T) {
+	a := newAdmitter(2, 4)
+	now := time.Now()
+	wide, err := a.admit(now.Add(time.Second), 7)
+	if err != nil || !dispatched(wide) {
+		t.Fatalf("oversized weight must clamp and dispatch: err=%v dispatched=%v", err, dispatched(wide))
+	}
+	if running, _ := a.load(); running != 2 {
+		t.Fatalf("running = %d, want clamp to 2", running)
+	}
+	a.release(wide)
+	if running, _ := a.load(); running != 0 {
+		t.Fatalf("running = %d after release, want 0", running)
 	}
 }
 

@@ -32,6 +32,7 @@ type Snapshot struct {
 	EventsDropped int64 `json:"sse_events_dropped"`
 
 	Solves        int64   `json:"solves"`
+	Portfolio     int64   `json:"portfolio_requests"`
 	QueueWaitSec  float64 `json:"queue_wait_sec_total"`
 	SolveSec      float64 `json:"solve_sec_total"`
 	RunningSolves int     `json:"running_solves"`
@@ -64,6 +65,7 @@ func (s *Server) Snapshot() Snapshot {
 		EventsRelayed: s.ctr.eventsSent.Load(),
 		EventsDropped: s.ctr.eventsDrop.Load(),
 		Solves:        s.ctr.solves.Load(),
+		Portfolio:     s.ctr.portfolio.Load(),
 		QueueWaitSec:  time.Duration(s.ctr.queueNanos.Load()).Seconds(),
 		SolveSec:      time.Duration(s.ctr.solveNanos.Load()).Seconds(),
 		RunningSolves: running,
@@ -116,6 +118,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("joinoptd_requests_total", "Optimize requests received.", snap.Requests)
 	counter("joinoptd_shed_total", "Requests shed by the saturated admission queue (answered degraded).", snap.Shed)
 	counter("joinoptd_solves_total", "Solves dispatched to a worker.", snap.Solves)
+	counter("joinoptd_portfolio_requests_total", "strategy=auto requests admitted with portfolio weight.", snap.Portfolio)
 	counter("joinoptd_sse_streams_total", "Streaming optimize requests.", snap.Streams)
 	counter("joinoptd_sse_events_relayed_total", "Solver events relayed to SSE clients.", snap.EventsRelayed)
 	counter("joinoptd_sse_events_dropped_total", "Solver events dropped on slow SSE clients.", snap.EventsDropped)

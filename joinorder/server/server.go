@@ -58,6 +58,19 @@ type serverCounters struct {
 	solverNodes  atomic.Int64 // branch-and-bound nodes, summed over solves
 	simplexIters atomic.Int64 // simplex iterations, summed over solves
 	incumbents   atomic.Int64 // incumbent improvements, summed over solves
+	portfolio    atomic.Int64 // strategy=auto requests admitted with weight > 1
+}
+
+// requestWeight is the admission weight of one request: a portfolio race
+// occupies one worker slot per member, a single strategy occupies one.
+func requestWeight(opts joinorder.Options) int {
+	if opts.Strategy != "auto" {
+		return 1
+	}
+	if n := len(opts.Portfolio); n > 0 {
+		return n
+	}
+	return len(joinorder.DefaultPortfolio())
 }
 
 // New builds a Server from the config (zero fields defaulted, invalid
@@ -231,7 +244,11 @@ func (s *Server) serve(ctx context.Context, pr *prepared, onEvent func(joinorder
 	defer s.inflight.Done()
 
 	deadline := pr.arrived.Add(pr.opts.TimeLimit)
-	t, err := s.adm.admit(deadline)
+	weight := requestWeight(pr.opts)
+	if weight > 1 {
+		s.ctr.portfolio.Add(1)
+	}
+	t, err := s.adm.admit(deadline, weight)
 	if errors.Is(err, errSaturated) {
 		if !pr.req.allowDegraded() {
 			s.ctr.rejected.Add(1)
@@ -278,7 +295,7 @@ func (s *Server) serve(ctx context.Context, pr *prepared, onEvent func(joinorder
 		// through and use it — the solve context below handles the
 		// expired budget or gone client immediately.
 	}
-	defer s.adm.release()
+	defer s.adm.release(t)
 	queueWait := s.cfg.now().Sub(pr.arrived)
 	s.ctr.queueNanos.Add(int64(queueWait))
 	s.ctr.solves.Add(1)
@@ -426,6 +443,9 @@ func (s *Server) logRequest(pr *prepared, outcome string, queueWait, solveWait t
 		attrs = append(attrs,
 			slog.String("status", resp.Result.Status.String()),
 			slog.Float64("cost", resp.Result.Cost))
+		if resp.Result.Winner != "" {
+			attrs = append(attrs, slog.String("winner", resp.Result.Winner))
+		}
 		if !math.IsInf(resp.Result.Gap, 0) {
 			attrs = append(attrs, slog.Float64("gap", resp.Result.Gap))
 		}

@@ -677,3 +677,45 @@ func TestSSEDisconnectCancelsSolve(t *testing.T) {
 	waitFor(t, func() bool { return bo.ctxErrs.Load() == 1 })
 	waitFor(t, func() bool { running, _ := s.adm.load(); return running == 0 })
 }
+
+// TestOptimizeAutoPortfolio: a strategy=auto request races the portfolio
+// on the server, answers with the winner's plan, and is accounted with
+// portfolio weight in the admission pool.
+func TestOptimizeAutoPortfolio(t *testing.T) {
+	s := mustServer(t, Config{MaxWorkers: 4})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	body := queryBody(t, workload.Star, 8, 3, func(r *OptimizeRequest) {
+		r.Strategy = "auto"
+		r.Portfolio = []string{"dpconv", "greedy"}
+		r.Timeout = "10s"
+	})
+	resp, out := postOptimize(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d: %s", resp.StatusCode, b)
+	}
+	if out.Result == nil || out.Result.Strategy != "auto" {
+		t.Fatalf("result strategy %+v, want auto", out.Result)
+	}
+	if out.Result.Winner != "dpconv" && out.Result.Winner != "greedy" {
+		t.Fatalf("winner %q not a portfolio member", out.Result.Winner)
+	}
+	if out.Result.Status != joinorder.StatusOptimal {
+		t.Errorf("status = %v, want optimal (dpconv finishes a star-8 exactly)", out.Result.Status)
+	}
+	if snap := s.Snapshot(); snap.Portfolio != 1 {
+		t.Errorf("portfolio counter = %d, want 1", snap.Portfolio)
+	}
+
+	// A portfolio with a non-auto strategy is a 400, not a solve.
+	bad := queryBody(t, workload.Star, 8, 3, func(r *OptimizeRequest) {
+		r.Strategy = "greedy"
+		r.Portfolio = []string{"milp"}
+	})
+	resp, _ = postOptimize(t, ts, bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("portfolio with non-auto strategy: status = %d, want 400", resp.StatusCode)
+	}
+}

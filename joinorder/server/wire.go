@@ -30,8 +30,13 @@ type OptimizeRequest struct {
 	// Catalog maps table names to statistics for SQL translation.
 	Catalog map[string]sql.TableStats `json:"catalog,omitempty"`
 
-	// Strategy names the optimizer to run (default "milp").
+	// Strategy names the optimizer to run (default "milp"). "auto" races
+	// a portfolio of strategies over a shared incumbent bus and answers
+	// with the winner.
 	Strategy string `json:"strategy,omitempty"`
+	// Portfolio overrides the member list raced by strategy "auto";
+	// invalid with any other strategy. Empty means the default portfolio.
+	Portfolio []string `json:"portfolio,omitempty"`
 	// Metric is the cost model: cout, hash, smj, bnl, or choose
 	// (default hash).
 	Metric string `json:"metric,omitempty"`
@@ -94,10 +99,11 @@ func (r *OptimizeRequest) query() (*joinorder.Query, error) {
 // same solve.
 func (r *OptimizeRequest) options(cfg Config) (joinorder.Options, error) {
 	opts := joinorder.Options{
-		Strategy: r.Strategy,
-		GapTol:   r.GapTol,
-		Threads:  r.Threads,
-		Seed:     r.Seed,
+		Strategy:  r.Strategy,
+		Portfolio: r.Portfolio,
+		GapTol:    r.GapTol,
+		Threads:   r.Threads,
+		Seed:      r.Seed,
 	}
 	switch r.Precision {
 	case "", "medium":

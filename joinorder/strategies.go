@@ -11,6 +11,7 @@ import (
 	"milpjoin/internal/cost"
 	"milpjoin/internal/dp"
 	"milpjoin/internal/heuristic"
+	"milpjoin/internal/obs"
 	"milpjoin/internal/plan"
 	"milpjoin/internal/solver"
 )
@@ -25,13 +26,60 @@ func init() {
 	mustRegister("dp-bushy", "exact bushy-tree dynamic programming (DPsub, O(3^n))", optimizeDPBushy)
 	mustRegister("ikkbz", "polynomial IKKBZ for acyclic join graphs under C_out", optimizeIKKBZ)
 	mustRegister("greedy", "greedy smallest-intermediate-result ordering", optimizeGreedy)
+	mustRegister("dpconv", "exact bushy DP with layered enumeration and live cutoff pruning (DPconv-style)", optimizeDPConv)
 	mustRegister("ii", "randomized iterative improvement (Steinbrunn et al.)", heuristicStrategy("ii", heuristic.IterativeImprovement))
 	mustRegister("sa", "simulated annealing (Steinbrunn et al.)", heuristicStrategy("sa", heuristic.SimulatedAnnealing))
 	mustRegister("2po", "two-phase optimization: iterative improvement then low-temperature annealing", heuristicStrategy("2po", heuristic.TwoPhase))
+	mustRegister("gradient", "stochastic gradient descent on a continuous join-order relaxation (SPSA)", heuristicStrategy("gradient", heuristic.GradientDescent))
 	mustRegister("sampling", "uniform random sampling of join orders (weakest baseline)", func(ctx context.Context, q *Query, opts Options) (*Result, error) {
-		return runHeuristic(ctx, q, opts, "sampling", func(ctx context.Context, q *Query, opts Options) (*Plan, float64, error) {
-			return heuristic.RandomSampling(ctx, q, opts.spec(), 0, heuristicOptions(opts))
+		return runHeuristic(ctx, q, opts, "sampling", func(ctx context.Context, q *Query, opts Options, a *anytime) (*Plan, float64, error) {
+			return heuristic.RandomSampling(ctx, q, opts.spec(), 0, heuristicOptions(opts, a))
 		})
+	})
+}
+
+// anytime is the uniform improvement surface the non-MILP strategies
+// report through: every strict plan improvement goes to Options.OnPlan
+// with the plan itself and to Options.OnEvent as a KindIncumbent event
+// (the MILP strategy emits its events from inside the solver instead and
+// reports the decoded plan once, on completion). A nil *anytime drops
+// everything.
+type anytime struct {
+	name    string
+	onPlan  func(PlanUpdate)
+	emitter *obs.Emitter
+}
+
+func newAnytime(name string, opts Options) *anytime {
+	if opts.OnPlan == nil && opts.OnEvent == nil {
+		return nil
+	}
+	a := &anytime{name: name, onPlan: opts.OnPlan}
+	if onEvent := opts.OnEvent; onEvent != nil {
+		a.emitter = obs.NewEmitter(time.Now(), func(ev obs.Event) { onEvent(ev) })
+	}
+	return a
+}
+
+// improved reports one strict improvement: the new best plan, its exact
+// cost, and the proven lower bound (-Inf for heuristics, == cost for exact
+// strategies reporting their final plan).
+func (a *anytime) improved(p *Plan, c float64, elapsed time.Duration, bound float64) {
+	if a == nil {
+		return
+	}
+	if a.onPlan != nil && p != nil {
+		a.onPlan(PlanUpdate{Strategy: a.name, Plan: p, Cost: c, Elapsed: elapsed})
+	}
+	a.emitter.Emit(obs.Event{
+		Kind:         obs.KindIncumbent,
+		Worker:       -1,
+		Strategy:     a.name,
+		Incumbent:    c,
+		Bound:        bound,
+		Gap:          obs.RelGap(c, bound),
+		HasIncumbent: true,
+		Elapsed:      elapsed,
 	})
 }
 
@@ -50,6 +98,7 @@ func optimizeMILP(ctx context.Context, q *Query, opts Options) (*Result, error) 
 		InterestingOrders:   opts.InterestingOrders,
 		ExpensivePredicates: opts.ExpensivePredicates,
 		InitialPlan:         opts.InitialPlan,
+		Incumbents:          opts.incumbents,
 	}
 	params := solver.Params{
 		TimeLimit: opts.TimeLimit,
@@ -107,6 +156,9 @@ func optimizeMILP(ctx context.Context, q *Query, opts Options) (*Result, error) 
 	out.Tree = res.Plan.LeftDeep()
 	out.Cost = res.ExactCost
 	out.Objective = res.MILPObj
+	if opts.OnPlan != nil {
+		opts.OnPlan(PlanUpdate{Strategy: "milp", Plan: res.Plan, Cost: res.ExactCost, Elapsed: sres.Elapsed})
+	}
 	switch sres.Status {
 	case solver.StatusOptimal:
 		out.Status = StatusOptimal
@@ -133,6 +185,8 @@ func optimizeDPLeftDeep(ctx context.Context, q *Query, opts Options) (*Result, e
 	if err != nil {
 		return nil, mapBaselineErr(ctx, err)
 	}
+	elapsed := time.Since(start)
+	newAnytime("dp-leftdeep", opts).improved(pl, c, elapsed, c)
 	return &Result{
 		Strategy:  "dp-leftdeep",
 		Status:    StatusOptimal,
@@ -141,7 +195,7 @@ func optimizeDPLeftDeep(ctx context.Context, q *Query, opts Options) (*Result, e
 		Cost:      c,
 		Objective: c,
 		Bound:     c,
-		Elapsed:   time.Since(start),
+		Elapsed:   elapsed,
 	}, nil
 }
 
@@ -156,6 +210,8 @@ func optimizeDPBushy(ctx context.Context, q *Query, opts Options) (*Result, erro
 	if err != nil {
 		return nil, mapBaselineErr(ctx, err)
 	}
+	elapsed := time.Since(start)
+	newAnytime("dp-bushy", opts).improved(leftDeepFromTree(tree, opts.Metric), c, elapsed, c)
 	return &Result{
 		Strategy:  "dp-bushy",
 		Status:    StatusOptimal,
@@ -163,8 +219,72 @@ func optimizeDPBushy(ctx context.Context, q *Query, opts Options) (*Result, erro
 		Cost:      c,
 		Objective: c,
 		Bound:     c,
-		Elapsed:   time.Since(start),
+		Elapsed:   elapsed,
 	}, nil
+}
+
+// optimizeDPConv is the DPconv-style exact bushy search: layered subset
+// enumeration with an optional live cutoff (the portfolio's incumbent bus)
+// pruning dominated subsets. With no cutoff it matches dp-bushy exactly.
+func optimizeDPConv(ctx context.Context, q *Query, opts Options) (*Result, error) {
+	start := time.Now()
+	tree, c, err := dp.OptimizeConv(ctx, q, opts.spec(), dp.ConvOptions{
+		Options: dp.Options{
+			MaxTables: opts.MaxDPTables,
+			Deadline:  opts.deadline(start),
+		},
+		Cutoff: opts.cutoff,
+	})
+	if err != nil {
+		return nil, mapBaselineErr(ctx, err)
+	}
+	elapsed := time.Since(start)
+	pl := leftDeepFromTree(tree, opts.Metric)
+	newAnytime("dpconv", opts).improved(pl, c, elapsed, c)
+	return &Result{
+		Strategy:  "dpconv",
+		Status:    StatusOptimal,
+		Plan:      pl,
+		Tree:      tree,
+		Cost:      c,
+		Objective: c,
+		Bound:     c,
+		Elapsed:   elapsed,
+	}, nil
+}
+
+// leftDeepFromTree flattens a linear tree into the cost-equivalent
+// left-deep Plan; nil for genuinely bushy trees. Under C_out join cost is
+// orientation-blind, so any chain where every join has a leaf child
+// flattens (the per-step table sets are identical); under operator costs
+// outer and inner are priced differently, so only strict left-deep shapes
+// (every right child a leaf) qualify. It lets the exact bushy strategies
+// feed the portfolio's plan-space injection channel whenever their optimum
+// happens to be left-deep.
+func leftDeepFromTree(t *Tree, metric Metric) *Plan {
+	if t == nil {
+		return nil
+	}
+	var rev []int
+	n := t
+	for !n.IsLeaf() {
+		switch {
+		case n.Right.IsLeaf():
+			rev = append(rev, n.Right.Table)
+			n = n.Left
+		case metric == Cout && n.Left.IsLeaf():
+			rev = append(rev, n.Left.Table)
+			n = n.Right
+		default:
+			return nil
+		}
+	}
+	rev = append(rev, n.Table)
+	order := make([]int, len(rev))
+	for i, tb := range rev {
+		order[len(rev)-1-i] = tb
+	}
+	return &Plan{Order: order}
 }
 
 // optimizeIKKBZ runs the polynomial IKKBZ algorithm. Its optimality
@@ -183,6 +303,8 @@ func optimizeIKKBZ(ctx context.Context, q *Query, opts Options) (*Result, error)
 			return nil, err
 		}
 	}
+	elapsed := time.Since(start)
+	newAnytime("ikkbz", opts).improved(pl, c, elapsed, math.Inf(-1))
 	return &Result{
 		Strategy:  "ikkbz",
 		Status:    StatusFeasible,
@@ -192,7 +314,7 @@ func optimizeIKKBZ(ctx context.Context, q *Query, opts Options) (*Result, error)
 		Objective: c,
 		Bound:     math.Inf(-1),
 		Gap:       math.Inf(1),
-		Elapsed:   time.Since(start),
+		Elapsed:   elapsed,
 	}, nil
 }
 
@@ -208,6 +330,8 @@ func optimizeGreedy(ctx context.Context, q *Query, opts Options) (*Result, error
 	if err != nil {
 		return nil, mapBaselineErr(ctx, err)
 	}
+	elapsed := time.Since(start)
+	newAnytime("greedy", opts).improved(pl, c, elapsed, math.Inf(-1))
 	return &Result{
 		Strategy:  "greedy",
 		Status:    StatusFeasible,
@@ -217,25 +341,32 @@ func optimizeGreedy(ctx context.Context, q *Query, opts Options) (*Result, error
 		Objective: c,
 		Bound:     math.Inf(-1),
 		Gap:       math.Inf(1),
-		Elapsed:   time.Since(start),
+		Elapsed:   elapsed,
 	}, nil
 }
 
-// heuristicStrategy adapts one of the Steinbrunn randomized searches.
+// heuristicStrategy adapts one of the randomized anytime searches.
 func heuristicStrategy(name string, fn func(context.Context, *Query, cost.Spec, heuristic.Options) (*Plan, float64, error)) func(context.Context, *Query, Options) (*Result, error) {
 	return func(ctx context.Context, q *Query, opts Options) (*Result, error) {
-		return runHeuristic(ctx, q, opts, name, func(ctx context.Context, q *Query, opts Options) (*Plan, float64, error) {
-			return fn(ctx, q, opts.spec(), heuristicOptions(opts))
+		return runHeuristic(ctx, q, opts, name, func(ctx context.Context, q *Query, opts Options, a *anytime) (*Plan, float64, error) {
+			return fn(ctx, q, opts.spec(), heuristicOptions(opts, a))
 		})
 	}
 }
 
-// heuristicOptions translates public options for the randomized searches.
-func heuristicOptions(opts Options) heuristic.Options {
-	return heuristic.Options{
+// heuristicOptions translates public options for the randomized searches,
+// routing every strict improvement to the uniform anytime surface.
+func heuristicOptions(opts Options, a *anytime) heuristic.Options {
+	h := heuristic.Options{
 		Seed:     opts.Seed,
 		Deadline: opts.deadline(time.Now()),
 	}
+	if a != nil {
+		h.OnImprovement = func(p *plan.Plan, c float64, elapsed time.Duration) {
+			a.improved(p, c, elapsed, math.Inf(-1))
+		}
+	}
+	return h
 }
 
 // runHeuristic runs an anytime randomized search and classifies how it
@@ -243,9 +374,9 @@ func heuristicOptions(opts Options) heuristic.Options {
 // found, an expired budget StatusTimeLimit, and a completed search
 // StatusFeasible (the heuristics never certify optimality).
 func runHeuristic(ctx context.Context, q *Query, opts Options, name string,
-	fn func(context.Context, *Query, Options) (*Plan, float64, error)) (*Result, error) {
+	fn func(context.Context, *Query, Options, *anytime) (*Plan, float64, error)) (*Result, error) {
 	start := time.Now()
-	pl, c, err := fn(ctx, q, opts)
+	pl, c, err := fn(ctx, q, opts, newAnytime(name, opts))
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, fmt.Errorf("%w: %w", ErrCanceled, cerr)
@@ -280,6 +411,10 @@ func mapBaselineErr(ctx context.Context, err error) error {
 		return fmt.Errorf("%w: %w", ErrCanceled, context.Canceled)
 	case errors.Is(err, context.DeadlineExceeded):
 		return fmt.Errorf("%w: %w", ErrCanceled, context.DeadlineExceeded)
+	case errors.Is(err, dp.ErrNoneBetter):
+		// Preserve the chain: the portfolio orchestrator reads this as a
+		// proof that its racing incumbent is optimal, not as a failure.
+		return fmt.Errorf("%w: %w", ErrNoPlan, err)
 	case errors.Is(err, dp.ErrTimeout), errors.Is(err, dp.ErrTooLarge), errors.Is(err, dp.ErrNotAcyclic):
 		return fmt.Errorf("%w: %v", ErrNoPlan, err)
 	default:
