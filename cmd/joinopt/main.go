@@ -10,6 +10,7 @@
 //
 //	joinopt -tables 20 -shape star -precision medium -timeout 10s
 //	joinopt -strategy dp-leftdeep -tables 14 -shape chain
+//	joinopt -strategy hybrid -tables 120 -shape snowflake -timeout 5s
 //	joinopt -query q.json -metric cout -lp model.lp
 //
 // Observability: -stats prints the per-phase solver statistics, -trace-events
@@ -59,7 +60,7 @@ func main() {
 		sqlText   = flag.String("sql", "", "SQL select-project-join query (requires -catalog)")
 		catFile   = flag.String("catalog", "", "JSON catalog with table statistics for -sql")
 		tables    = flag.Int("tables", 10, "number of tables for the generator")
-		shapeName = flag.String("shape", "star", "join graph shape: chain, cycle, star, clique")
+		shapeName = flag.String("shape", "star", "join graph shape: chain, cycle, star, clique, snowflake, transitive")
 		seed      = flag.Int64("seed", 1, "generator seed (also drives randomized strategies)")
 		strat     = flag.String("strategy", joinorder.DefaultStrategy,
 			"optimization strategy: "+strings.Join(joinorder.Strategies(), ", "))
@@ -78,6 +79,8 @@ func main() {
 		metrics   = flag.String("metrics", "", "serve expvar counters and pprof profiles on this HTTP address (e.g. localhost:6060)")
 		cacheOn   = flag.Bool("cache", false, "route optimization through the fingerprint-keyed plan cache")
 		repeat    = flag.Int("repeat", 1, "optimize the query this many times (with -cache, runs after the first hit)")
+		partCap   = flag.Int("partition-cap", 0, "hybrid strategy: max tables per partition (0: the default 15)")
+		seamFrac  = flag.Float64("seam-frac", 0, "hybrid strategy: budget fraction reserved for seam re-optimization (0: the default 0.25)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags]\n\nflags:\n", os.Args[0])
@@ -103,10 +106,10 @@ func main() {
 		fatal(err)
 	}
 	opts.Strategy = *strat
-	opts.TimeLimit = *timeout
-	opts.GapTol = *gap
-	opts.Threads = *threads
+	opts.Budget = joinorder.Budget{TimeLimit: *timeout, GapTol: *gap, Threads: *threads}
 	opts.Seed = *seed
+	opts.PartitionCap = *partCap
+	opts.SeamBudgetFrac = *seamFrac
 	if *portfolio != "" {
 		opts.Portfolio = strings.Split(*portfolio, ",")
 	}
@@ -377,6 +380,10 @@ func parseShape(s string) (workload.GraphShape, error) {
 		return workload.Star, nil
 	case "clique":
 		return workload.Clique, nil
+	case "snowflake":
+		return workload.Snowflake, nil
+	case "transitive":
+		return workload.Transitive, nil
 	default:
 		return 0, fmt.Errorf("unknown shape %q", s)
 	}

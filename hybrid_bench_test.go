@@ -1,0 +1,117 @@
+// Large-graph benchmarks: the hybrid decomposition strategy on 100-200
+// table queries, against the greedy baseline — the only other strategy
+// that answers at that scale in bounded time. Written as a
+// BENCH_pr7.json snapshot for CI artifacts.
+package milpjoin_test
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"milpjoin/internal/workload"
+	"milpjoin/joinorder"
+)
+
+// BenchmarkHybridLargeGraph solves the large-graph band — snowflake
+// queries at 100/150/200 tables plus a dense 40-table clique — with the
+// hybrid strategy under a fixed budget and with greedy, recording plan
+// cost, proven bound, wall time, and the hybrid/greedy cost ratio.
+// Acceptance (guarded here, snapshotted to BENCH_pr7.json): every solve
+// returns a complete valid plan with a finite positive bound inside the
+// budget plus scheduling slack.
+func BenchmarkHybridLargeGraph(b *testing.B) {
+	type run struct {
+		Tables      int     `json:"tables"`
+		Shape       string  `json:"shape"`
+		HybridCost  float64 `json:"hybrid_cost"`
+		HybridBound float64 `json:"hybrid_bound"`
+		HybridSec   float64 `json:"hybrid_sec"`
+		GreedyCost  float64 `json:"greedy_cost"`
+		GreedySec   float64 `json:"greedy_sec"`
+		CostRatio   float64 `json:"hybrid_over_greedy"`
+		Status      string  `json:"status"`
+	}
+	type snapshot struct {
+		BudgetSec float64        `json:"budget_sec"`
+		Band      map[string]run `json:"band"`
+	}
+
+	const budget = 3 * time.Second
+	cases := []struct {
+		name  string
+		shape workload.GraphShape
+		n     int
+	}{
+		{"Snowflake100", workload.Snowflake, 100},
+		{"Snowflake150", workload.Snowflake, 150},
+		{"Snowflake200", workload.Snowflake, 200},
+		{"Clique40", workload.Clique, 40},
+	}
+
+	out := snapshot{BudgetSec: budget.Seconds(), Band: map[string]run{}}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			// Moderate cardinalities (10..1000 rows) keep even 200-table
+			// plan costs inside float64 range, so the cost ratios below
+			// stay meaningful.
+			q := workload.Generate(tc.shape, tc.n, 1, workload.Config{MinLogCard: 1, MaxLogCard: 3})
+			var r run
+			r.Tables, r.Shape = tc.n, tc.shape.String()
+			for i := 0; i < b.N; i++ {
+				gs := time.Now()
+				greedy, err := joinorder.Optimize(context.Background(), q, joinorder.Options{Strategy: "greedy"})
+				if err != nil {
+					b.Fatalf("greedy: %v", err)
+				}
+				r.GreedySec = time.Since(gs).Seconds()
+				r.GreedyCost = greedy.Cost
+
+				hs := time.Now()
+				hyb, err := joinorder.Optimize(context.Background(), q, joinorder.Options{
+					Strategy: "hybrid",
+					Budget:   joinorder.Budget{TimeLimit: budget},
+				})
+				if err != nil {
+					b.Fatalf("hybrid: %v", err)
+				}
+				elapsed := time.Since(hs)
+				r.HybridSec = elapsed.Seconds()
+				r.HybridCost = hyb.Cost
+				r.HybridBound = hyb.Bound
+				r.CostRatio = hyb.Cost / greedy.Cost
+				r.Status = hyb.Status.String()
+
+				if hyb.Plan == nil || len(hyb.Plan.Order) != tc.n {
+					b.Fatalf("no complete %d-table plan", tc.n)
+				}
+				if err := hyb.Plan.Validate(q); err != nil {
+					b.Fatalf("invalid hybrid plan: %v", err)
+				}
+				if math.IsInf(hyb.Bound, 0) || math.IsNaN(hyb.Bound) || hyb.Bound < 0 {
+					b.Errorf("bound %g not finite and non-negative", hyb.Bound)
+				}
+				if elapsed > 2*budget+2*time.Second {
+					b.Errorf("hybrid took %v against a %v budget", elapsed, budget)
+				}
+				b.ReportMetric(r.CostRatio, "cost-ratio")
+			}
+			out.Band[tc.name] = r
+		})
+	}
+
+	path := os.Getenv("BENCH_PR7_OUT")
+	if path == "" {
+		path = "BENCH_pr7.json"
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,263 @@
+package decomp
+
+import (
+	"math"
+	"sort"
+
+	"milpjoin/internal/qopt"
+)
+
+// Partition is one piece of the decomposed join graph: a sorted list of
+// global table indices, connected in the join graph whenever the graph
+// allows it.
+type Partition struct {
+	Tables []int
+}
+
+// graph is the weighted join graph over binary predicates: parallel
+// predicates between the same pair accumulate onto one edge whose weight
+// is Σ -log10(sel) — the "join strength". Strong (selective) edges are
+// kept inside partitions; weak edges near cross products are the cheap
+// ones to cut and re-derive during stitching.
+type graph struct {
+	n   int
+	adj []map[int]float64
+}
+
+func buildGraph(q *qopt.Query) *graph {
+	g := &graph{n: q.NumTables(), adj: make([]map[int]float64, q.NumTables())}
+	for i := range g.adj {
+		g.adj[i] = map[int]float64{}
+	}
+	for _, p := range q.Predicates {
+		if !p.IsBinary() {
+			continue
+		}
+		a, b := p.Tables[0], p.Tables[1]
+		w := -math.Log10(p.Sel) + 1e-6 // an edge at sel=1 still counts as connected
+		g.adj[a][b] += w
+		g.adj[b][a] += w
+	}
+	return g
+}
+
+// isForest reports whether the deduplicated binary-predicate graph is
+// acyclic (parallel predicates between one pair do not count as a cycle).
+func (g *graph) isForest() bool {
+	parent := make([]int, g.n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for a := 0; a < g.n; a++ {
+		for b := range g.adj[a] {
+			if b <= a {
+				continue
+			}
+			ra, rb := find(a), find(b)
+			if ra == rb {
+				return false
+			}
+			parent[ra] = rb
+		}
+	}
+	return true
+}
+
+// neighbors returns a's adjacency sorted by descending weight, ties on
+// the lower index — the deterministic growth order.
+func (g *graph) neighbors(a int) []int {
+	out := make([]int, 0, len(g.adj[a]))
+	for b := range g.adj[a] {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		wi, wj := g.adj[a][out[i]], g.adj[a][out[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// partitionGraph cuts the join graph into connected partitions of at most
+// cap tables. Forests get the exact tree carve (each cut removes one
+// edge); cyclic graphs grow partitions greedily along the strongest
+// edges. Tables with no binary predicate at all (pure cross products)
+// are appended round-robin to the smallest partitions. The result is
+// deterministic for a given query.
+func partitionGraph(q *qopt.Query, cap int) []Partition {
+	g := buildGraph(q)
+	var parts [][]int
+	if g.isForest() {
+		parts = carveForest(g, cap)
+	} else {
+		parts = growPartitions(g, cap)
+	}
+	// Distribute isolated tables (no binary edges) onto the smallest
+	// partitions without breaching the cap, opening new partitions when
+	// everything is full.
+	var isolated []int
+	assigned := make([]bool, g.n)
+	for _, p := range parts {
+		for _, t := range p {
+			assigned[t] = true
+		}
+	}
+	for t := 0; t < g.n; t++ {
+		if !assigned[t] {
+			isolated = append(isolated, t)
+		}
+	}
+	for _, t := range isolated {
+		best := -1
+		for i := range parts {
+			if len(parts[i]) >= cap {
+				continue
+			}
+			if best == -1 || len(parts[i]) < len(parts[best]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			parts = append(parts, []int{t})
+		} else {
+			parts[best] = append(parts[best], t)
+		}
+	}
+	// Pack: tree carves and isolated spreading can leave many small
+	// partitions (a star carves into the hub bag plus singleton leaves);
+	// merging the smallest pairs under the cap keeps the quotient small
+	// enough for the exact stitch DP. At termination at most one
+	// partition is smaller than half the cap.
+	for len(parts) >= 2 {
+		sort.Slice(parts, func(i, j int) bool {
+			if len(parts[i]) != len(parts[j]) {
+				return len(parts[i]) < len(parts[j])
+			}
+			return parts[i][0] < parts[j][0]
+		})
+		if len(parts[0])+len(parts[1]) > cap {
+			break
+		}
+		parts[1] = append(parts[1], parts[0]...)
+		parts = parts[1:]
+	}
+	out := make([]Partition, len(parts))
+	for i, p := range parts {
+		sort.Ints(p)
+		out[i] = Partition{Tables: p}
+	}
+	return out
+}
+
+// carveForest is the tree/edge-cut decomposition: a post-order walk that
+// accumulates subtrees and emits a connected partition whenever merging a
+// child's bag would breach the cap — every emitted partition corresponds
+// to cutting exactly one tree edge. Roots are chosen at each component's
+// highest-degree vertex (the snowflake hub), so hubs anchor partitions
+// instead of dangling off one.
+func carveForest(g *graph, cap int) [][]int {
+	var parts [][]int
+	visited := make([]bool, g.n)
+	var visit func(v, parent int) []int
+	visit = func(v, parent int) []int {
+		visited[v] = true
+		bag := []int{v}
+		for _, c := range g.neighbors(v) {
+			if c == parent || visited[c] {
+				continue
+			}
+			sub := visit(c, v)
+			if len(bag)+len(sub) <= cap {
+				bag = append(bag, sub...)
+			} else {
+				parts = append(parts, sub)
+			}
+		}
+		return bag
+	}
+	order := make([]int, g.n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := len(g.adj[order[i]]), len(g.adj[order[j]])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	for _, root := range order {
+		if visited[root] || len(g.adj[root]) == 0 {
+			continue
+		}
+		if bag := visit(root, -1); len(bag) > 0 {
+			parts = append(parts, bag)
+		}
+	}
+	return parts
+}
+
+// growPartitions handles cyclic graphs: seed at the highest weighted
+// degree unassigned vertex, then repeatedly absorb the unassigned
+// neighbor with the strongest total connection to the partition, up to
+// the cap.
+func growPartitions(g *graph, cap int) [][]int {
+	assigned := make([]bool, g.n)
+	degree := make([]float64, g.n)
+	for a := 0; a < g.n; a++ {
+		for _, w := range g.adj[a] {
+			degree[a] += w
+		}
+	}
+	var parts [][]int
+	for {
+		seed := -1
+		for t := 0; t < g.n; t++ {
+			if assigned[t] || len(g.adj[t]) == 0 {
+				continue
+			}
+			if seed == -1 || degree[t] > degree[seed] {
+				seed = t
+			}
+		}
+		if seed == -1 {
+			break
+		}
+		part := []int{seed}
+		assigned[seed] = true
+		// conn[t] is t's total edge weight into the growing partition.
+		conn := map[int]float64{}
+		absorb := func(v int) {
+			for b, w := range g.adj[v] {
+				if !assigned[b] {
+					conn[b] += w
+				}
+			}
+			delete(conn, v)
+		}
+		absorb(seed)
+		for len(part) < cap && len(conn) > 0 {
+			next, bw := -1, math.Inf(-1)
+			for b, w := range conn {
+				if w > bw || (w == bw && b < next) {
+					next, bw = b, w
+				}
+			}
+			part = append(part, next)
+			assigned[next] = true
+			absorb(next)
+		}
+		parts = append(parts, part)
+	}
+	return parts
+}

@@ -293,7 +293,10 @@ func GreedyLeftDeep(q *qopt.Query, spec cost.Spec) (*plan.Plan, float64, error) 
 				}
 			}
 			inSet[t] = false
-			if c < bestCard {
+			// bestT == -1 keeps the first candidate even when every
+			// product has overflowed to +Inf (hundreds of tables), where
+			// no strict comparison would ever pick one.
+			if bestT == -1 || c < bestCard {
 				bestT, bestCard = t, c
 			}
 		}

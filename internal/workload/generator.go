@@ -26,6 +26,19 @@ const (
 	// Clique connects every pair of tables (not used by the paper's
 	// evaluation, provided for completeness).
 	Clique
+	// Snowflake is a fact table joined to dimension chains: table 0 is
+	// the hub, connected to the root of each branch, and every branch is
+	// a short chain (depth ~3) of further dimension tables — the
+	// large-graph shape of the hybrid-decomposition evaluation
+	// (Schönberger & Trummer). The fact table's cardinality is drawn
+	// from the top of the configured range so it dominates like a real
+	// fact table.
+	Snowflake
+	// Transitive is a chain with shortcut predicates (i, i+2) layered on
+	// top, the "transitive-heavy" pattern of queries whose join
+	// predicates partially imply one another: many small cycles, cut
+	// edges everywhere.
+	Transitive
 )
 
 // String names the shape.
@@ -39,6 +52,10 @@ func (g GraphShape) String() string {
 		return "star"
 	case Clique:
 		return "clique"
+	case Snowflake:
+		return "snowflake"
+	case Transitive:
+		return "transitive"
 	default:
 		return fmt.Sprintf("GraphShape(%d)", int(g))
 	}
@@ -120,6 +137,30 @@ func Generate(shape GraphShape, n int, seed int64, cfg Config) *qopt.Query {
 			for j := i + 1; j < n; j++ {
 				addPred(i, j)
 			}
+		}
+	case Snowflake:
+		// ceil((n-1)/3) branches of depth <= 3: table i hangs off the
+		// hub while a full level fits, then off the same-position table
+		// one level up. The hub's cardinality is forced to the top decade
+		// of the range so joins touching it are the expensive ones.
+		lc := cfg.MaxLogCard - 1 + rng.Float64()
+		if hub := math.Round(math.Pow(10, lc)); hub > q.Tables[0].Card {
+			q.Tables[0].Card = hub
+		}
+		branches := (n - 1 + 2) / 3
+		for i := 1; i < n; i++ {
+			if i <= branches {
+				addPred(0, i)
+			} else {
+				addPred(i-branches, i)
+			}
+		}
+	case Transitive:
+		for i := 0; i+1 < n; i++ {
+			addPred(i, i+1)
+		}
+		for i := 0; i+2 < n; i++ {
+			addPred(i, i+2)
 		}
 	default:
 		panic(fmt.Sprintf("workload: unknown shape %v", shape))

@@ -18,6 +18,11 @@ func TestShapesEdgeCounts(t *testing.T) {
 		{Chain, 2, 1},
 		{Cycle, 2, 2}, // degenerate cycle: two parallel predicates
 		{Star, 2, 1},
+		{Snowflake, 10, 9}, // a tree: always n-1 edges
+		{Snowflake, 120, 119},
+		{Snowflake, 2, 1},
+		{Transitive, 5, 7}, // chain (n-1) + shortcuts (n-2)
+		{Transitive, 2, 1},
 	} {
 		q := Generate(tc.shape, tc.n, 1, Config{})
 		if got := len(q.Predicates); got != tc.want {
@@ -151,15 +156,77 @@ func TestShapeStrings(t *testing.T) {
 	if Chain.String() != "chain" || Cycle.String() != "cycle" || Star.String() != "star" || Clique.String() != "clique" {
 		t.Error("shape strings wrong")
 	}
+	if Snowflake.String() != "snowflake" || Transitive.String() != "transitive" {
+		t.Error("large-graph shape strings wrong")
+	}
 	if len(Shapes()) != 3 {
 		t.Error("Shapes() should list the paper's three structures")
+	}
+}
+
+// TestSnowflakeStructure: table 0 is the hub with the largest role — its
+// cardinality sits in the top decade — every non-hub table has exactly one
+// parent, and branch depth stays at most 3.
+func TestSnowflakeStructure(t *testing.T) {
+	for _, n := range []int{10, 100, 150, 200} {
+		q := Generate(Snowflake, n, 5, Config{})
+		if q.Tables[0].Card < 1e4 {
+			t.Errorf("n=%d: hub cardinality %g below the top decade", n, q.Tables[0].Card)
+		}
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		for _, p := range q.Predicates {
+			a, b := p.Tables[0], p.Tables[1]
+			if a >= b {
+				t.Fatalf("n=%d: predicate %v not parent->child ordered", n, p.Tables)
+			}
+			if parent[b] != -1 {
+				t.Fatalf("n=%d: table %d has two parents", n, b)
+			}
+			parent[b] = a
+		}
+		for i := 1; i < n; i++ {
+			depth := 0
+			for v := i; v != 0; v = parent[v] {
+				if parent[v] == -1 {
+					t.Fatalf("n=%d: table %d not connected to the hub", n, i)
+				}
+				depth++
+			}
+			if depth > 3 {
+				t.Errorf("n=%d: table %d at branch depth %d, want <= 3", n, i, depth)
+			}
+		}
+	}
+}
+
+// TestTransitiveStructure: the chain backbone plus every (i, i+2)
+// shortcut, giving the densely-overlapping predicate pattern.
+func TestTransitiveStructure(t *testing.T) {
+	n := 12
+	q := Generate(Transitive, n, 5, Config{})
+	edges := map[[2]int]bool{}
+	for _, p := range q.Predicates {
+		edges[[2]int{p.Tables[0], p.Tables[1]}] = true
+	}
+	for i := 0; i+1 < n; i++ {
+		if !edges[[2]int{i, i + 1}] {
+			t.Errorf("missing chain edge (%d,%d)", i, i+1)
+		}
+	}
+	for i := 0; i+2 < n; i++ {
+		if !edges[[2]int{i, i + 2}] {
+			t.Errorf("missing shortcut edge (%d,%d)", i, i+2)
+		}
 	}
 }
 
 // TestShapesConnectedProperty: every generated join graph is connected —
 // required for plans without cross products to exist at all.
 func TestShapesConnectedProperty(t *testing.T) {
-	for _, shape := range []GraphShape{Chain, Cycle, Star, Clique} {
+	for _, shape := range []GraphShape{Chain, Cycle, Star, Clique, Snowflake, Transitive} {
 		for seed := int64(0); seed < 10; seed++ {
 			n := 2 + int(seed)%12
 			q := Generate(shape, n, seed, Config{})

@@ -54,26 +54,11 @@ func optimizeAuto(ctx context.Context, q *Query, opts Options) (*Result, error) 
 
 	// One merged, re-sequenced event stream: member events keep their own
 	// elapsed times but are renumbered race-wide, tagged with the member
-	// in Event.Strategy. OnProgress rides the merged stream like it does
-	// the single-strategy one.
+	// in Event.Strategy.
 	var emitter *obs.Emitter
-	if opts.OnEvent != nil || opts.OnProgress != nil {
-		onEvent, onProgress := opts.OnEvent, opts.OnProgress
-		emitter = obs.NewEmitter(start, func(ev Event) {
-			if onEvent != nil {
-				onEvent(ev)
-			}
-			if onProgress != nil && (ev.Kind == KindIncumbent || ev.Kind == KindBound) {
-				onProgress(Progress{
-					Incumbent:    ev.Incumbent,
-					Bound:        ev.Bound,
-					Gap:          ev.Gap,
-					Nodes:        ev.Nodes,
-					Elapsed:      ev.Elapsed,
-					HasIncumbent: ev.HasIncumbent,
-				})
-			}
-		})
+	if opts.OnEvent != nil {
+		onEvent := opts.OnEvent
+		emitter = obs.NewEmitter(start, func(ev Event) { onEvent(ev) })
 	}
 	lifecycle := func(kind EventKind, member string) {
 		if emitter == nil {
@@ -101,7 +86,6 @@ func optimizeAuto(ctx context.Context, q *Query, opts Options) (*Result, error) 
 		mopts := opts
 		mopts.Strategy = name
 		mopts.Portfolio = nil
-		mopts.OnProgress = nil
 		// De-correlate the randomized members deterministically.
 		mopts.Seed = opts.Seed + int64(i)
 		member := name

@@ -1,0 +1,64 @@
+package joinorder_test
+
+import (
+	"testing"
+	"time"
+
+	"milpjoin/joinorder"
+)
+
+// TestEffectiveBudgetPrecedence: each non-zero Budget field wins over its
+// deprecated flat alias; a zero Budget field falls back to the alias.
+func TestEffectiveBudgetPrecedence(t *testing.T) {
+	opts := joinorder.Options{
+		Budget:    joinorder.Budget{TimeLimit: 2 * time.Second, MaxNodes: 500},
+		TimeLimit: 9 * time.Second, // loses to Budget.TimeLimit
+		GapTol:    1e-3,            // wins: Budget.GapTol is zero
+		MaxNodes:  9999,            // loses to Budget.MaxNodes
+		Threads:   8,               // wins: Budget.Threads is zero
+	}
+	got := opts.EffectiveBudget()
+	want := joinorder.Budget{TimeLimit: 2 * time.Second, GapTol: 1e-3, MaxNodes: 500, Threads: 8}
+	if got != want {
+		t.Errorf("EffectiveBudget() = %+v, want %+v", got, want)
+	}
+
+	// Pure flat options resolve unchanged.
+	flat := joinorder.Options{TimeLimit: time.Second, GapTol: 1e-4, MaxNodes: 10, Threads: 2}
+	if got := flat.EffectiveBudget(); got != (joinorder.Budget{TimeLimit: time.Second, GapTol: 1e-4, MaxNodes: 10, Threads: 2}) {
+		t.Errorf("flat EffectiveBudget() = %+v", got)
+	}
+	if !(joinorder.Options{}).EffectiveBudget().IsZero() {
+		t.Error("zero options resolve to a non-zero budget")
+	}
+}
+
+// TestBudgetScaleSplit: divisible resources scale with floors; per-solve
+// qualities pass through.
+func TestBudgetScaleSplit(t *testing.T) {
+	b := joinorder.Budget{TimeLimit: time.Second, GapTol: 1e-3, MaxNodes: 100, Threads: 4}
+	half := b.Scale(0.5)
+	if half.TimeLimit != 500*time.Millisecond || half.MaxNodes != 50 {
+		t.Errorf("Scale(0.5) = %+v", half)
+	}
+	if half.GapTol != b.GapTol || half.Threads != b.Threads {
+		t.Errorf("Scale touched per-solve qualities: %+v", half)
+	}
+	// A tiny fraction of a set budget floors at 1ms / 1 node instead of
+	// becoming zero ("unlimited").
+	tiny := b.Scale(1e-9)
+	if tiny.TimeLimit != time.Millisecond || tiny.MaxNodes != 1 {
+		t.Errorf("Scale(1e-9) = %+v, want 1ms / 1 node floors", tiny)
+	}
+	// Unset resources stay unset: zero must not become a 1ms cap.
+	unset := joinorder.Budget{GapTol: 1e-3}.Scale(0.25)
+	if unset.TimeLimit != 0 || unset.MaxNodes != 0 {
+		t.Errorf("Scale set unset resources: %+v", unset)
+	}
+	if got := b.Split(4).TimeLimit; got != 250*time.Millisecond {
+		t.Errorf("Split(4).TimeLimit = %v", got)
+	}
+	if got := b.Split(1); got != b {
+		t.Errorf("Split(1) = %+v, want unchanged", got)
+	}
+}

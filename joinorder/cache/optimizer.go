@@ -319,7 +319,7 @@ func (o *Optimizer) degradeBudget(ctx context.Context, opts joinorder.Options, n
 	if o.cfg.DegradeUnder <= 0 {
 		return false
 	}
-	budget := opts.TimeLimit
+	budget := opts.EffectiveBudget().TimeLimit
 	if dl, ok := ctx.Deadline(); ok {
 		if r := dl.Sub(now); budget <= 0 || r < budget {
 			budget = r
@@ -340,8 +340,9 @@ func (o *Optimizer) serveDegraded(ctx context.Context, q *joinorder.Query, opts 
 		// cached answer is the race winner's plan, not only the MILP's.
 		// Callbacks are severed — the requester already returned.
 		bgOpts := opts
-		bgOpts.OnEvent, bgOpts.OnProgress, bgOpts.OnPlan = nil, nil, nil
+		bgOpts.OnEvent, bgOpts.OnPlan = nil, nil
 		bgOpts.TimeLimit = o.cfg.BackgroundBudget
+		bgOpts.Budget.TimeLimit = o.cfg.BackgroundBudget
 		bgCtx := context.WithoutCancel(ctx)
 		o.bg.Add(1)
 		go func() {
@@ -391,52 +392,41 @@ func storeForm(res *joinorder.Result, c *Canonical) *canonicalResult {
 }
 
 // optionsKey digests every option that changes what a solve returns.
-// TimeLimit and Threads are deliberately excluded: they bound effort, not
-// the optimum, and a proven-optimal cached plan answers the query under
-// any budget. Callback fields never affect results.
+// Budget fields are read through the Options.EffectiveBudget resolution
+// (so the Budget struct and its deprecated flat aliases digest
+// identically); of those, TimeLimit and Threads are deliberately
+// excluded: they bound effort, not the optimum, and a proven-optimal
+// cached plan answers the query under any budget. Callback fields never
+// affect results.
 func optionsKey(o joinorder.Options) string {
 	strat := o.Strategy
 	if strat == "" {
 		strat = "milp"
 	}
+	b := o.EffectiveBudget()
 	// Portfolio membership changes what "auto" returns, so it is part of
 	// the digest; member order is kept (it breaks cost ties).
-	return fmt.Sprintf("%s,m%d,op%d,p%d,tr%g,cc%g,gt%g,mn%d,co%t,io%t,ep%t,dp%d,s%d,pf%v",
+	return fmt.Sprintf("%s,m%d,op%d,p%d,tr%g,cc%g,gt%g,mn%d,co%t,io%t,ep%t,dp%d,pc%d,sf%g,s%d,pf%v",
 		strat, o.Metric, o.Op, o.Precision, o.ThresholdRatio, o.CardCap,
-		o.GapTol, o.MaxNodes, o.ChooseOperators, o.InterestingOrders,
-		o.ExpensivePredicates, o.MaxDPTables, o.Seed, o.Portfolio)
+		b.GapTol, b.MaxNodes, o.ChooseOperators, o.InterestingOrders,
+		o.ExpensivePredicates, o.MaxDPTables, o.PartitionCap, o.SeamBudgetFrac,
+		o.Seed, o.Portfolio)
 }
 
 // callEmitter re-serialises the caller's event stream for one cache call:
 // cache-layer events and the underlying solver's events share one
-// monotonic sequence, and the deprecated OnProgress adapter keeps
-// observing incumbent/bound events exactly as it would uncached.
+// monotonic sequence.
 type callEmitter struct {
-	em         *obs.Emitter
-	onProgress func(joinorder.Progress)
+	em *obs.Emitter
 }
 
 func newCallEmitter(start time.Time, opts joinorder.Options) *callEmitter {
-	if opts.OnEvent == nil && opts.OnProgress == nil {
+	if opts.OnEvent == nil {
 		return nil
 	}
-	onEvent, onProgress := opts.OnEvent, opts.OnProgress
-	c := &callEmitter{onProgress: onProgress}
-	c.em = obs.NewEmitter(start, func(ev obs.Event) {
-		if onEvent != nil {
-			onEvent(ev)
-		}
-		if onProgress != nil && (ev.Kind == joinorder.KindIncumbent || ev.Kind == joinorder.KindBound) {
-			onProgress(joinorder.Progress{
-				Incumbent:    ev.Incumbent,
-				Bound:        ev.Bound,
-				Gap:          ev.Gap,
-				Nodes:        ev.Nodes,
-				Elapsed:      ev.Elapsed,
-				HasIncumbent: ev.HasIncumbent,
-			})
-		}
-	})
+	onEvent := opts.OnEvent
+	c := &callEmitter{}
+	c.em = obs.NewEmitter(start, func(ev obs.Event) { onEvent(ev) })
 	return c
 }
 
@@ -447,7 +437,6 @@ func (c *callEmitter) rewire(opts joinorder.Options) joinorder.Options {
 	if c == nil {
 		return opts
 	}
-	opts.OnProgress = nil
 	opts.OnEvent = c.em.Emit
 	return opts
 }

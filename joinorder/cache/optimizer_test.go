@@ -458,16 +458,21 @@ func TestEventStreamInterleavesCacheAndSolverEvents(t *testing.T) {
 		t.Fatalf("cache_hit event lacks anytime state: %+v", events[0])
 	}
 
-	// OnProgress keeps observing incumbents through the cache rewiring.
-	var progress int
+	// Incumbent events keep reaching the caller through the cache
+	// rewiring on a fresh (miss-path) query.
+	var incumbents int
 	p := milpOpts()
-	p.OnProgress = func(joinorder.Progress) { progress++ }
+	p.OnEvent = func(ev joinorder.Event) {
+		if ev.Kind == joinorder.KindIncumbent {
+			incumbents++
+		}
+	}
 	pq := workload.Generate(workload.Star, 6, 17, workload.Config{})
 	if _, err := o.Optimize(context.Background(), pq, p); err != nil {
 		t.Fatal(err)
 	}
-	if progress == 0 {
-		t.Fatal("OnProgress starved by the cache rewiring")
+	if incumbents == 0 {
+		t.Fatal("incumbent events starved by the cache rewiring")
 	}
 }
 

@@ -117,15 +117,17 @@ func TestConcurrentOptimizeEventStreams(t *testing.T) {
 	}
 }
 
-func TestOnProgressAdapterMatchesEventStream(t *testing.T) {
+// TestEventStreamAnytimeTrajectory pins the contract the retired
+// OnProgress adapter used to re-export: the incumbent/bound events alone
+// reconstruct the anytime trajectory, improvements never worsen, and a
+// proven-optimal run ends with a closed gap on the stream.
+func TestEventStreamAnytimeTrajectory(t *testing.T) {
 	q := smallQuery()
-	var progress []joinorder.Progress
 	rec := &eventRecorder{}
 	res, err := joinorder.Optimize(context.Background(), q, joinorder.Options{
-		Strategy:   "milp",
-		TimeLimit:  30 * time.Second,
-		OnEvent:    rec.record,
-		OnProgress: func(p joinorder.Progress) { progress = append(progress, p) },
+		Strategy: "milp",
+		Budget:   joinorder.Budget{TimeLimit: 30 * time.Second},
+		OnEvent:  rec.record,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -133,22 +135,31 @@ func TestOnProgressAdapterMatchesEventStream(t *testing.T) {
 	if res.Status != joinorder.StatusOptimal {
 		t.Fatalf("status %v, want optimal", res.Status)
 	}
-	var improvements int
+	var improvements []joinorder.Event
 	for _, ev := range rec.events {
 		if ev.Kind == joinorder.KindIncumbent || ev.Kind == joinorder.KindBound {
-			improvements++
+			improvements = append(improvements, ev)
 		}
 	}
-	if len(progress) != improvements {
-		t.Fatalf("OnProgress fired %d times, event stream has %d improvement events", len(progress), improvements)
+	if len(improvements) == 0 {
+		t.Fatal("no incumbent/bound events on the stream")
 	}
-	for i, p := range progress {
-		if !p.HasIncumbent {
+	prev := math.Inf(1)
+	for i, ev := range improvements {
+		if !ev.HasIncumbent {
 			continue
 		}
-		if i > 0 && progress[i-1].HasIncumbent && p.Incumbent > progress[i-1].Incumbent+1e-9 {
-			t.Fatalf("progress %d: incumbent worsened", i)
+		if ev.Incumbent > prev+1e-9 {
+			t.Fatalf("improvement %d: incumbent worsened (%g after %g)", i, ev.Incumbent, prev)
 		}
+		prev = ev.Incumbent
+	}
+	last := improvements[len(improvements)-1]
+	if !last.HasIncumbent {
+		t.Fatalf("final improvement event has no incumbent: %+v", last)
+	}
+	if last.Incumbent != res.Objective {
+		t.Fatalf("final stream incumbent %g != result objective %g", last.Incumbent, res.Objective)
 	}
 }
 

@@ -1,0 +1,80 @@
+package joinorder
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"milpjoin/internal/core"
+	"milpjoin/internal/decomp"
+	"milpjoin/internal/obs"
+	"milpjoin/internal/plan"
+	"milpjoin/internal/solver"
+)
+
+func init() {
+	mustRegister("hybrid", "graph decomposition for 100+ table queries: partition, solve per piece (exact DP or MILP), stitch with an exact quotient DP, seam re-optimization", optimizeHybrid)
+}
+
+// optimizeHybrid runs the decomposition pipeline of internal/decomp: the
+// join graph is cut along its weakest edges into partitions of at most
+// Options.PartitionCap tables, each partition is solved on its own slice
+// of the time budget, the partition plans are stitched into one global
+// left-deep plan, and the reserved Options.SeamBudgetFrac of the budget
+// re-optimizes windows around the cut seams. Every improving global plan
+// flows through Options.OnPlan/OnEvent, so under strategy "auto" the
+// hybrid feeds the portfolio's incumbent bus like any other member.
+//
+// The hybrid prices Options.Op uniformly (ChooseOperators is ignored) and
+// always returns a feasible plan with a finite, exact-space-valid lower
+// bound — typically loose (the cherry bound) unless the query fit a
+// single exact solve.
+func optimizeHybrid(ctx context.Context, q *Query, opts Options) (*Result, error) {
+	start := time.Now()
+	a := newAnytime("hybrid", opts)
+	budget := opts.EffectiveBudget()
+	dopts := decomp.Options{
+		Spec:         opts.spec(),
+		PartitionCap: opts.PartitionCap,
+		SeamFrac:     opts.SeamBudgetFrac,
+		Deadline:     opts.deadline(start),
+		MILP: core.Options{
+			Precision:           opts.Precision,
+			ThresholdRatio:      opts.ThresholdRatio,
+			CardCap:             opts.CardCap,
+			InterestingOrders:   opts.InterestingOrders,
+			ExpensivePredicates: opts.ExpensivePredicates,
+		},
+		Params: solver.Params{GapTol: budget.GapTol, Threads: budget.Threads},
+	}
+	if a != nil {
+		dopts.OnImprovement = func(pl *plan.Plan, c float64) {
+			a.improved(pl, c, time.Since(start), math.Inf(-1))
+		}
+	}
+	res, err := decomp.Optimize(ctx, q, dopts)
+	if err != nil {
+		return nil, mapBaselineErr(ctx, err)
+	}
+	out := &Result{
+		Strategy:  "hybrid",
+		Plan:      res.Plan,
+		Tree:      res.Plan.LeftDeep(),
+		Cost:      res.Cost,
+		Objective: res.Cost,
+		Bound:     res.Bound,
+		Gap:       obs.RelGap(res.Cost, res.Bound),
+		Elapsed:   time.Since(start),
+	}
+	switch {
+	case ctx.Err() != nil:
+		out.Status = StatusCanceled
+	case res.Optimal:
+		out.Status = StatusOptimal
+	case res.TimedOut:
+		out.Status = StatusTimeLimit
+	default:
+		out.Status = StatusFeasible
+	}
+	return out, nil
+}

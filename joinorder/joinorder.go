@@ -90,11 +90,6 @@ const (
 	PrecisionLow    = core.PrecisionLow
 )
 
-// Progress is an anytime snapshot surfaced by strategies that stream
-// incumbents (currently the MILP strategy): the best objective so far, the
-// proven lower bound, and the relative gap.
-type Progress = solver.Progress
-
 // Event is one observation from the solver's structured event stream:
 // presolve summary, cut rounds, the root LP relaxation, incumbents, bound
 // improvements, heuristic dives, periodic node batches, and worker
@@ -184,11 +179,23 @@ type Options struct {
 	// operator selection is off (default HashJoin).
 	Op Operator
 
+	// Budget bundles the run's resource limits (time, gap tolerance,
+	// node cap, threads) as one splittable value. Each zero Budget field
+	// falls back to the matching deprecated flat field below; a non-zero
+	// Budget field always wins. See Budget and Options.EffectiveBudget.
+	Budget Budget
+
 	// TimeLimit bounds wall-clock time (zero: none). It composes with
 	// the context deadline: the effective budget is the minimum.
+	//
+	// Deprecated: set Budget.TimeLimit. When both are non-zero,
+	// Budget.TimeLimit wins.
 	TimeLimit time.Duration
 	// Threads is the parallel worker count for strategies that support
 	// it (MILP branch and bound; default 1).
+	//
+	// Deprecated: set Budget.Threads. When both are non-zero,
+	// Budget.Threads wins.
 	Threads int
 
 	// Precision selects the MILP threshold spacing (default
@@ -202,8 +209,14 @@ type Options struct {
 	CardCap float64
 	// GapTol is the relative optimality gap at which the MILP search
 	// stops (default 1e-6).
+	//
+	// Deprecated: set Budget.GapTol. When both are non-zero,
+	// Budget.GapTol wins.
 	GapTol float64
 	// MaxNodes bounds explored branch-and-bound nodes (zero: none).
+	//
+	// Deprecated: set Budget.MaxNodes. When both are non-zero,
+	// Budget.MaxNodes wins.
 	MaxNodes int
 
 	// ChooseOperators lets the optimizer pick a join operator per join
@@ -220,6 +233,18 @@ type Options struct {
 	// MaxDPTables guards the DP strategies against the 2^n memory
 	// blow-up (default 24 left-deep, 20 bushy).
 	MaxDPTables int
+
+	// PartitionCap bounds partition sizes in the "hybrid" decomposition
+	// strategy: the join graph is cut into connected partitions of at
+	// most this many tables, each solved independently before stitching
+	// (default 15; hybrid strategy only). Values below 2 other than the
+	// 0 default are rejected by Validate.
+	PartitionCap int
+	// SeamBudgetFrac is the fraction of the hybrid strategy's time
+	// budget reserved for stitching partition plans and re-optimizing
+	// seam regions (default 0.25; must be in [0, 1); hybrid strategy
+	// only).
+	SeamBudgetFrac float64
 
 	// Seed drives the randomized heuristics (deterministic per seed).
 	Seed int64
@@ -239,14 +264,6 @@ type Options struct {
 	// fast: they execute on solver goroutines, some while search locks
 	// are held.
 	OnEvent func(Event)
-
-	// OnProgress, when non-nil, receives anytime snapshots from
-	// strategies that stream incumbents (serialised).
-	//
-	// Deprecated: OnProgress is a thin adapter over the event stream
-	// (incumbent and bound events only); new code should use OnEvent.
-	// Both callbacks may be set; they observe the same serialised stream.
-	OnProgress func(Progress)
 
 	// OnPlan, when non-nil, observes every strict plan improvement a
 	// strategy reports, with the plan itself — the uniform anytime
@@ -271,7 +288,16 @@ type Options struct {
 // Validate checks the caller-supplied option values. Every public entry
 // point validates before optimizing, so no panic is reachable from bad
 // API input.
+//
+// Budget precedence: the resource limits may arrive through the Budget
+// struct, the deprecated flat fields (TimeLimit, GapTol, MaxNodes,
+// Threads), or both. Both spellings are validated; at resolution time
+// (EffectiveBudget) each non-zero Budget field wins over its flat alias,
+// and a zero pair means the strategy default.
 func (o Options) Validate() error {
+	if err := o.Budget.validate(); err != nil {
+		return err
+	}
 	if o.ThresholdRatio != 0 && o.ThresholdRatio <= 1 {
 		return fmt.Errorf("%w: threshold ratio %g must exceed 1", ErrInvalidOptions, o.ThresholdRatio)
 	}
@@ -305,6 +331,12 @@ func (o Options) Validate() error {
 	}
 	if o.MaxDPTables < 0 {
 		return fmt.Errorf("%w: negative DP table limit %d", ErrInvalidOptions, o.MaxDPTables)
+	}
+	if o.PartitionCap < 0 || o.PartitionCap == 1 {
+		return fmt.Errorf("%w: partition cap %d must be 0 (default) or at least 2", ErrInvalidOptions, o.PartitionCap)
+	}
+	if o.SeamBudgetFrac < 0 || o.SeamBudgetFrac >= 1 {
+		return fmt.Errorf("%w: seam budget fraction %g must be in [0, 1)", ErrInvalidOptions, o.SeamBudgetFrac)
 	}
 	if o.InterestingOrders && !o.ChooseOperators {
 		return fmt.Errorf("%w: InterestingOrders requires ChooseOperators", ErrInvalidOptions)
@@ -346,13 +378,14 @@ func (o Options) spec() cost.Spec {
 	return cost.Spec{Metric: o.Metric, Op: op, Params: cost.Params{}.WithDefaults()}
 }
 
-// deadline converts TimeLimit into an absolute deadline (zero when no
-// limit is configured).
+// deadline converts the effective time limit into an absolute deadline
+// (zero when no limit is configured).
 func (o Options) deadline(now time.Time) time.Time {
-	if o.TimeLimit <= 0 {
+	limit := o.EffectiveBudget().TimeLimit
+	if limit <= 0 {
 		return time.Time{}
 	}
-	return now.Add(o.TimeLimit)
+	return now.Add(limit)
 }
 
 // Status classifies the outcome of a successful optimization (err == nil).

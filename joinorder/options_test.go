@@ -25,6 +25,19 @@ func TestOptionsValidate(t *testing.T) {
 		{"negative card cap", func(o *joinorder.Options) { o.CardCap = -1e12 }, true},
 		{"valid card cap", func(o *joinorder.Options) { o.CardCap = 1e9 }, false},
 		{"negative dp tables", func(o *joinorder.Options) { o.MaxDPTables = -1 }, true},
+		{"negative budget time limit", func(o *joinorder.Options) { o.Budget.TimeLimit = -time.Second }, true},
+		{"negative budget gap tol", func(o *joinorder.Options) { o.Budget.GapTol = -1e-6 }, true},
+		{"negative budget max nodes", func(o *joinorder.Options) { o.Budget.MaxNodes = -1 }, true},
+		{"negative budget threads", func(o *joinorder.Options) { o.Budget.Threads = -1 }, true},
+		{"budget set", func(o *joinorder.Options) {
+			o.Budget = joinorder.Budget{TimeLimit: time.Second, GapTol: 1e-3, MaxNodes: 100, Threads: 2}
+		}, false},
+		{"partition cap one", func(o *joinorder.Options) { o.PartitionCap = 1 }, true},
+		{"negative partition cap", func(o *joinorder.Options) { o.PartitionCap = -3 }, true},
+		{"valid partition cap", func(o *joinorder.Options) { o.PartitionCap = 12 }, false},
+		{"seam frac one", func(o *joinorder.Options) { o.SeamBudgetFrac = 1 }, true},
+		{"negative seam frac", func(o *joinorder.Options) { o.SeamBudgetFrac = -0.1 }, true},
+		{"valid seam frac", func(o *joinorder.Options) { o.SeamBudgetFrac = 0.4 }, false},
 		{"positive dp tables", func(o *joinorder.Options) { o.MaxDPTables = 12 }, false},
 		{"threshold ratio one", func(o *joinorder.Options) { o.ThresholdRatio = 1 }, true},
 		{"threshold ratio below one", func(o *joinorder.Options) { o.ThresholdRatio = 0.5 }, true},

@@ -164,9 +164,11 @@ type prepared struct {
 	id      string
 }
 
-// httpError is a terminal non-2xx outcome of serve.
+// httpError is a terminal non-2xx outcome of serve. code is the stable
+// machine-readable error code carried by the response's ErrorEnvelope.
 type httpError struct {
 	status     int
+	code       string
 	msg        string
 	retryAfter time.Duration
 }
@@ -179,31 +181,31 @@ func (s *Server) prepare(w http.ResponseWriter, r *http.Request) (*prepared, boo
 	if s.draining.Load() {
 		s.ctr.drainReject.Add(1)
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, time.Second, "server is draining")
 		return nil, false
 	}
 	req, err := decodeRequest(w, r)
 	if err != nil {
 		s.ctr.badRequest.Add(1)
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, 0, "%v", err)
 		return nil, false
 	}
 	if ok, wait := s.tb.allow(req.tenant(r), s.cfg.now()); !ok {
 		s.ctr.rateLimited.Add(1)
 		w.Header().Set("Retry-After", retryAfterSeconds(wait))
-		writeError(w, http.StatusTooManyRequests, "tenant %q over rate limit", req.tenant(r))
+		writeError(w, http.StatusTooManyRequests, CodeRateLimited, wait, "tenant %q over rate limit", req.tenant(r))
 		return nil, false
 	}
 	q, err := req.query()
 	if err != nil {
 		s.ctr.badRequest.Add(1)
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, 0, "%v", err)
 		return nil, false
 	}
 	opts, err := req.options(s.cfg)
 	if err != nil {
 		s.ctr.badRequest.Add(1)
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, 0, "%v", err)
 		return nil, false
 	}
 	return &prepared{
@@ -243,7 +245,7 @@ func (s *Server) serve(ctx context.Context, pr *prepared, onEvent func(joinorder
 	s.inflight.Add(1)
 	defer s.inflight.Done()
 
-	deadline := pr.arrived.Add(pr.opts.TimeLimit)
+	deadline := pr.arrived.Add(pr.opts.EffectiveBudget().TimeLimit)
 	weight := requestWeight(pr.opts)
 	if weight > 1 {
 		s.ctr.portfolio.Add(1)
@@ -255,6 +257,7 @@ func (s *Server) serve(ctx context.Context, pr *prepared, onEvent func(joinorder
 			s.logRequest(pr, "rejected", 0, 0, nil)
 			return nil, &httpError{
 				status:     http.StatusTooManyRequests,
+				code:       CodeSaturated,
 				msg:        "admission queue saturated and request refuses degraded answers",
 				retryAfter: s.shedRetryAfter(),
 			}
@@ -275,7 +278,7 @@ func (s *Server) serve(ctx context.Context, pr *prepared, onEvent func(joinorder
 			if ctx.Err() != nil {
 				s.ctr.canceled.Add(1)
 				s.logRequest(pr, "client gone", 0, 0, nil)
-				return nil, &httpError{status: statusClientClosedRequest, msg: "client closed request"}
+				return nil, &httpError{status: statusClientClosedRequest, code: CodeClientClosed, msg: "client closed request"}
 			}
 			// Deadline burned entirely in the queue: the degraded
 			// answer is all that is left of the budget.
@@ -287,6 +290,7 @@ func (s *Server) serve(ctx context.Context, pr *prepared, onEvent func(joinorder
 			s.logRequest(pr, "queue timeout", 0, 0, nil)
 			return nil, &httpError{
 				status:     http.StatusGatewayTimeout,
+				code:       CodeTimeout,
 				msg:        "request deadline expired in the admission queue",
 				retryAfter: s.shedRetryAfter(),
 			}
@@ -304,8 +308,8 @@ func (s *Server) serve(ctx context.Context, pr *prepared, onEvent func(joinorder
 	// zero — that would mean "unlimited" to the optimizer; the context
 	// deadline set above ends an already-exhausted budget immediately.
 	opts := pr.opts
-	if remaining := deadline.Sub(s.cfg.now()); remaining < opts.TimeLimit {
-		opts.TimeLimit = max(remaining, time.Millisecond)
+	if remaining := deadline.Sub(s.cfg.now()); remaining < opts.Budget.TimeLimit {
+		opts.Budget.TimeLimit = max(remaining, time.Millisecond)
 	}
 	return s.runSolve(waitCtx, pr, opts, queueWait, onEvent)
 }
@@ -317,7 +321,7 @@ func (s *Server) serve(ctx context.Context, pr *prepared, onEvent func(joinorder
 // of the requested budget.
 func (s *Server) serveDegraded(ctx context.Context, pr *prepared, onEvent func(joinorder.Event)) (*OptimizeResponse, *httpError) {
 	opts := pr.opts
-	opts.TimeLimit = s.cfg.Cache.DegradeUnder
+	opts.Budget.TimeLimit = s.cfg.Cache.DegradeUnder
 	resp, herr := s.runSolve(ctx, pr, opts, 0, onEvent)
 	// resp.Degraded comes from the cache's KindDegraded event — a shed
 	// request that hits the exact cache gets the full cached answer and
@@ -355,21 +359,21 @@ func (s *Server) runSolve(ctx context.Context, pr *prepared, opts joinorder.Opti
 		case errors.Is(err, joinorder.ErrCanceled) && ctx.Err() != nil && errors.Is(ctx.Err(), context.Canceled):
 			s.ctr.canceled.Add(1)
 			s.logRequest(pr, "client gone mid-solve", queueWait, solveWait, nil)
-			return nil, &httpError{status: statusClientClosedRequest, msg: "client closed request"}
+			return nil, &httpError{status: statusClientClosedRequest, code: CodeClientClosed, msg: "client closed request"}
 		case errors.Is(err, joinorder.ErrCanceled), errors.Is(err, joinorder.ErrNoPlan):
 			s.ctr.timeouts.Add(1)
 			s.logRequest(pr, "no plan within budget", queueWait, solveWait, nil)
-			return nil, &httpError{status: http.StatusGatewayTimeout, msg: fmt.Sprintf("no plan within the budget: %v", err)}
+			return nil, &httpError{status: http.StatusGatewayTimeout, code: CodeTimeout, msg: fmt.Sprintf("no plan within the budget: %v", err)}
 		case errors.Is(err, joinorder.ErrInvalidQuery), errors.Is(err, joinorder.ErrInvalidOptions), errors.Is(err, joinorder.ErrUnknownStrategy):
 			s.ctr.badRequest.Add(1)
-			return nil, &httpError{status: http.StatusBadRequest, msg: err.Error()}
+			return nil, &httpError{status: http.StatusBadRequest, code: CodeBadRequest, msg: err.Error()}
 		case errors.Is(err, joinorder.ErrInfeasible):
 			s.ctr.failed.Add(1)
-			return nil, &httpError{status: http.StatusUnprocessableEntity, msg: err.Error()}
+			return nil, &httpError{status: http.StatusUnprocessableEntity, code: CodeInfeasible, msg: err.Error()}
 		default:
 			s.ctr.failed.Add(1)
 			s.logRequest(pr, "solve failed: "+err.Error(), queueWait, solveWait, nil)
-			return nil, &httpError{status: http.StatusInternalServerError, msg: err.Error()}
+			return nil, &httpError{status: http.StatusInternalServerError, code: CodeInternal, msg: err.Error()}
 		}
 	}
 
@@ -478,7 +482,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		if herr.retryAfter > 0 {
 			w.Header().Set("Retry-After", retryAfterSeconds(herr.retryAfter))
 		}
-		writeError(w, herr.status, "%s", herr.msg)
+		writeError(w, herr.status, herr.code, herr.retryAfter, "%s", herr.msg)
 		return
 	}
 	if resp.Degraded {

@@ -153,6 +153,12 @@ func TestBadRequests(t *testing.T) {
 			b, _ := io.ReadAll(resp.Body)
 			t.Errorf("%s: status = %d, want 400 (%s)", name, resp.StatusCode, b)
 		}
+		var env ErrorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Errorf("%s: error body not an envelope: %v", name, err)
+		} else if env.Err.Code != CodeBadRequest || env.Err.Message == "" {
+			t.Errorf("%s: envelope = %+v, want code %q and a message", name, env.Err, CodeBadRequest)
+		}
 		resp.Body.Close()
 	}
 	if snap := s.Snapshot(); snap.BadRequest < 8 {
@@ -185,6 +191,12 @@ func TestTenantRateLimit(t *testing.T) {
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("429 without Retry-After")
+	}
+	var env ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Errorf("429 body not an envelope: %v", err)
+	} else if env.Err.Code != CodeRateLimited || env.Err.RetryAfterMillis <= 0 {
+		t.Errorf("429 envelope = %+v, want code %q with a retry hint", env.Err, CodeRateLimited)
 	}
 	// A different tenant is unaffected.
 	hr, _ := http.NewRequest("POST", ts.URL+"/v1/optimize", bytes.NewReader(body))
@@ -717,5 +729,103 @@ func TestOptimizeAutoPortfolio(t *testing.T) {
 	resp, _ = postOptimize(t, ts, bad)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("portfolio with non-auto strategy: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestErrorEnvelopeUnmarshal: the client-side decoder accepts both the
+// structured envelope and the legacy flat {"error": "msg"} form.
+func TestErrorEnvelopeUnmarshal(t *testing.T) {
+	var env ErrorEnvelope
+	structured := `{"error":{"code":"timeout","message":"no plan","retry_after_ms":1500}}`
+	if err := json.Unmarshal([]byte(structured), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Err.Code != CodeTimeout || env.Err.Message != "no plan" || env.Err.RetryAfterMillis != 1500 {
+		t.Errorf("structured envelope = %+v", env.Err)
+	}
+	if got := env.Error(); got != "timeout: no plan" {
+		t.Errorf("Error() = %q", got)
+	}
+	legacy := `{"error":"server is draining"}`
+	if err := json.Unmarshal([]byte(legacy), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Err.Code != "" || env.Err.Message != "server is draining" || env.Err.RetryAfterMillis != 0 {
+		t.Errorf("legacy envelope = %+v", env.Err)
+	}
+	if got := env.Error(); got != "server is draining" {
+		t.Errorf("legacy Error() = %q", got)
+	}
+}
+
+// TestRequestBudgetObject: the budget object wins over the flat aliases
+// field-by-field, and the resolved limits land in Options.Budget.
+func TestRequestBudgetObject(t *testing.T) {
+	cfg := Config{DefaultTimeLimit: 10 * time.Second, MaxTimeLimit: time.Minute}
+	req := &OptimizeRequest{
+		Budget:  &BudgetRequest{Timeout: "2s", MaxNodes: 500},
+		Timeout: "9s", // loses to budget.timeout
+		GapTol:  1e-3, // wins: budget.gap_tol unset
+		Threads: 4,    // wins: budget.threads unset
+	}
+	opts, err := req.options(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := joinorder.Budget{TimeLimit: 2 * time.Second, GapTol: 1e-3, MaxNodes: 500, Threads: 4}
+	if opts.Budget != want {
+		t.Errorf("options().Budget = %+v, want %+v", opts.Budget, want)
+	}
+	// Budget timeouts are capped by the server config like flat ones.
+	req = &OptimizeRequest{Budget: &BudgetRequest{Timeout: "5m"}}
+	if opts, err = req.options(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if opts.Budget.TimeLimit != time.Minute {
+		t.Errorf("budget timeout not capped: %v", opts.Budget.TimeLimit)
+	}
+	// A negative budget field is rejected by Options.Validate.
+	req = &OptimizeRequest{Budget: &BudgetRequest{MaxNodes: -1}}
+	if _, err = req.options(cfg); err == nil {
+		t.Error("negative budget.max_nodes accepted")
+	}
+}
+
+// TestOptimizeHybridRequest: the hybrid strategy plus its knobs round-trip
+// through the wire format and answer a large query.
+func TestOptimizeHybridRequest(t *testing.T) {
+	s := mustServer(t, Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	body := queryBody(t, workload.Snowflake, 40, 1, func(r *OptimizeRequest) {
+		r.Strategy = "hybrid"
+		r.PartitionCap = 8
+		r.SeamBudgetFrac = 0.3
+		r.Budget = &BudgetRequest{Timeout: "5s"}
+		r.Timeout = ""
+	})
+	resp, out := postOptimize(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out.Result == nil || out.Result.Plan == nil || len(out.Result.Plan.Order) != 40 {
+		t.Fatalf("no 40-table plan: %+v", out.Result)
+	}
+	if out.Result.Strategy != "hybrid" {
+		t.Errorf("strategy = %q", out.Result.Strategy)
+	}
+	// An out-of-range knob is a 400 with the envelope's code.
+	bad := queryBody(t, workload.Chain, 6, 1, func(r *OptimizeRequest) {
+		r.Strategy = "hybrid"
+		r.PartitionCap = 1
+	})
+	hr, err := http.Post(ts.URL+"/v1/optimize", "application/json", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusBadRequest {
+		t.Errorf("partition_cap=1 status = %d, want 400", hr.StatusCode)
 	}
 }

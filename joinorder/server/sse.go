@@ -24,7 +24,7 @@ const sseEventBuffer = 512
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		writeError(w, http.StatusInternalServerError, CodeInternal, 0, "response writer does not support streaming")
 		return
 	}
 	pr, ok := s.prepare(w, r)
@@ -71,10 +71,19 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	out := <-done
 	if out.herr != nil {
-		writeSSE(w, "error", map[string]any{ //nolint:errcheck // client may be gone
-			"error":          out.herr.msg,
-			"status":         out.herr.status,
-			"retry_after_ms": out.herr.retryAfter.Milliseconds(),
+		// The "error" event's data is the same ErrorEnvelope a non-2xx
+		// unary response carries, plus the HTTP status the request would
+		// have received (the SSE stream itself is already committed 200).
+		writeSSE(w, "error", struct { //nolint:errcheck // client may be gone
+			ErrorEnvelope
+			Status int `json:"status"`
+		}{
+			ErrorEnvelope: ErrorEnvelope{Err: ErrorDetail{
+				Code:             out.herr.code,
+				Message:          out.herr.msg,
+				RetryAfterMillis: out.herr.retryAfter.Milliseconds(),
+			}},
+			Status: out.herr.status,
 		})
 	} else {
 		writeSSE(w, "result", out.resp) //nolint:errcheck // client may be gone

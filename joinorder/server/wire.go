@@ -43,16 +43,34 @@ type OptimizeRequest struct {
 	// Precision is the MILP cardinality approximation: high, medium, or
 	// low (default medium).
 	Precision string `json:"precision,omitempty"`
+	// Budget bundles the run's resource limits as one object. Each
+	// non-zero field wins over the corresponding flat request field
+	// (timeout, gap_tol, threads) — the same precedence rule as
+	// joinorder.Options.Budget over its deprecated flat aliases.
+	Budget *BudgetRequest `json:"budget,omitempty"`
 	// Timeout is the solve budget as a Go duration string ("500ms",
 	// "5s"); defaulted and capped by the server config.
+	//
+	// Deprecated: set budget.timeout. When both are set, budget wins.
 	Timeout string `json:"timeout,omitempty"`
 	// GapTol is the relative optimality gap at which to stop (default
 	// 1e-6).
+	//
+	// Deprecated: set budget.gap_tol. When both are set, budget wins.
 	GapTol float64 `json:"gap_tol,omitempty"`
 	// Threads is the solver's parallel worker count (default 1).
+	//
+	// Deprecated: set budget.threads. When both are set, budget wins.
 	Threads int `json:"threads,omitempty"`
 	// Seed drives randomized strategies.
 	Seed int64 `json:"seed,omitempty"`
+
+	// PartitionCap bounds partition sizes for the hybrid strategy
+	// (default 15).
+	PartitionCap int `json:"partition_cap,omitempty"`
+	// SeamBudgetFrac is the hybrid strategy's budget share reserved for
+	// seam re-optimization, in [0, 1) (default 0.25).
+	SeamBudgetFrac float64 `json:"seam_budget_frac,omitempty"`
 
 	// Tenant names the rate-limiting bucket; the X-Tenant header wins
 	// when both are set.
@@ -61,6 +79,20 @@ type OptimizeRequest struct {
 	// is saturated (default true). Requests that must have the asked-for
 	// strategy set it to false and accept 429s instead.
 	AllowDegraded *bool `json:"allow_degraded,omitempty"`
+}
+
+// BudgetRequest is the wire form of joinorder.Budget: the run's resource
+// limits as one object. Zero fields fall back to the flat request fields,
+// then to the server defaults.
+type BudgetRequest struct {
+	// Timeout is the solve budget as a Go duration string ("500ms", "5s").
+	Timeout string `json:"timeout,omitempty"`
+	// GapTol is the relative optimality gap at which to stop.
+	GapTol float64 `json:"gap_tol,omitempty"`
+	// MaxNodes bounds explored branch-and-bound nodes.
+	MaxNodes int `json:"max_nodes,omitempty"`
+	// Threads is the solver's parallel worker count.
+	Threads int `json:"threads,omitempty"`
 }
 
 // allowDegraded resolves the tri-state flag (default true).
@@ -99,11 +131,28 @@ func (r *OptimizeRequest) query() (*joinorder.Query, error) {
 // same solve.
 func (r *OptimizeRequest) options(cfg Config) (joinorder.Options, error) {
 	opts := joinorder.Options{
-		Strategy:  r.Strategy,
-		Portfolio: r.Portfolio,
-		GapTol:    r.GapTol,
-		Threads:   r.Threads,
-		Seed:      r.Seed,
+		Strategy:       r.Strategy,
+		Portfolio:      r.Portfolio,
+		Budget:         joinorder.Budget{GapTol: r.GapTol, Threads: r.Threads},
+		Seed:           r.Seed,
+		PartitionCap:   r.PartitionCap,
+		SeamBudgetFrac: r.SeamBudgetFrac,
+	}
+	// The budget object wins over the flat aliases field-by-field.
+	timeout := r.Timeout
+	if r.Budget != nil {
+		if r.Budget.Timeout != "" {
+			timeout = r.Budget.Timeout
+		}
+		if r.Budget.GapTol != 0 {
+			opts.Budget.GapTol = r.Budget.GapTol
+		}
+		if r.Budget.MaxNodes != 0 {
+			opts.Budget.MaxNodes = r.Budget.MaxNodes
+		}
+		if r.Budget.Threads != 0 {
+			opts.Budget.Threads = r.Budget.Threads
+		}
 	}
 	switch r.Precision {
 	case "", "medium":
@@ -136,19 +185,19 @@ func (r *OptimizeRequest) options(cfg Config) (joinorder.Options, error) {
 	default:
 		return opts, fmt.Errorf("unknown metric %q", r.Metric)
 	}
-	opts.TimeLimit = cfg.DefaultTimeLimit
-	if r.Timeout != "" {
-		d, err := time.ParseDuration(r.Timeout)
+	opts.Budget.TimeLimit = cfg.DefaultTimeLimit
+	if timeout != "" {
+		d, err := time.ParseDuration(timeout)
 		if err != nil {
 			return opts, fmt.Errorf("bad timeout: %v", err)
 		}
 		if d <= 0 {
 			return opts, fmt.Errorf("timeout %v must be positive", d)
 		}
-		opts.TimeLimit = d
+		opts.Budget.TimeLimit = d
 	}
-	if cfg.MaxTimeLimit > 0 && opts.TimeLimit > cfg.MaxTimeLimit {
-		opts.TimeLimit = cfg.MaxTimeLimit
+	if cfg.MaxTimeLimit > 0 && opts.Budget.TimeLimit > cfg.MaxTimeLimit {
+		opts.Budget.TimeLimit = cfg.MaxTimeLimit
 	}
 	return opts, opts.Validate()
 }
@@ -196,9 +245,66 @@ type OptimizeResponse struct {
 	TotalMillis float64 `json:"total_ms"`
 }
 
-// errorResponse is the JSON body of every non-2xx answer.
-type errorResponse struct {
-	Error string `json:"error"`
+// Error codes carried by the ErrorEnvelope of every non-2xx /v1 answer.
+// They partition the error space by what the client should do next:
+// retry later (draining, rate_limited, saturated, timeout), fix the
+// request (bad_request, infeasible), or give up (internal). client_closed
+// is only ever observed by in-process handler tests — the connection that
+// would carry it is gone.
+const (
+	CodeDraining     = "draining"
+	CodeBadRequest   = "bad_request"
+	CodeRateLimited  = "rate_limited"
+	CodeSaturated    = "saturated"
+	CodeTimeout      = "timeout"
+	CodeClientClosed = "client_closed"
+	CodeInfeasible   = "infeasible"
+	CodeInternal     = "internal"
+)
+
+// ErrorDetail is the payload of an ErrorEnvelope: a stable machine code,
+// a human message, and — for retryable codes — how long to back off.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterMillis mirrors the Retry-After header for retryable
+	// errors; zero means no backoff hint.
+	RetryAfterMillis int64 `json:"retry_after_ms,omitempty"`
+}
+
+// ErrorEnvelope is the JSON body of every non-2xx /v1 answer:
+//
+//	{"error": {"code": "rate_limited", "message": "...", "retry_after_ms": 1000}}
+//
+// Go clients decode it directly; UnmarshalJSON also tolerates the legacy
+// flat form {"error": "message"} emitted by older servers, mapping it to
+// an empty code.
+type ErrorEnvelope struct {
+	Err ErrorDetail `json:"error"`
+}
+
+// UnmarshalJSON accepts both the structured envelope and the legacy
+// {"error": "message"} flat string form.
+func (e *ErrorEnvelope) UnmarshalJSON(data []byte) error {
+	var flat struct {
+		Error json.RawMessage `json:"error"`
+	}
+	if err := json.Unmarshal(data, &flat); err != nil {
+		return err
+	}
+	if len(flat.Error) > 0 && flat.Error[0] == '"' {
+		e.Err = ErrorDetail{}
+		return json.Unmarshal(flat.Error, &e.Err.Message)
+	}
+	return json.Unmarshal(flat.Error, &e.Err)
+}
+
+// Error makes the envelope usable as a Go error by clients.
+func (e *ErrorEnvelope) Error() string {
+	if e.Err.Code == "" {
+		return e.Err.Message
+	}
+	return e.Err.Code + ": " + e.Err.Message
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -209,6 +315,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+func writeError(w http.ResponseWriter, status int, code string, retryAfter time.Duration, format string, args ...any) {
+	writeJSON(w, status, ErrorEnvelope{Err: ErrorDetail{
+		Code:             code,
+		Message:          fmt.Sprintf(format, args...),
+		RetryAfterMillis: retryAfter.Milliseconds(),
+	}})
 }

@@ -100,31 +100,15 @@ func optimizeMILP(ctx context.Context, q *Query, opts Options) (*Result, error) 
 		InitialPlan:         opts.InitialPlan,
 		Incumbents:          opts.incumbents,
 	}
+	budget := opts.EffectiveBudget()
 	params := solver.Params{
-		TimeLimit: opts.TimeLimit,
-		GapTol:    opts.GapTol,
-		Threads:   opts.Threads,
-		MaxNodes:  opts.MaxNodes,
+		TimeLimit: budget.TimeLimit,
+		GapTol:    budget.GapTol,
+		Threads:   budget.Threads,
+		MaxNodes:  budget.MaxNodes,
 	}
-	// Both callbacks ride the same serialised event stream: OnProgress is
-	// a thin adapter that forwards incumbent and bound events, so legacy
-	// consumers observe exactly the trajectory they did before.
-	if onEvent, onProgress := opts.OnEvent, opts.OnProgress; onEvent != nil || onProgress != nil {
-		params.OnEvent = func(ev Event) {
-			if onEvent != nil {
-				onEvent(ev)
-			}
-			if onProgress != nil && (ev.Kind == KindIncumbent || ev.Kind == KindBound) {
-				onProgress(Progress{
-					Incumbent:    ev.Incumbent,
-					Bound:        ev.Bound,
-					Gap:          ev.Gap,
-					Nodes:        ev.Nodes,
-					Elapsed:      ev.Elapsed,
-					HasIncumbent: ev.HasIncumbent,
-				})
-			}
-		}
+	if onEvent := opts.OnEvent; onEvent != nil {
+		params.OnEvent = func(ev Event) { onEvent(ev) }
 	}
 	res, err := core.Optimize(ctx, q, copts, params)
 	if err != nil {
@@ -384,10 +368,11 @@ func runHeuristic(ctx context.Context, q *Query, opts Options, name string,
 		return nil, fmt.Errorf("%w: %v", ErrNoPlan, err)
 	}
 	status := StatusFeasible
+	limit := opts.EffectiveBudget().TimeLimit
 	switch {
 	case ctx.Err() != nil:
 		status = StatusCanceled
-	case opts.TimeLimit > 0 && time.Since(start) >= opts.TimeLimit:
+	case limit > 0 && time.Since(start) >= limit:
 		status = StatusTimeLimit
 	}
 	return &Result{
