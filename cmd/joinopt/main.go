@@ -28,6 +28,15 @@
 // the per-entry table are printed after the plan:
 //
 //	joinopt -tables 12 -shape chain -cache -repeat 5 -stats
+//
+// Execution: -execute synthesizes data matching the query's statistics,
+// runs the optimized plan through the streaming executor, and prints the
+// estimated next to the executed cost with per-join q-errors. -feedback
+// additionally re-optimizes the remaining joins mid-query whenever a
+// measured cardinality misses its estimate by more than -qerror:
+//
+//	joinopt -tables 8 -shape chain -strategy milp -execute
+//	joinopt -tables 8 -shape star -execute -feedback -qerror 2 -exec-seed 7
 package main
 
 import (
@@ -81,6 +90,10 @@ func main() {
 		repeat    = flag.Int("repeat", 1, "optimize the query this many times (with -cache, runs after the first hit)")
 		partCap   = flag.Int("partition-cap", 0, "hybrid strategy: max tables per partition (0: the default 15)")
 		seamFrac  = flag.Float64("seam-frac", 0, "hybrid strategy: budget fraction reserved for seam re-optimization (0: the default 0.25)")
+		execute   = flag.Bool("execute", false, "synthesize matching data and run the optimized plan through the streaming executor")
+		execSeed  = flag.Int64("exec-seed", 1, "data synthesis seed for -execute")
+		feedback  = flag.Bool("feedback", false, "with -execute: re-optimize remaining joins mid-query on misestimates")
+		qerror    = flag.Float64("qerror", 0, "with -feedback: per-join q-error threshold that triggers re-optimization (0: the default 2)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags]\n\nflags:\n", os.Args[0])
@@ -97,7 +110,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	q, err := loadQuery(*queryFile, *sqlText, *catFile, *shapeName, *tables, *seed)
+	q, err := loadQuery(*queryFile, *sqlText, *catFile, *shapeName, *tables, *seed, *execute)
 	if err != nil {
 		fatal(err)
 	}
@@ -166,6 +179,20 @@ func main() {
 	if !*jsonOut {
 		fmt.Printf("optimizing %d tables, %d predicates (%s strategy, %s metric, %s precision)\n",
 			q.NumTables(), len(q.Predicates), *strat, *metric, *precision)
+	}
+	if *execute {
+		if err := runExecuted(ctx, os.Stdout, q, opts, joinorder.ExecOptions{
+			DataSeed:        *execSeed,
+			Feedback:        *feedback,
+			QErrorThreshold: *qerror,
+		}, *jsonOut); err != nil {
+			if errors.Is(err, joinorder.ErrCanceled) || errors.Is(err, joinorder.ErrNoPlan) {
+				fmt.Fprintf(os.Stderr, "joinopt: no executed plan within the budget (%v)\n", err)
+				os.Exit(2)
+			}
+			fatal(err)
+		}
+		return
 	}
 	var co *cache.Optimizer
 	if *cacheOn {
@@ -246,6 +273,45 @@ func main() {
 	if *stats && co != nil {
 		printCacheStats(co)
 	}
+}
+
+// runExecuted is the -execute path: optimize, synthesize data matching
+// the query's statistics, run the plan through the streaming executor,
+// and report the estimated next to the executed cost per join.
+func runExecuted(ctx context.Context, w io.Writer, q *qopt.Query, opts joinorder.Options, eo joinorder.ExecOptions, jsonOut bool) error {
+	ex, err := joinorder.OptimizeExecuted(ctx, q, opts, eo)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{
+			"result":    ex.Result,
+			"execution": ex,
+		})
+	}
+	res := ex.Result
+	fmt.Fprintf(w, "status: %v after %v\n", res.Status, res.Elapsed.Truncate(time.Millisecond))
+	switch {
+	case res.Plan != nil:
+		fmt.Fprintf(w, "plan:       %s\n", res.Plan)
+	case res.Tree != nil:
+		fmt.Fprintf(w, "tree:       %s\n", res.Tree)
+	}
+	fmt.Fprintln(w, "execution:")
+	for _, j := range ex.Joins {
+		fmt.Fprintf(w, "  join %-16v est %-12.6g measured %-10g q-error %.3g\n",
+			j.Tables, j.Estimated, j.Measured, j.QError)
+	}
+	fmt.Fprintf(w, "estimated C_out: %.6g\n", ex.EstimatedCout)
+	fmt.Fprintf(w, "executed C_out:  %.6g\n", ex.ExecutedCout)
+	fmt.Fprintf(w, "max q-error:     %.3g\n", ex.MaxQError)
+	fmt.Fprintf(w, "result rows:     %d\n", ex.ResultRows)
+	if eo.Feedback {
+		fmt.Fprintf(w, "re-optimizations: %d\n", ex.Reoptimizations)
+	}
+	return nil
 }
 
 // printCacheStats renders the cache counters and the per-entry table of
@@ -332,7 +398,7 @@ func writeLP(path string, q *qopt.Query, opts joinorder.Options) error {
 	return f.Close()
 }
 
-func loadQuery(file, sqlText, catFile, shapeName string, tables int, seed int64) (*qopt.Query, error) {
+func loadQuery(file, sqlText, catFile, shapeName string, tables int, seed int64, execute bool) (*qopt.Query, error) {
 	if sqlText != "" {
 		if catFile == "" {
 			return nil, fmt.Errorf("-sql requires -catalog")
@@ -367,7 +433,39 @@ func loadQuery(file, sqlText, catFile, shapeName string, tables int, seed int64)
 	if err != nil {
 		return nil, err
 	}
-	return workload.Generate(shape, tables, seed, workload.Config{}), nil
+	cfg := workload.Config{}
+	if execute {
+		// The plan will actually run: keep tables small (10…300 rows)
+		// and selectivities moderate so every intermediate result stays
+		// materializable. The default generator range (up to 100,000-row
+		// tables) is meant for optimization benchmarks, not execution.
+		cfg = workload.Config{MinLogCard: 1, MaxLogCard: 2.5, MinSel: 0.01, MaxSel: 0.5}
+	}
+	q := workload.Generate(shape, tables, seed, cfg)
+	if execute {
+		capExecutableGrowth(q)
+	}
+	return q, nil
+}
+
+// capExecutableGrowth clamps every binary predicate's selectivity so the
+// estimated growth along its edge — selectivity times the smaller incident
+// cardinality — stays at or below 2×. Without the clamp a generated chain
+// can multiply by card·sel ≈ 150 at every join, and an 8-table query
+// produces billions of intermediate rows; with it the worst case is 2^(n-1)
+// times the largest table, which executes in milliseconds at these sizes.
+func capExecutableGrowth(q *qopt.Query) {
+	const maxGrowth = 2.0
+	for i := range q.Predicates {
+		p := &q.Predicates[i]
+		if len(p.Tables) != 2 {
+			continue
+		}
+		minCard := math.Min(q.Tables[p.Tables[0]].Card, q.Tables[p.Tables[1]].Card)
+		if minCard > 0 && p.Sel*minCard > maxGrowth {
+			p.Sel = maxGrowth / minCard
+		}
+	}
 }
 
 func parseShape(s string) (workload.GraphShape, error) {

@@ -46,8 +46,23 @@ func TestBuildOptions(t *testing.T) {
 	}
 }
 
+// TestLoadQueryExecute checks the generator swaps to the execution-
+// friendly workload config when -execute is set: table cardinalities
+// must stay small enough to actually run.
+func TestLoadQueryExecute(t *testing.T) {
+	q, err := loadQuery("", "", "", "chain", 6, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tab := range q.Tables {
+		if tab.Card > 400 {
+			t.Errorf("table %d has %g rows — too large for the executable workload config", i, tab.Card)
+		}
+	}
+}
+
 func TestLoadQueryGenerator(t *testing.T) {
-	q, err := loadQuery("", "", "", "star", 6, 1)
+	q, err := loadQuery("", "", "", "star", 6, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +81,7 @@ func TestLoadQueryJSON(t *testing.T) {
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	q, err := loadQuery(path, "", "", "", 0, 0)
+	q, err := loadQuery(path, "", "", "", 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,32 +91,87 @@ func TestLoadQueryJSON(t *testing.T) {
 	// Invalid JSON and invalid query both error.
 	bad := filepath.Join(dir, "bad.json")
 	os.WriteFile(bad, []byte("{"), 0o644)
-	if _, err := loadQuery(bad, "", "", "", 0, 0); err == nil {
+	if _, err := loadQuery(bad, "", "", "", 0, 0, false); err == nil {
 		t.Error("bad JSON accepted")
 	}
 	invalid := filepath.Join(dir, "invalid.json")
 	os.WriteFile(invalid, []byte(`{"tables": [{"name": "A", "card": 10}]}`), 0o644)
-	if _, err := loadQuery(invalid, "", "", "", 0, 0); err == nil {
+	if _, err := loadQuery(invalid, "", "", "", 0, 0, false); err == nil {
 		t.Error("single-table query accepted")
 	}
 }
 
 func TestLoadQuerySQL(t *testing.T) {
 	q, err := loadQuery("", "SELECT * FROM orders o, customers c WHERE o.cust_id = c.id",
-		"../../testdata/catalog.json", "", 0, 0)
+		"../../testdata/catalog.json", "", 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if q.NumTables() != 2 || len(q.Predicates) != 1 {
 		t.Errorf("sql query = %+v", q)
 	}
-	if _, err := loadQuery("", "SELECT * FROM a, b WHERE a.x = b.y", "", "", 0, 0); err == nil {
+	if _, err := loadQuery("", "SELECT * FROM a, b WHERE a.x = b.y", "", "", 0, 0, false); err == nil {
 		t.Error("-sql without -catalog accepted")
 	}
 }
 
+func TestRunExecuted(t *testing.T) {
+	// A fixed small query keeps the executed intermediates tiny; the
+	// generator path of -execute is covered by TestLoadQueryExecute.
+	q := &joinorder.Query{
+		Tables: []joinorder.Table{{Card: 100}, {Card: 80}, {Card: 60}, {Card: 40}, {Card: 20}},
+		Predicates: []joinorder.Predicate{
+			{Tables: []int{0, 1}, Sel: 0.05},
+			{Tables: []int{1, 2}, Sel: 0.04},
+			{Tables: []int{2, 3}, Sel: 0.05},
+			{Tables: []int{3, 4}, Sel: 0.1},
+		},
+	}
+	opts := joinorder.Options{Strategy: "dp-bushy", TimeLimit: 10 * time.Second}
+
+	var text bytes.Buffer
+	if err := runExecuted(context.Background(), &text, q, opts, joinorder.ExecOptions{DataSeed: 9}, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"executed C_out", "max q-error", "result rows"} {
+		if !bytes.Contains(text.Bytes(), []byte(want)) {
+			t.Errorf("text output missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var jsonBuf bytes.Buffer
+	eo := joinorder.ExecOptions{DataSeed: 9, Feedback: true, QErrorThreshold: 2}
+	if err := runExecuted(context.Background(), &jsonBuf, q, opts, eo, true); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Result struct {
+			Status string `json:"status"`
+		} `json:"result"`
+		Execution struct {
+			ExecutedCout float64 `json:"executed_cout"`
+			MaxQError    float64 `json:"max_qerror"`
+			Joins        []struct {
+				Tables []int `json:"tables"`
+			} `json:"joins"`
+		} `json:"execution"`
+	}
+	if err := json.Unmarshal(jsonBuf.Bytes(), &doc); err != nil {
+		t.Fatalf("-execute -json output does not parse: %v\n%s", err, jsonBuf.String())
+	}
+	if doc.Result.Status == "" {
+		t.Error("execution document missing result status")
+	}
+	if len(doc.Execution.Joins) != 4 {
+		t.Errorf("execution document has %d joins, want 4", len(doc.Execution.Joins))
+	}
+	if doc.Execution.ExecutedCout <= 0 || doc.Execution.MaxQError < 1 {
+		t.Errorf("execution document = %+v", doc.Execution)
+	}
+}
+
 func TestPrintJSONDocument(t *testing.T) {
-	q, err := loadQuery("", "", "", "chain", 6, 1)
+	q, err := loadQuery("", "", "", "chain", 6, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +220,7 @@ func TestPrintJSONDocument(t *testing.T) {
 // self-contained document carrying the cache counters and the per-entry
 // table, with background refines already settled.
 func TestPrintJSONCacheDocument(t *testing.T) {
-	q, err := loadQuery("", "", "", "chain", 6, 1)
+	q, err := loadQuery("", "", "", "chain", 6, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}

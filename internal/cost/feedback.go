@@ -1,0 +1,104 @@
+package cost
+
+import (
+	"math"
+
+	"milpjoin/internal/qopt"
+)
+
+// SelectivityCorrections accumulates measured-cardinality feedback as
+// corrected predicate selectivities, keyed by predicate index. It is the
+// value the executor's trace is distilled into and the optimizer's input
+// for re-optimization: Apply produces the corrected query.
+type SelectivityCorrections struct {
+	// PredSel maps predicate index to its corrected selectivity.
+	PredSel map[int]float64
+}
+
+// NewSelectivityCorrections returns an empty correction set.
+func NewSelectivityCorrections() SelectivityCorrections {
+	return SelectivityCorrections{PredSel: map[int]float64{}}
+}
+
+// Len returns the number of corrected predicates.
+func (c SelectivityCorrections) Len() int { return len(c.PredSel) }
+
+// ObserveJoin folds one executed join into the corrections: the
+// estimated-vs-measured ratio of the join result is attributed to the
+// predicates first applied at that join, each scaled by the k-th root of
+// the ratio (independence across the applied predicates — the same
+// assumption the estimates themselves make). Selectivities are clamped
+// into (0, 1]. Joins with no applied predicate (cross products) carry no
+// selectivity signal and are ignored.
+func (c SelectivityCorrections) ObserveJoin(q *qopt.Query, appliedPreds []int, estimated, measured float64) {
+	if len(appliedPreds) == 0 {
+		return
+	}
+	e := math.Max(estimated, 1e-12)
+	m := math.Max(measured, 1e-12)
+	factor := math.Pow(m/e, 1/float64(len(appliedPreds)))
+	for _, pi := range appliedPreds {
+		sel := q.Predicates[pi].Sel
+		if prev, ok := c.PredSel[pi]; ok {
+			sel = prev
+		}
+		c.PredSel[pi] = clampSel(sel * factor)
+	}
+}
+
+// ObserveScan folds one executed scan into the corrections: the measured
+// post-filter fraction replaces the unary predicates' joint selectivity
+// (distributed by the k-th root, like ObserveJoin).
+func (c SelectivityCorrections) ObserveScan(appliedPreds []int, inRows, outRows int) {
+	if len(appliedPreds) == 0 || inRows <= 0 {
+		return
+	}
+	frac := math.Max(float64(outRows), 1) / float64(inRows)
+	sel := math.Pow(frac, 1/float64(len(appliedPreds)))
+	for _, pi := range appliedPreds {
+		c.PredSel[pi] = clampSel(sel)
+	}
+}
+
+// Apply returns a copy of q with the corrected selectivities substituted.
+// The original query is not modified.
+func (c SelectivityCorrections) Apply(q *qopt.Query) *qopt.Query {
+	out := *q
+	out.Predicates = append([]qopt.Predicate(nil), q.Predicates...)
+	for pi, sel := range c.PredSel {
+		if pi >= 0 && pi < len(out.Predicates) {
+			out.Predicates[pi].Sel = sel
+		}
+	}
+	return &out
+}
+
+// MaxCorrectionFactor returns the largest multiplicative change any
+// corrected predicate received relative to q (≥ 1; 1 means no change).
+func (c SelectivityCorrections) MaxCorrectionFactor(q *qopt.Query) float64 {
+	worst := 1.0
+	for pi, sel := range c.PredSel {
+		if pi < 0 || pi >= len(q.Predicates) {
+			continue
+		}
+		orig := q.Predicates[pi].Sel
+		r := sel / orig
+		if r < 1 {
+			r = 1 / r
+		}
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+func clampSel(s float64) float64 {
+	if !(s > 0) || math.IsNaN(s) {
+		return 1e-12
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}

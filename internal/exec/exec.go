@@ -1,9 +1,17 @@
-// Package exec is a small in-memory execution substrate: it synthesizes
-// table data whose join behaviour matches the optimizer's cardinality
-// model (uniform keys with domain sizes derived from predicate
-// selectivities) and executes left-deep plans with in-memory hash joins.
+// Package exec is an in-memory execution substrate: it synthesizes table
+// data whose join behaviour matches the optimizer's cardinality model
+// (uniform keys with domain sizes derived from predicate selectivities)
+// and executes join plans against it.
 //
-// It exists to close the loop the paper leaves implicit: plans decoded
+// Two executors are provided. ExecuteTree is the materializing oracle:
+// it evaluates a (possibly bushy) join tree bottom-up with classic hash
+// joins, holding every intermediate result in memory. Stream is the
+// production path: a pull-based batch-at-a-time iterator pipeline (scans
+// with predicate pushdown, symmetric hash joins) that runs the same trees
+// without materializing between joins and records per-join measured vs.
+// estimated cardinalities into a Trace.
+//
+// The package closes the loop the paper leaves implicit: plans decoded
 // from the MILP are actual executable join orders, every join order of a
 // query produces the same result, and measured result sizes track the
 // estimates the encoder optimizes.
@@ -47,14 +55,17 @@ type Database struct {
 // Synthesize builds a database for q: each table gets one join-key column
 // per incident binary predicate, drawn uniformly from a domain of size
 // ≈ 1/selectivity, so that expected join sizes match the optimizer's
-// independence-based estimates. Only binary predicates are supported.
+// independence-based estimates. Unary predicates become scan filters: the
+// table gets one extra column whose zero values (≈ selectivity of the
+// domain) pass the filter. Predicates over three or more tables are not
+// executable.
 func Synthesize(q *qopt.Query, seed int64) (*Database, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	for pi, p := range q.Predicates {
-		if !p.IsBinary() {
-			return nil, fmt.Errorf("exec: predicate %d is not binary", pi)
+		if len(p.Tables) > 2 {
+			return nil, fmt.Errorf("exec: predicate %d spans %d tables, at most 2 are executable", pi, len(p.Tables))
 		}
 	}
 	rng := rand.New(rand.NewSource(seed))
@@ -63,14 +74,15 @@ func Synthesize(q *qopt.Query, seed int64) (*Database, error) {
 		var cols []string
 		var domains []int64
 		for pi, p := range q.Predicates {
-			if p.Tables[0] == t || p.Tables[1] == t {
-				cols = append(cols, predCol(t, pi))
-				d := int64(math.Round(1 / p.Sel))
-				if d < 1 {
-					d = 1
-				}
-				domains = append(domains, d)
+			if !predOnTable(&p, t) {
+				continue
 			}
+			cols = append(cols, predCol(t, pi))
+			d := int64(math.Round(1 / p.Sel))
+			if d < 1 {
+				d = 1
+			}
+			domains = append(domains, d)
 		}
 		rel := &Relation{Cols: cols}
 		n := int(q.Tables[t].Card)
@@ -86,61 +98,155 @@ func Synthesize(q *qopt.Query, seed int64) (*Database, error) {
 	return db, nil
 }
 
+// predOnTable reports whether predicate p references table t.
+func predOnTable(p *qopt.Predicate, t int) bool {
+	for _, pt := range p.Tables {
+		if pt == t {
+			return true
+		}
+	}
+	return false
+}
+
 // predCol is the table-qualified key column of predicate pi on table t;
 // qualification keeps column names unique across the join result.
 func predCol(t, pi int) string { return fmt.Sprintf("T%d.p%d", t, pi) }
 
-// Execute runs a left-deep plan with hash joins and returns the final
-// result. Each join matches on every predicate that becomes applicable at
-// that join; joins with no applicable predicate degenerate to cross
-// products (as the paper's plan space allows).
+// AllColumns returns every column of the database in table order — the
+// canonical column order for cross-plan result fingerprints (no plan
+// projects, so every base column survives to the final result).
+func (db *Database) AllColumns() []string {
+	var cols []string
+	for _, rel := range db.Relations {
+		cols = append(cols, rel.Cols...)
+	}
+	return cols
+}
+
+// Execute runs a left-deep plan with materializing hash joins and returns
+// the final result; it is ExecuteTree on the plan's left-deep tree.
 func (db *Database) Execute(p *plan.Plan) (*Relation, error) {
-	q := db.Query
-	if err := p.Validate(q); err != nil {
+	if err := p.Validate(db.Query); err != nil {
 		return nil, err
 	}
-	inSet := map[int]bool{p.Order[0]: true}
-	applied := make([]bool, len(q.Predicates))
-	cur := db.Relations[p.Order[0]]
+	return db.ExecuteTree(p.LeftDeep())
+}
 
-	for j := 1; j < len(p.Order); j++ {
-		inner := db.Relations[p.Order[j]]
-		inSet[p.Order[j]] = true
-
-		// Predicates newly applicable once the inner table joins: the
-		// inner table contributes one side, the accumulated result the
-		// other.
-		var keys []keyPair
-		for pi, pred := range q.Predicates {
-			if applied[pi] {
-				continue
-			}
-			if inSet[pred.Tables[0]] && inSet[pred.Tables[1]] {
-				applied[pi] = true
-				curTable, innerTable := pred.Tables[0], pred.Tables[1]
-				if innerTable != p.Order[j] {
-					curTable, innerTable = innerTable, curTable
-				}
-				keys = append(keys, keyPair{
-					left:  predCol(curTable, pi),
-					right: predCol(innerTable, pi),
-				})
-			}
-		}
-		var err error
-		cur, err = hashJoin(cur, inner, keys)
-		if err != nil {
-			return nil, err
+// ExecuteTree runs an arbitrary bushy join tree bottom-up, materializing
+// every intermediate result: scans apply unary predicates, and each join
+// matches on every binary predicate whose two tables first meet at that
+// node. Joins with no applicable predicate degenerate to cross products
+// (as the paper's plan space allows). It is the oracle the streaming
+// executor is differential-tested against.
+func (db *Database) ExecuteTree(t *plan.Tree) (*Relation, error) {
+	q := db.Query
+	if err := t.Validate(q); err != nil {
+		return nil, err
+	}
+	for pi, p := range q.Predicates {
+		if len(p.Tables) > 2 {
+			return nil, fmt.Errorf("exec: predicate %d spans %d tables, at most 2 are executable", pi, len(p.Tables))
 		}
 	}
-	return cur, nil
+	var walk func(node *plan.Tree) (*Relation, []int, error)
+	walk = func(node *plan.Tree) (*Relation, []int, error) {
+		if node.IsLeaf() {
+			return db.scanBase(node.Table), []int{node.Table}, nil
+		}
+		left, lTabs, err := walk(node.Left)
+		if err != nil {
+			return nil, nil, err
+		}
+		right, rTabs, err := walk(node.Right)
+		if err != nil {
+			return nil, nil, err
+		}
+		var keys []keyPair
+		for pi := range q.Predicates {
+			p := &q.Predicates[pi]
+			if !p.IsBinary() {
+				continue
+			}
+			a, b := p.Tables[0], p.Tables[1]
+			switch {
+			case containsTable(lTabs, a) && containsTable(rTabs, b):
+				keys = append(keys, keyPair{left: predCol(a, pi), right: predCol(b, pi)})
+			case containsTable(lTabs, b) && containsTable(rTabs, a):
+				keys = append(keys, keyPair{left: predCol(b, pi), right: predCol(a, pi)})
+			}
+		}
+		out, err := hashJoin(left, right, keys)
+		if err != nil {
+			return nil, nil, err
+		}
+		return out, append(lTabs, rTabs...), nil
+	}
+	out, _, err := walk(t)
+	return out, err
+}
+
+// scanBase returns base table t with its unary predicates applied — the
+// materializing form of predicate pushdown at the scan.
+func (db *Database) scanBase(t int) *Relation {
+	rel := db.Relations[t]
+	filters := db.scanFilters(t)
+	if len(filters) == 0 {
+		return rel
+	}
+	out := &Relation{Cols: rel.Cols}
+	for _, row := range rel.Rows {
+		if passesFilters(row, filters) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// scanFilter is one pushed-down unary predicate: keep rows whose key
+// column is zero (the synthesized data encodes the selectivity as the
+// fraction of zeros in the column's domain).
+type scanFilter struct {
+	col  int
+	pred int
+}
+
+// scanFilters returns the pushdown filters for base table t.
+func (db *Database) scanFilters(t int) []scanFilter {
+	var out []scanFilter
+	for pi := range db.Query.Predicates {
+		p := &db.Query.Predicates[pi]
+		if len(p.Tables) == 1 && p.Tables[0] == t {
+			out = append(out, scanFilter{col: db.Relations[t].colIndex(predCol(t, pi)), pred: pi})
+		}
+	}
+	return out
+}
+
+func passesFilters(row []int64, filters []scanFilter) bool {
+	for _, f := range filters {
+		if row[f.col] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func containsTable(tabs []int, t int) bool {
+	for _, tb := range tabs {
+		if tb == t {
+			return true
+		}
+	}
+	return false
 }
 
 // keyPair names one equi-join key on each side.
 type keyPair struct{ left, right string }
 
 // hashJoin equi-joins left and right on the key pairs; with no keys it
-// builds the cross product.
+// builds the cross product. The build side is the smaller input; keys are
+// hashed as int64 tuples (no per-row string formatting) with bucket
+// collisions resolved by comparing the actual key columns.
 func hashJoin(left, right *Relation, keys []keyPair) (*Relation, error) {
 	out := &Relation{Cols: append(append([]string(nil), left.Cols...), right.Cols...)}
 
@@ -173,32 +279,92 @@ func hashJoin(left, right *Relation, keys []keyPair) (*Relation, error) {
 		buildIsRight = false
 	}
 
-	table := make(map[string][][]int64, build.NumRows())
+	tab := newHashTab(bIdx, build.NumRows())
 	for _, row := range build.Rows {
-		k := keyOf(row, bIdx)
-		table[k] = append(table[k], row)
+		tab.insert(row)
 	}
 	for _, prow := range probe.Rows {
-		for _, brow := range table[keyOf(prow, pIdx)] {
+		tab.probe(prow, pIdx, func(brow []int64) {
 			if buildIsRight {
 				out.Rows = append(out.Rows, concatRows(prow, brow))
 			} else {
 				out.Rows = append(out.Rows, concatRows(brow, prow))
 			}
-		}
+		})
 	}
 	return out, nil
 }
 
-func keyOf(row []int64, idx []int) string {
-	b := make([]byte, 0, len(idx)*8)
+// hashTab is a multimap from int64 key tuples to rows, keyed by a 64-bit
+// tuple hash with collisions resolved by comparing the key columns. The
+// empty-key table (cross products) stores every row in one bucket. The
+// bucket map is allocated lazily on first insert — a table that never
+// receives a row (the probe side of a scheduled streaming join) costs
+// nothing, and pre-sizing is deferred until the join actually builds.
+type hashTab struct {
+	idx     []int // key column indices of inserted rows
+	hint    int
+	buckets map[uint64][][]int64
+}
+
+func newHashTab(idx []int, sizeHint int) *hashTab {
+	return &hashTab{idx: idx, hint: sizeHint}
+}
+
+// hashRow hashes the key tuple of row at the given column indices. The
+// FNV-1a-style 64-bit mix over whole int64 words avoids the per-byte loop
+// and the string allocation of the old keyOf hot path.
+func hashRow(row []int64, idx []int) uint64 {
+	h := uint64(1469598103934665603)
 	for _, i := range idx {
-		v := row[i]
-		for s := 0; s < 64; s += 8 {
-			b = append(b, byte(v>>s))
+		h ^= uint64(row[i])
+		h *= 1099511628211
+		h ^= h >> 29
+	}
+	return h
+}
+
+func (t *hashTab) insert(row []int64) {
+	if t.buckets == nil {
+		t.buckets = make(map[uint64][][]int64, t.hint)
+	}
+	h := hashRow(row, t.idx)
+	t.buckets[h] = append(t.buckets[h], row)
+}
+
+func (t *hashTab) size() int {
+	n := 0
+	for _, b := range t.buckets {
+		n += len(b)
+	}
+	return n
+}
+
+// probe calls emit for every inserted row whose key tuple equals row's key
+// tuple at pIdx. It allocates nothing itself.
+func (t *hashTab) probe(row []int64, pIdx []int, emit func(match []int64)) {
+	for _, cand := range t.buckets[hashRow(row, pIdx)] {
+		if keysEqual(cand, t.idx, row, pIdx) {
+			emit(cand)
 		}
 	}
-	return string(b)
+}
+
+// bucket returns the hash bucket row's key tuple at pIdx lands in. The
+// bucket may contain hash collisions: callers must still filter with
+// keysEqual against t.idx. Exposing the bucket lets hot probe loops match
+// without a per-match indirect call.
+func (t *hashTab) bucket(row []int64, pIdx []int) [][]int64 {
+	return t.buckets[hashRow(row, pIdx)]
+}
+
+func keysEqual(a []int64, aIdx []int, b []int64, bIdx []int) bool {
+	for k := range aIdx {
+		if a[aIdx[k]] != b[bIdx[k]] {
+			return false
+		}
+	}
+	return true
 }
 
 func concatRows(a, b []int64) []int64 {

@@ -1,0 +1,124 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Trace records what actually happened during one execution: per-scan and
+// per-join input/output sizes next to the optimizer's estimates. Measured
+// row counts are ground truth — the signal the cardinality feedback loop
+// turns into corrected selectivities.
+type Trace struct {
+	// Scans records every base-table scan, with pushed-down unary
+	// predicates applied. Entries are pointers because the operators
+	// fill them in while rows flow.
+	Scans []*ScanTrace
+	// Joins records every join in post-order of the tree (root last;
+	// stage order under adaptive execution, where the final stage's join
+	// is the root).
+	Joins []*JoinTrace
+	// ResultRows is the final result cardinality.
+	ResultRows int
+}
+
+// ScanTrace is the measured outcome of one base-table scan.
+type ScanTrace struct {
+	// Table is the scanned base table.
+	Table int
+	// InRows and OutRows are the cardinalities before and after the
+	// pushed-down unary predicates.
+	InRows, OutRows int
+	// AppliedPreds lists the unary predicates applied at the scan.
+	AppliedPreds []int
+	// Estimated is the optimizer's post-filter cardinality estimate.
+	Estimated float64
+}
+
+// JoinTrace is the measured outcome of one join.
+type JoinTrace struct {
+	// Tables is the sorted set of base tables joined under this node.
+	Tables []int
+	// AppliedPreds lists the binary predicates first applied at this
+	// join (empty for cross products).
+	AppliedPreds []int
+	// Estimated is the optimizer's cardinality estimate for this join's
+	// result at the time the join executed (after any feedback
+	// corrections from earlier joins).
+	Estimated float64
+	// Measured is the actual result cardinality.
+	Measured float64
+	// LeftRows and RightRows are the measured operand cardinalities.
+	LeftRows, RightRows int
+}
+
+// QError is the q-error of one estimate: max(est/meas, meas/est), with
+// both sides floored at one row so empty results stay finite. It is ≥ 1,
+// and 1 means the estimate was exact.
+func QError(estimated, measured float64) float64 {
+	e := math.Max(estimated, 1)
+	m := math.Max(measured, 1)
+	return math.Max(e/m, m/e)
+}
+
+// QError returns the join's q-error.
+func (j *JoinTrace) QError() float64 { return QError(j.Estimated, j.Measured) }
+
+// MaxQError returns the largest per-join q-error of the trace (1 when no
+// joins were recorded).
+func (t *Trace) MaxQError() float64 {
+	worst := 1.0
+	for _, j := range t.Joins {
+		if qe := j.QError(); qe > worst {
+			worst = qe
+		}
+	}
+	return worst
+}
+
+// MeasuredCout sums the measured cardinalities of all non-root join
+// results — the executed counterpart of the C_out metric (the final
+// result is excluded, matching plan.Evaluate).
+func (t *Trace) MeasuredCout() float64 {
+	var s float64
+	for _, j := range t.Joins[:maxInt(0, len(t.Joins)-1)] {
+		s += j.Measured
+	}
+	return s
+}
+
+// EstimatedCout sums the per-join estimates the same way, so the pair
+// (EstimatedCout, MeasuredCout) compares like for like.
+func (t *Trace) EstimatedCout() float64 {
+	var s float64
+	for _, j := range t.Joins[:maxInt(0, len(t.Joins)-1)] {
+		s += j.Estimated
+	}
+	return s
+}
+
+// String renders the trace as a per-join table, worst q-error last.
+func (t *Trace) String() string {
+	var sb strings.Builder
+	for _, j := range t.Joins {
+		fmt.Fprintf(&sb, "join %v: est %.4g measured %g (q-error %.3g)\n",
+			j.Tables, j.Estimated, j.Measured, j.QError())
+	}
+	fmt.Fprintf(&sb, "max q-error %.3g, measured C_out %g", t.MaxQError(), t.MeasuredCout())
+	return sb.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func sortedInts(in []int) []int {
+	out := append([]int(nil), in...)
+	sort.Ints(out)
+	return out
+}

@@ -131,11 +131,19 @@ func TreeCost(q *qopt.Query, t *Tree, spec cost.Spec) (float64, error) {
 }
 
 // subsetCard computes the exact cardinality of the join of all tables
-// under node: products of cardinalities, applicable selectivities, and
-// complete correlation groups.
+// under node.
 func subsetCard(q *qopt.Query, node *Tree) float64 {
+	return SubsetCard(q, node.Tables(nil))
+}
+
+// SubsetCard computes the estimated cardinality of the join of a table
+// subset: the product of table cardinalities, all applicable predicate
+// selectivities, and complete correlation-group corrections. It is the
+// per-node estimate the streaming executor compares measured join sizes
+// against.
+func SubsetCard(q *qopt.Query, tables []int) float64 {
 	present := map[int]bool{}
-	for _, tb := range node.Tables(nil) {
+	for _, tb := range tables {
 		present[tb] = true
 	}
 	card := 1.0

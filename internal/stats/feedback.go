@@ -1,0 +1,42 @@
+package stats
+
+import (
+	"milpjoin/internal/cost"
+	"milpjoin/internal/exec"
+	"milpjoin/internal/qopt"
+)
+
+// CorrectionsFromTrace distills one execution trace into selectivity
+// corrections: every scan contributes its measured post-filter fraction,
+// every join its measured-vs-estimated output ratio distributed over the
+// predicates first applied there. The resulting corrections apply to q —
+// the same query (original predicate index space) the trace was executed
+// against.
+func CorrectionsFromTrace(q *qopt.Query, tr *exec.Trace) cost.SelectivityCorrections {
+	c := cost.NewSelectivityCorrections()
+	if tr == nil {
+		return c
+	}
+	for _, sc := range tr.Scans {
+		c.ObserveScan(sc.AppliedPreds, sc.InRows, sc.OutRows)
+	}
+	for _, jt := range tr.Joins {
+		if jt.LeftRows <= 0 || jt.RightRows <= 0 {
+			continue // an empty operand carries no selectivity signal
+		}
+		// Attribute only the join's local error: expected output from the
+		// measured operand sizes and the current (possibly already
+		// corrected) selectivities, so upstream misestimates — already
+		// corrected at their own joins — don't leak into this one.
+		expected := float64(jt.LeftRows) * float64(jt.RightRows)
+		for _, pi := range jt.AppliedPreds {
+			sel := q.Predicates[pi].Sel
+			if s, ok := c.PredSel[pi]; ok {
+				sel = s
+			}
+			expected *= sel
+		}
+		c.ObserveJoin(q, jt.AppliedPreds, expected, jt.Measured)
+	}
+	return c
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"testing"
+
+	"milpjoin/internal/exec"
+	"milpjoin/internal/plan"
+	"milpjoin/internal/qopt"
+)
+
+// TestCorrectionsFromTraceReduceQError runs a plan with a deliberately
+// corrupted estimate query, distills the trace into corrections, and
+// checks that re-running with the corrected estimates shrinks the worst
+// q-error — the full ANALYZE → execute → feedback → better-estimates loop.
+func TestCorrectionsFromTraceReduceQError(t *testing.T) {
+	truth := &qopt.Query{
+		Tables: []qopt.Table{{Card: 100}, {Card: 100}, {Card: 50}},
+		Predicates: []qopt.Predicate{
+			{Tables: []int{0, 1}, Sel: 0.1},
+			{Tables: []int{1, 2}, Sel: 0.02},
+			{Tables: []int{2}, Sel: 0.25},
+		},
+	}
+	est := &qopt.Query{
+		Tables:     append([]qopt.Table(nil), truth.Tables...),
+		Predicates: append([]qopt.Predicate(nil), truth.Predicates...),
+	}
+	est.Predicates[0].Sel = 0.0001 // three orders of magnitude off
+	est.Predicates[2].Sel = 1.0    // filter believed to keep everything
+
+	db, err := exec.Synthesize(truth, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := (&plan.Plan{Order: []int{0, 1, 2}}).LeftDeep()
+
+	run, err := db.Stream(tree, exec.StreamOptions{EstQuery: est})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	before := run.Trace.MaxQError()
+	if before < 100 {
+		t.Fatalf("corrupted estimates produced max q-error %g, expected ≫ 100", before)
+	}
+
+	corr := CorrectionsFromTrace(est, run.Trace)
+	if corr.Len() == 0 {
+		t.Fatal("trace produced no corrections")
+	}
+	corrected := corr.Apply(est)
+
+	run2, err := db.Stream(tree, exec.StreamOptions{EstQuery: corrected})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run2.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	after := run2.Trace.MaxQError()
+	if after > before/10 {
+		t.Errorf("corrections reduced max q-error only from %g to %g", before, after)
+	}
+	if after > 3 {
+		t.Errorf("corrected estimates still off by %g on identical data", after)
+	}
+}
+
+// TestCorrectionsFromTraceNil covers the degenerate inputs.
+func TestCorrectionsFromTraceNil(t *testing.T) {
+	q := &qopt.Query{
+		Tables:     []qopt.Table{{Card: 10}, {Card: 10}},
+		Predicates: []qopt.Predicate{{Tables: []int{0, 1}, Sel: 0.5}},
+	}
+	if got := CorrectionsFromTrace(q, nil); got.Len() != 0 {
+		t.Error("nil trace produced corrections")
+	}
+}
+
+// TestEstimateQueryHandlesUnaryPredicates checks the ANALYZE path on a
+// query with a scan filter: the re-estimated unary selectivity must come
+// out near the generator's ground truth.
+func TestEstimateQueryHandlesUnaryPredicates(t *testing.T) {
+	truth := &qopt.Query{
+		Tables: []qopt.Table{{Card: 400}, {Card: 100}},
+		Predicates: []qopt.Predicate{
+			{Tables: []int{0, 1}, Sel: 0.05},
+			{Tables: []int{0}, Sel: 0.25},
+		},
+	}
+	db, err := exec.Synthesize(truth, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateQuery(db, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := est.Predicates[1].Sel
+	if got < 0.1 || got > 0.5 {
+		t.Errorf("re-estimated unary selectivity %g, ground truth 0.25", got)
+	}
+}

@@ -156,8 +156,20 @@ func EstimateQuery(db *exec.Database, buckets int) (*qopt.Query, error) {
 		})
 	}
 	for pi, p := range orig.Predicates {
+		if len(p.Tables) == 1 {
+			// Unary predicate: the synthesized filter column is uniform
+			// over its domain, so 1/distinct estimates the kept fraction.
+			t := p.Tables[0]
+			col := fmt.Sprintf("T%d.p%d", t, pi)
+			out.Predicates = append(out.Predicates, qopt.Predicate{
+				Name:   p.Name,
+				Tables: []int{t},
+				Sel:    summaries[t].Columns[col].EqSelectivity(),
+			})
+			continue
+		}
 		if !p.IsBinary() {
-			return nil, fmt.Errorf("stats: predicate %d is not binary", pi)
+			return nil, fmt.Errorf("stats: predicate %d spans %d tables", pi, len(p.Tables))
 		}
 		a, b := p.Tables[0], p.Tables[1]
 		colA := fmt.Sprintf("T%d.p%d", a, pi)

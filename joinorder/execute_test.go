@@ -1,0 +1,166 @@
+package joinorder
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"milpjoin/internal/workload"
+)
+
+func execTestQuery(shape workload.GraphShape, n int, seed int64) *Query {
+	return workload.Generate(shape, n, seed, workload.Config{
+		MinLogCard: 1, MaxLogCard: 2,
+		MinSel: 0.02, MaxSel: 0.3,
+	})
+}
+
+// corruptedStats returns a query pair: the ground truth the data follows,
+// and the optimizer's estimate with the first predicate's selectivity
+// underestimated by four orders of magnitude — the classic misestimate
+// that makes a plan start with what looks like a tiny join and is not.
+func corruptedStats() (truth, est *Query) {
+	truth = &Query{
+		Tables: []Table{{Card: 200}, {Card: 200}, {Card: 50}, {Card: 50}, {Card: 50}},
+		Predicates: []Predicate{
+			{Tables: []int{0, 1}, Sel: 0.5},
+			{Tables: []int{1, 2}, Sel: 0.02},
+			{Tables: []int{2, 3}, Sel: 0.002},
+			{Tables: []int{3, 4}, Sel: 0.002},
+		},
+	}
+	est = &Query{
+		Tables:     append([]Table(nil), truth.Tables...),
+		Predicates: append([]Predicate(nil), truth.Predicates...),
+	}
+	est.Predicates[0].Sel = 1e-5
+	return truth, est
+}
+
+func TestOptimizeExecutedBasic(t *testing.T) {
+	q := execTestQuery(workload.Star, 5, 3)
+	var want uint64
+	for i, strat := range []string{"dp-leftdeep", "dp-bushy", "greedy"} {
+		ex, err := OptimizeExecuted(context.Background(), q, Options{Strategy: strat}, ExecOptions{DataSeed: 11})
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if len(ex.Joins) != 4 {
+			t.Errorf("%s: %d join observations, want 4", strat, len(ex.Joins))
+		}
+		root := ex.Joins[len(ex.Joins)-1]
+		if int(root.Measured) != ex.ResultRows {
+			t.Errorf("%s: root measured %g, result rows %d", strat, root.Measured, ex.ResultRows)
+		}
+		if ex.MaxQError < 1 {
+			t.Errorf("%s: max q-error %g < 1", strat, ex.MaxQError)
+		}
+		if ex.EstimatedCout <= 0 {
+			t.Errorf("%s: estimated C_out %g", strat, ex.EstimatedCout)
+		}
+		if ex.Result == nil || ex.Result.Tree == nil {
+			t.Fatalf("%s: no optimization result attached", strat)
+		}
+		if i == 0 {
+			want = ex.Fingerprint
+		} else if ex.Fingerprint != want {
+			t.Errorf("%s: result fingerprint differs across strategies", strat)
+		}
+	}
+}
+
+// TestOptimizeExecutedFeedbackImprovesCost is the feedback loop's
+// acceptance test: optimizing against corrupted statistics and executing
+// against the truth, mid-query re-optimization must demonstrably lower
+// the executed cost relative to running the misoptimized plan through.
+func TestOptimizeExecutedFeedbackImprovesCost(t *testing.T) {
+	truth, est := corruptedStats()
+	opts := Options{Strategy: "dp-bushy"}
+
+	noFB, err := OptimizeExecuted(context.Background(), est, opts, ExecOptions{
+		DataQuery: truth, DataSeed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := OptimizeExecuted(context.Background(), est, opts, ExecOptions{
+		DataQuery: truth, DataSeed: 17,
+		Feedback: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if noFB.MaxQError < 100 {
+		t.Fatalf("corrupted stats produced max q-error %g, expected ≫ 100", noFB.MaxQError)
+	}
+	if fb.Reoptimizations < 1 {
+		t.Fatalf("no mid-query re-optimization despite q-error %g", fb.MaxQError)
+	}
+	if fb.ExecutedCout >= noFB.ExecutedCout*0.8 {
+		t.Errorf("feedback executed C_out %g, without feedback %g — re-optimization did not pay off",
+			fb.ExecutedCout, noFB.ExecutedCout)
+	}
+	if fb.Fingerprint != noFB.Fingerprint {
+		t.Error("feedback changed the query result")
+	}
+	if fb.CorrectedQuery == nil {
+		t.Fatal("feedback run returned no corrected query")
+	}
+	if sel := fb.CorrectedQuery.Predicates[0].Sel; sel < 0.2 || sel > 1 {
+		t.Errorf("corrected selectivity %g, ground truth 0.5", sel)
+	}
+	if noFB.CorrectedQuery != nil {
+		t.Error("non-feedback run carries a corrected query")
+	}
+}
+
+// TestOptimizeExecutedConcurrent exercises concurrent optimize-execute-
+// reoptimize cycles; run under -race this checks the feedback path shares
+// no mutable state across executions.
+func TestOptimizeExecutedConcurrent(t *testing.T) {
+	truth, est := corruptedStats()
+	const workers = 8
+	fps := make([]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ex, err := OptimizeExecuted(context.Background(), est, Options{Strategy: "greedy"}, ExecOptions{
+				DataQuery: truth, DataSeed: 23,
+				Feedback: true,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			fps[w] = ex.Fingerprint
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for w := 1; w < workers; w++ {
+		if fps[w] != fps[0] {
+			t.Fatalf("worker %d produced a different result", w)
+		}
+	}
+}
+
+func TestOptimizeExecutedValidation(t *testing.T) {
+	q := execTestQuery(workload.Chain, 4, 5)
+	if _, err := OptimizeExecuted(context.Background(), nil, Options{}, ExecOptions{}); err == nil {
+		t.Error("nil query accepted")
+	}
+	// A data query with different predicate structure must be rejected.
+	bad := execTestQuery(workload.Star, 4, 5)
+	if _, err := OptimizeExecuted(context.Background(), q, Options{Strategy: "greedy"}, ExecOptions{DataQuery: bad}); err == nil {
+		t.Error("structurally different data query accepted")
+	}
+	if _, err := OptimizeExecuted(context.Background(), q, Options{Strategy: "no-such"}, ExecOptions{}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
