@@ -1,0 +1,340 @@
+// Distributed-serving benchmarks: cache-heavy throughput over a live
+// three-node joinoptd ring (consistent-hash routing, peer forwarding,
+// replication) against a single-node baseline, and cold-start replay of
+// the persistent plan log.
+package milpjoin_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"milpjoin/internal/workload"
+	"milpjoin/joinorder"
+	"milpjoin/joinorder/cache"
+	"milpjoin/joinorder/cache/persist"
+	"milpjoin/joinorder/cluster"
+	"milpjoin/joinorder/server"
+)
+
+// benchRing boots n in-process joinoptd nodes sharing one consistent-hash
+// ring on real TCP listeners. n=1 is the clusterless baseline.
+type benchRing struct {
+	urls    []string
+	servers []*server.Server
+	https   []*httptest.Server
+	routers []*cluster.Router
+}
+
+func newBenchRing(tb testing.TB, n int) *benchRing {
+	tb.Helper()
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	listeners := make([]net.Listener, n)
+	peers := make([]cluster.Peer, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tb.Fatal(err)
+		}
+		listeners[i] = l
+		peers[i] = cluster.Peer{ID: fmt.Sprintf("n%d", i), URL: "http://" + l.Addr().String()}
+	}
+	br := &benchRing{}
+	for i := range listeners {
+		cfg := server.Config{Logger: quiet}
+		if n > 1 {
+			rt, err := cluster.New(cluster.Config{
+				Self: peers[i].ID, Peers: peers, Replicas: 2,
+				ProbeInterval: -1, Logger: quiet,
+			})
+			if err != nil {
+				tb.Fatal(err)
+			}
+			cfg.Cluster = rt
+			br.routers = append(br.routers, rt)
+		}
+		s, err := server.New(cfg)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		ts := &httptest.Server{Listener: listeners[i], Config: &http.Server{Handler: s}}
+		ts.Start()
+		br.servers = append(br.servers, s)
+		br.https = append(br.https, ts)
+		br.urls = append(br.urls, ts.URL)
+	}
+	tb.Cleanup(func() {
+		for i := range br.servers {
+			br.https[i].Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			br.servers[i].Drain(ctx) //nolint:errcheck // best-effort teardown
+			cancel()
+		}
+		for _, rt := range br.routers {
+			rt.Close()
+		}
+	})
+	return br
+}
+
+// measureRing warms the ring with every body, then drives `clients`
+// concurrent workers for `requests` total requests spread round-robin
+// across nodes, returning sustained req/s and latency percentiles split
+// by where the answer was produced (local vs a forwarded remote hit).
+func measureRing(tb testing.TB, br *benchRing, bodies [][]byte, clients, requests int) (rps float64, p99, remoteP99 time.Duration) {
+	tb.Helper()
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 512
+	tr.MaxIdleConnsPerHost = 512
+	client := &http.Client{Transport: tr, Timeout: 30 * time.Second}
+
+	for i, body := range bodies { // warm every shard
+		url := br.urls[i%len(br.urls)] + "/v1/optimize"
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			tb.Fatalf("warmup status %d", resp.StatusCode)
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		local    []time.Duration
+		remote   []time.Duration
+		next     atomic.Int64
+		failures atomic.Int64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			myLocal := make([]time.Duration, 0, 256)
+			myRemote := make([]time.Duration, 0, 256)
+			for range work {
+				i := int(next.Add(1))
+				node := i % len(br.urls)
+				body := bodies[i%len(bodies)]
+				t0 := time.Now()
+				resp, err := client.Post(br.urls[node]+"/v1/optimize", "application/json", bytes.NewReader(body))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+					continue
+				}
+				d := time.Since(t0)
+				by := resp.Header.Get(server.NodeHeader)
+				if by != "" && by != fmt.Sprintf("n%d", node) {
+					myRemote = append(myRemote, d)
+				} else {
+					myLocal = append(myLocal, d)
+				}
+			}
+			mu.Lock()
+			local = append(local, myLocal...)
+			remote = append(remote, myRemote...)
+			mu.Unlock()
+		}()
+	}
+	for i := 0; i < requests; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if n := failures.Load(); n > 0 {
+		tb.Fatalf("%d requests failed", n)
+	}
+
+	pct := func(ds []time.Duration, p float64) time.Duration {
+		if len(ds) == 0 {
+			return 0
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[int(p*float64(len(ds)-1))]
+	}
+	all := append(append([]time.Duration(nil), local...), remote...)
+	return float64(len(all)) / elapsed.Seconds(), pct(all, 0.99), pct(remote, 0.99)
+}
+
+// BenchmarkClusterThroughput measures the cache-heavy serving regime the
+// cluster exists for: a 48-query working set, every fingerprint already
+// owned by one shard, 96 concurrent clients sprayed across three nodes.
+// A fixed-size single-node baseline runs first (untimed) so the snapshot
+// in BENCH_pr10.json (path overridable via BENCH_PR10_OUT) carries the
+// scaling ratio and the remote-hit p99 alongside the timed cluster run.
+func BenchmarkClusterThroughput(b *testing.B) {
+	bodies := benchServerBodies(b, 48)
+	const clients = 96
+	const baselineRequests = 4000
+
+	single := newBenchRing(b, 1)
+	baseRPS, baseP99, _ := measureRing(b, single, bodies, clients, baselineRequests)
+
+	ring := newBenchRing(b, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	rps, p99, remoteP99 := measureRing(b, ring, bodies, clients, max(b.N, baselineRequests))
+	b.StopTimer()
+
+	b.ReportMetric(rps, "req/s")
+	b.ReportMetric(float64(p99.Microseconds()), "p99-µs")
+	b.ReportMetric(float64(remoteP99.Microseconds()), "remote-p99-µs")
+	b.ReportMetric(rps/baseRPS, "x-single")
+
+	var forwards, replicated int64
+	for _, rt := range ring.routers {
+		st := rt.Stats()
+		forwards += st.Forwards
+		replicated += st.Replicated
+	}
+	out := struct {
+		Clients         int     `json:"clients"`
+		WorkingSet      int     `json:"working_set"`
+		ClusterReqPerS  float64 `json:"cluster_req_per_sec"`
+		ClusterP99Us    int64   `json:"cluster_p99_us"`
+		RemoteHitP99Us  int64   `json:"remote_hit_p99_us"`
+		SingleReqPerS   float64 `json:"single_req_per_sec"`
+		SingleP99Us     int64   `json:"single_p99_us"`
+		SpeedupVsSingle float64 `json:"speedup_vs_single"`
+		Forwards        int64   `json:"forwards"`
+		Replicated      int64   `json:"replicated"`
+	}{
+		Clients:         clients,
+		WorkingSet:      len(bodies),
+		ClusterReqPerS:  rps,
+		ClusterP99Us:    p99.Microseconds(),
+		RemoteHitP99Us:  remoteP99.Microseconds(),
+		SingleReqPerS:   baseRPS,
+		SingleP99Us:     baseP99.Microseconds(),
+		SpeedupVsSingle: rps / baseRPS,
+		Forwards:        forwards,
+		Replicated:      replicated,
+	}
+	writeBenchJSON(b, "BENCH_PR10_OUT", "BENCH_pr10.json", out)
+}
+
+// BenchmarkPersistReplay measures cold start: how fast a disk-backed plan
+// log replays into a warm cache. The log is seeded once with real solved
+// plans; each iteration opens it fresh and replays every record. The
+// snapshot lands in BENCH_pr10_replay.json (BENCH_PR10_REPLAY_OUT).
+func BenchmarkPersistReplay(b *testing.B) {
+	dir := b.TempDir()
+	const entries = 256
+
+	seed := func() {
+		plog, err := persist.Open(persist.Config{Dir: dir, Policy: persist.SyncNone})
+		if err != nil {
+			b.Fatal(err)
+		}
+		co, err := cache.New(cache.Config{MaxEntries: entries * 2, Persist: plog})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := joinorder.Options{Strategy: "dp-leftdeep", TimeLimit: 10 * time.Second}
+		shapes := []workload.GraphShape{workload.Chain, workload.Star, workload.Cycle}
+		for i := 0; i < entries; i++ {
+			q := workload.Generate(shapes[i%len(shapes)], 6+i%5, int64(i+1), workload.Config{})
+			if _, err := co.Optimize(context.Background(), q, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		co.Wait()
+		if err := plog.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	seed()
+
+	var replayed int64
+	var bytesOnDisk int64
+	if fis, err := os.ReadDir(dir); err == nil {
+		for _, fi := range fis {
+			if info, err := fi.Info(); err == nil {
+				bytesOnDisk += info.Size()
+			}
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		plog, err := persist.Open(persist.Config{Dir: dir, Policy: persist.SyncNone})
+		if err != nil {
+			b.Fatal(err)
+		}
+		co, err := cache.New(cache.Config{MaxEntries: entries * 2, Persist: plog})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := co.Stats()
+		if s.Replayed == 0 || s.Entries == 0 {
+			b.Fatalf("replay produced no entries: %+v", s)
+		}
+		replayed = s.Replayed
+		if err := plog.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	perOpen := elapsed / time.Duration(b.N)
+	b.ReportMetric(float64(replayed)*float64(b.N)/elapsed.Seconds(), "records/s")
+	b.ReportMetric(float64(perOpen.Microseconds()), "replay-µs")
+
+	out := struct {
+		Records     int64   `json:"records"`
+		BytesOnDisk int64   `json:"bytes_on_disk"`
+		ReplayUs    int64   `json:"replay_us"`
+		RecordsPerS float64 `json:"records_per_sec"`
+	}{
+		Records:     replayed,
+		BytesOnDisk: bytesOnDisk,
+		ReplayUs:    perOpen.Microseconds(),
+		RecordsPerS: float64(replayed) * float64(b.N) / elapsed.Seconds(),
+	}
+	writeBenchJSON(b, "BENCH_PR10_REPLAY_OUT", "BENCH_pr10_replay.json", out)
+}
+
+// writeBenchJSON snapshots a benchmark's result document for the CI
+// benchmark guard, at the env-var path or the default.
+func writeBenchJSON(b *testing.B, env, def string, v any) {
+	b.Helper()
+	path := os.Getenv(env)
+	if path == "" {
+		path = def
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Clean(path), data, 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

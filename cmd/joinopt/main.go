@@ -37,6 +37,14 @@
 //
 //	joinopt -tables 8 -shape chain -strategy milp -execute
 //	joinopt -tables 8 -shape star -execute -feedback -qerror 2 -exec-seed 7
+//
+// -cache composes with -execute: the optimize leg is served through the
+// plan cache, and an execution whose measured cardinalities diverge from
+// the estimates feeds the corrected statistics back — the stale entry is
+// invalidated and refreshed in the background, so the next -repeat run
+// (or daemon request) gets a plan fit to the observed data:
+//
+//	joinopt -tables 8 -shape chain -cache -execute -feedback -repeat 3 -stats
 package main
 
 import (
@@ -180,26 +188,36 @@ func main() {
 		fmt.Printf("optimizing %d tables, %d predicates (%s strategy, %s metric, %s precision)\n",
 			q.NumTables(), len(q.Predicates), *strat, *metric, *precision)
 	}
-	if *execute {
-		if err := runExecuted(ctx, os.Stdout, q, opts, joinorder.ExecOptions{
-			DataSeed:        *execSeed,
-			Feedback:        *feedback,
-			QErrorThreshold: *qerror,
-		}, *jsonOut); err != nil {
-			if errors.Is(err, joinorder.ErrCanceled) || errors.Is(err, joinorder.ErrNoPlan) {
-				fmt.Fprintf(os.Stderr, "joinopt: no executed plan within the budget (%v)\n", err)
-				os.Exit(2)
-			}
-			fatal(err)
-		}
-		return
-	}
 	var co *cache.Optimizer
 	if *cacheOn {
 		var err error
 		if co, err = cache.New(cache.Config{}); err != nil {
 			fatal(err)
 		}
+	}
+	if *execute {
+		eo := joinorder.ExecOptions{
+			DataSeed:        *execSeed,
+			Feedback:        *feedback,
+			QErrorThreshold: *qerror,
+		}
+		for run := 0; run < max(*repeat, 1); run++ {
+			if err := runExecuted(ctx, os.Stdout, co, q, opts, eo, *jsonOut); err != nil {
+				if errors.Is(err, joinorder.ErrCanceled) || errors.Is(err, joinorder.ErrNoPlan) {
+					fmt.Fprintf(os.Stderr, "joinopt: no executed plan within the budget (%v)\n", err)
+					os.Exit(2)
+				}
+				fatal(err)
+			}
+		}
+		if co != nil {
+			// Let a corrected-cardinality refresh land before reporting.
+			co.Wait()
+			if *stats {
+				printCacheStats(co)
+			}
+		}
+		return
 	}
 	if *repeat < 1 {
 		fatal(fmt.Errorf("-repeat must be at least 1"))
@@ -277,9 +295,18 @@ func main() {
 
 // runExecuted is the -execute path: optimize, synthesize data matching
 // the query's statistics, run the plan through the streaming executor,
-// and report the estimated next to the executed cost per join.
-func runExecuted(ctx context.Context, w io.Writer, q *qopt.Query, opts joinorder.Options, eo joinorder.ExecOptions, jsonOut bool) error {
-	ex, err := joinorder.OptimizeExecuted(ctx, q, opts, eo)
+// and report the estimated next to the executed cost per join. With
+// -cache the optimize leg goes through the plan cache, and executions
+// whose measured cardinalities diverge feed corrected statistics back
+// into it (invalidate + background refresh).
+func runExecuted(ctx context.Context, w io.Writer, co *cache.Optimizer, q *qopt.Query, opts joinorder.Options, eo joinorder.ExecOptions, jsonOut bool) error {
+	var ex *joinorder.Execution
+	var err error
+	if co != nil {
+		ex, err = co.OptimizeExecuted(ctx, q, opts, eo)
+	} else {
+		ex, err = joinorder.OptimizeExecuted(ctx, q, opts, eo)
+	}
 	if err != nil {
 		return err
 	}

@@ -130,7 +130,7 @@ func TestRunExecuted(t *testing.T) {
 	opts := joinorder.Options{Strategy: "dp-bushy", TimeLimit: 10 * time.Second}
 
 	var text bytes.Buffer
-	if err := runExecuted(context.Background(), &text, q, opts, joinorder.ExecOptions{DataSeed: 9}, false); err != nil {
+	if err := runExecuted(context.Background(), &text, nil, q, opts, joinorder.ExecOptions{DataSeed: 9}, false); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"executed C_out", "max q-error", "result rows"} {
@@ -141,7 +141,7 @@ func TestRunExecuted(t *testing.T) {
 
 	var jsonBuf bytes.Buffer
 	eo := joinorder.ExecOptions{DataSeed: 9, Feedback: true, QErrorThreshold: 2}
-	if err := runExecuted(context.Background(), &jsonBuf, q, opts, eo, true); err != nil {
+	if err := runExecuted(context.Background(), &jsonBuf, nil, q, opts, eo, true); err != nil {
 		t.Fatal(err)
 	}
 	var doc struct {
@@ -167,6 +167,24 @@ func TestRunExecuted(t *testing.T) {
 	}
 	if doc.Execution.ExecutedCout <= 0 || doc.Execution.MaxQError < 1 {
 		t.Errorf("execution document = %+v", doc.Execution)
+	}
+
+	// -cache -execute composes: the optimize leg runs through the plan
+	// cache, so the second execution of the same query hits.
+	co, err := cache.New(cache.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Strategy = "milp"
+	for i := 0; i < 2; i++ {
+		var buf bytes.Buffer
+		if err := runExecuted(context.Background(), &buf, co, q, opts, joinorder.ExecOptions{DataSeed: 9}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	co.Wait()
+	if s := co.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("cached -execute: hits=%d misses=%d, want 1/1", s.Hits, s.Misses)
 	}
 }
 

@@ -6,8 +6,11 @@
 // Endpoints:
 //
 //	POST /v1/optimize         one JSON request → one JSON plan
+//	POST /v1/optimize/batch   many requests → one JSON document with
+//	                          per-query result-or-error envelopes
 //	POST /v1/optimize/stream  the same request, answered as an SSE stream
 //	                          of solver events ending in a result event
+//	POST /v1/cluster/entry    peer-to-peer cache replication ingest
 //	GET  /healthz             "ok", or 503 while draining
 //	GET  /varz                expvar JSON (key "joinoptd")
 //	GET  /metrics             Prometheus text exposition
@@ -16,6 +19,19 @@
 //
 //	joinoptd -addr :8080 -workers 8 -default-timeout 5s
 //	curl -s localhost:8080/v1/optimize -d '{"sql":"...","catalog":{...}}'
+//
+// With -cache-dir the plan cache is disk-backed: stored plans append to
+// a crash-safe record log replayed on startup, so a restarted daemon
+// serves previously seen queries without re-solving.
+//
+// With -peers and -node-id the daemon joins a sharded cluster: a
+// consistent-hash ring over canonical query fingerprints routes each
+// request to its owning node (misses that hash elsewhere are forwarded),
+// fresh cache entries replicate to ring successors, and a node whose
+// peer is down fails open to a local solve:
+//
+//	joinoptd -addr :8080 -node-id n0 -cache-dir /var/lib/joinoptd/n0 \
+//	  -peers n0=http://10.0.0.1:8080,n1=http://10.0.0.2:8080,n2=http://10.0.0.3:8080
 //
 // SIGTERM or SIGINT begins a graceful drain: new work is refused with
 // 503 + Retry-After, in-flight solves (including background refines)
@@ -36,6 +52,8 @@ import (
 	"time"
 
 	"milpjoin/joinorder/cache"
+	"milpjoin/joinorder/cache/persist"
+	"milpjoin/joinorder/cluster"
 	"milpjoin/joinorder/server"
 )
 
@@ -50,8 +68,15 @@ func main() {
 		tenantBurst    = flag.Int("tenant-burst", 0, "per-tenant burst (0 = ceil(rate))")
 		cacheEntries   = flag.Int("cache-entries", 1024, "plan cache capacity")
 		cacheTTL       = flag.Duration("cache-ttl", 0, "plan cache entry TTL (0 = no expiry)")
+		cacheMaxBytes  = flag.Int64("cache-max-bytes", 0, "plan cache byte bound (0 = entry count only)")
+		cacheDir       = flag.String("cache-dir", "", "directory for the persistent plan log (empty = memory only)")
+		persistSync    = flag.String("persist-sync", "interval", "persistent log fsync policy: interval, always, or none")
 		degradeUnder   = flag.Duration("degrade-under", 150*time.Millisecond, "serve a fallback plan when the budget is below this (0 = never)")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight work on shutdown")
+		nodeID         = flag.String("node-id", "", "this node's cluster peer ID (requires -peers)")
+		peerList       = flag.String("peers", "", "static cluster membership as id=url,id=url (includes this node)")
+		replicas       = flag.Int("replicas", 2, "ring successors receiving copies of each stored entry")
+		probeInterval  = flag.Duration("probe-interval", 2*time.Second, "peer health probe period")
 		logEvents      = flag.Bool("log-events", false, "log every solver event at debug level")
 		verbose        = flag.Bool("v", false, "debug logging")
 	)
@@ -63,6 +88,43 @@ func main() {
 	}
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "joinoptd:", err)
+		os.Exit(2)
+	}
+
+	var plog *persist.Log
+	if *cacheDir != "" {
+		policy, err := persist.ParseSyncPolicy(*persistSync)
+		if err != nil {
+			fatal(err)
+		}
+		plog, err = persist.Open(persist.Config{Dir: *cacheDir, Policy: policy})
+		if err != nil {
+			fatal(err)
+		}
+		defer plog.Close()
+	}
+
+	var router *cluster.Router
+	if *peerList != "" || *nodeID != "" {
+		peers, err := cluster.ParsePeers(*peerList)
+		if err != nil {
+			fatal(err)
+		}
+		router, err = cluster.New(cluster.Config{
+			Self:          *nodeID,
+			Peers:         peers,
+			Replicas:      *replicas,
+			ProbeInterval: *probeInterval,
+			Logger:        log,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer router.Close()
+	}
+
 	srv, err := server.New(server.Config{
 		MaxWorkers:       *workers,
 		QueueDepth:       *queueDepth,
@@ -72,15 +134,27 @@ func main() {
 		TenantBurst:      *tenantBurst,
 		Cache: cache.Config{
 			MaxEntries:   *cacheEntries,
+			MaxBytes:     *cacheMaxBytes,
 			TTL:          *cacheTTL,
 			DegradeUnder: *degradeUnder,
+			Persist:      plog,
 		},
+		Cluster:   router,
 		Logger:    log,
 		LogEvents: *logEvents,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "joinoptd:", err)
-		os.Exit(2)
+		fatal(err)
+	}
+	if plog != nil {
+		ps := plog.Stats()
+		cs := srv.Cache().Stats()
+		log.Info("plan cache replayed", "dir", *cacheDir,
+			"records", ps.LiveRecords, "entries", cs.Entries, "donors", cs.Donors,
+			"evicted", cs.ReplayEvicted, "torn_bytes_dropped", ps.TornBytesDropped)
+	}
+	if router != nil {
+		log.Info("cluster membership", "self", *nodeID, "peers", *peerList, "replicas", *replicas)
 	}
 
 	hs := &http.Server{

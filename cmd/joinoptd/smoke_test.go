@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"milpjoin/internal/workload"
+	"milpjoin/joinorder/server"
+)
+
+// TestClusterProcessSmoke boots a real three-process joinoptd ring and
+// hammers it: 5,000 in-flight requests over a small fingerprint corpus
+// must all be answered, and a node restarted onto its persistent cache
+// directory must serve the corpus warm. Heavyweight (builds the binary,
+// forks processes), so it is gated:
+//
+//	CLUSTER_SMOKE=1 go test ./cmd/joinoptd -run TestClusterProcessSmoke -v
+func TestClusterProcessSmoke(t *testing.T) {
+	if os.Getenv("CLUSTER_SMOKE") == "" {
+		t.Skip("set CLUSTER_SMOKE=1 to run the multi-process cluster smoke")
+	}
+
+	bin := filepath.Join(t.TempDir(), "joinoptd")
+	build := exec.Command("go", "build", "-o", bin, "milpjoin/cmd/joinoptd")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building joinoptd: %v", err)
+	}
+
+	const nodes = 3
+	ports := make([]int, nodes)
+	for i := range ports {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ports[i] = l.Addr().(*net.TCPAddr).Port
+		l.Close()
+	}
+	peers := ""
+	for i, p := range ports {
+		if i > 0 {
+			peers += ","
+		}
+		peers += fmt.Sprintf("n%d=http://127.0.0.1:%d", i, p)
+	}
+	dirs := make([]string, nodes)
+	for i := range dirs {
+		dirs[i] = filepath.Join(t.TempDir(), fmt.Sprintf("cache-n%d", i))
+	}
+
+	start := func(i int) *exec.Cmd {
+		cmd := exec.Command(bin,
+			"-addr", fmt.Sprintf("127.0.0.1:%d", ports[i]),
+			"-node-id", fmt.Sprintf("n%d", i),
+			"-peers", peers,
+			"-cache-dir", dirs[i],
+			"-persist-sync", "always",
+			"-probe-interval", "250ms",
+			"-default-timeout", "10s",
+		)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting node %d: %v", i, err)
+		}
+		return cmd
+	}
+	waitHealthy := func(i int) {
+		t.Helper()
+		url := fmt.Sprintf("http://127.0.0.1:%d/healthz", ports[i])
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			if resp, err := http.Get(url); err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Fatalf("node %d never became healthy", i)
+	}
+	procs := make([]*exec.Cmd, nodes)
+	for i := range procs {
+		procs[i] = start(i)
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				p.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+				p.Wait()                          //nolint:errcheck
+			}
+		}
+	})
+	for i := range procs {
+		waitHealthy(i)
+	}
+
+	// A small fingerprint corpus under heavy repetition: the cache-heavy
+	// serving regime the cluster is built for.
+	const distinct = 40
+	bodies := make([][]byte, distinct)
+	for i := range bodies {
+		req := server.OptimizeRequest{
+			Query:    workload.Generate(workload.Chain, 8, int64(i+1), workload.Config{}),
+			Strategy: "dp-leftdeep",
+			Timeout:  "10s",
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[i] = b
+	}
+
+	const total = 5000
+	const workers = 128
+	var answered, failed atomic.Int64
+	client := &http.Client{Timeout: 30 * time.Second}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				url := fmt.Sprintf("http://127.0.0.1:%d/v1/optimize", ports[i%nodes])
+				resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[i%distinct]))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				var out struct {
+					Result *json.RawMessage `json:"result"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK || out.Result == nil {
+					failed.Add(1)
+					continue
+				}
+				answered.Add(1)
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if answered.Load() != total || failed.Load() != 0 {
+		t.Fatalf("answered %d/%d, %d failed — the cluster left requests unanswered",
+			answered.Load(), total, failed.Load())
+	}
+
+	// Restart n0 onto its persistent cache directory: the corpus must be
+	// served warm (locally replayed or forwarded to still-warm peers).
+	procs[0].Process.Signal(syscall.SIGTERM) //nolint:errcheck
+	if err := procs[0].Wait(); err != nil {
+		t.Fatalf("node 0 exited uncleanly: %v", err)
+	}
+	procs[0] = start(0)
+	waitHealthy(0)
+
+	hits := 0
+	for i, body := range bodies {
+		url := fmt.Sprintf("http://127.0.0.1:%d/v1/optimize", ports[0])
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("warm request %d: %v", i, err)
+		}
+		var out struct {
+			CacheHit bool `json:"cache_hit"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("warm request %d: decoding: %v", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm request %d: status %d", i, resp.StatusCode)
+		}
+		if out.CacheHit {
+			hits++
+		}
+	}
+	if rate := float64(hits) / distinct; rate < 0.95 {
+		t.Fatalf("warm hit rate after restart %.2f (%d/%d), want ≥ 0.95", rate, hits, distinct)
+	}
+	t.Logf("smoke: %d requests answered, warm hit rate %d/%d after restart", total, hits, distinct)
+}

@@ -11,6 +11,7 @@ import (
 
 	"milpjoin/internal/obs"
 	"milpjoin/joinorder"
+	"milpjoin/joinorder/cache/persist"
 )
 
 // OptimizeFunc is the underlying optimizer the cache fronts; it matches
@@ -23,6 +24,11 @@ type Config struct {
 	// MaxEntries bounds the exact cache (default 1024). The warm-start
 	// donor index is bounded separately at the same size.
 	MaxEntries int
+	// MaxBytes additionally bounds the exact cache's approximate resident
+	// bytes (0: entry-count bound only). It is what keeps a persistent-log
+	// replay larger than the configured LRU from blowing memory: replay
+	// evicts in log order as it overflows, counted in Stats.ReplayEvicted.
+	MaxBytes int64
 	// TTL expires entries this long after insertion (0: never). Expiry
 	// is checked on lookup; an expired entry is treated as a miss and
 	// removed, so stale plans are never served.
@@ -44,6 +50,22 @@ type Config struct {
 	BackgroundBudget time.Duration
 	// Optimize is the underlying optimizer (default joinorder.Optimize).
 	Optimize OptimizeFunc
+
+	// Persist attaches a disk-backed plan log (see the persist
+	// subpackage): stored entries and warm-start donors are appended to
+	// it, invalidations become tombstones, and New replays the surviving
+	// records into the in-memory stores so a restarted process serves
+	// previously-seen fingerprints without re-solving. The caller owns
+	// the log's lifecycle (Open before New, Close after the optimizer is
+	// done).
+	Persist *persist.Log
+	// OnStore, when set, observes every freshly stored entry — exact
+	// results and warm-start donors — as (kind, key, serialized value).
+	// The cluster layer uses it to replicate hot entries to peer shards.
+	// Entries loaded by replay or ImportRecord are not announced, so
+	// replication cannot amplify. The hook runs synchronously on the
+	// solve path; keep it fast (enqueue, don't block).
+	OnStore func(kind, key string, val []byte)
 
 	// now overrides the clock in tests.
 	now func() time.Time
@@ -111,6 +133,9 @@ func (c Config) Validate() error {
 	if c.MaxEntries <= 0 {
 		return fmt.Errorf("%w: cache MaxEntries %d must be positive", joinorder.ErrInvalidOptions, c.MaxEntries)
 	}
+	if c.MaxBytes < 0 {
+		return fmt.Errorf("%w: negative cache MaxBytes %d", joinorder.ErrInvalidOptions, c.MaxBytes)
+	}
 	if c.TTL < 0 {
 		return fmt.Errorf("%w: negative cache TTL %v", joinorder.ErrInvalidOptions, c.TTL)
 	}
@@ -137,8 +162,13 @@ func New(cfg Config) (*Optimizer, error) {
 		return nil, err
 	}
 	o := &Optimizer{cfg: cfg}
-	o.exact = newStore[*canonicalResult](cfg.MaxEntries, cfg.TTL, &o.ctr.evicted, &o.ctr.expired)
-	o.donors = newStore[*donor](cfg.MaxEntries, cfg.TTL, nil, nil)
+	o.exact = newStore[*canonicalResult](cfg.MaxEntries, cfg.MaxBytes, cfg.TTL, &o.ctr.evicted, &o.ctr.expired)
+	o.donors = newStore[*donor](cfg.MaxEntries, 0, cfg.TTL, nil, nil)
+	if cfg.Persist != nil {
+		if err := o.replay(); err != nil {
+			return nil, fmt.Errorf("%w: replaying persistent cache: %v", joinorder.ErrInvalidOptions, err)
+		}
+	}
 	return o, nil
 }
 
@@ -147,6 +177,7 @@ func (o *Optimizer) Stats() Stats {
 	s := o.ctr.snapshot()
 	s.Entries = o.exact.len()
 	s.Donors = o.donors.len()
+	s.Bytes = o.exact.sizeBytes()
 	return s
 }
 
@@ -293,10 +324,8 @@ func (o *Optimizer) solve(ctx context.Context, q *joinorder.Query, opts joinorde
 		cs, _ = Canonicalize(q, Shape)
 	}
 	if cs != nil {
-		o.donors.put("s|"+okey+"|"+cs.Key, &donor{
-			order: cs.ToCanonical(res.Plan.Order),
-			ops:   slices.Clone(res.Plan.Operators),
-		}, now)
+		o.storeDonor("s|"+okey+"|"+cs.Key,
+			cloneDonor(cs.ToCanonical(res.Plan.Order), res.Plan.Operators), now)
 	}
 	var cres *canonicalResult
 	if res.Status == joinorder.StatusOptimal {
@@ -304,7 +333,7 @@ func (o *Optimizer) solve(ctx context.Context, q *joinorder.Query, opts joinorde
 		// time-limited incumbent from one request must not masquerade
 		// as the answer for the next.
 		cres = storeForm(res, ce)
-		o.exact.put("e|"+okey+"|"+ce.Key, cres, now)
+		o.storeExact("e|"+okey+"|"+ce.Key, cres, now)
 	} else {
 		// Still good enough to hand to coalesced waiters of this
 		// flight — they asked for exactly this solve.

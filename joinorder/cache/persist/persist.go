@@ -1,0 +1,605 @@
+// Package persist is the disk-backed half of the plan cache: an
+// append-only record log that survives process restarts, so a daemon
+// reopened against its cache directory serves previously-seen query
+// fingerprints from disk instead of re-paying cold MILP solves.
+//
+// The format is deliberately simple — one file of length- and
+// CRC-framed records — because the write path must never slow a solve
+// and the read path runs exactly once, at startup:
+//
+//	header:  "JOPLOG1\n"
+//	record:  uint32 payload length | uint32 CRC-32C of payload | payload
+//	payload: JSON {"op":"put"|"del","kind":"exact"|"donor","key":...,"val":...}
+//
+// Crash safety comes from append-only discipline: a crash can tear at
+// most the final record. Open scans the log, truncates the first torn or
+// corrupt frame and everything after it (counting the dropped bytes),
+// and serves every earlier record — the store never refuses to start
+// because of a dirty shutdown.
+//
+// Space is reclaimed by compaction: when the dead fraction (overwritten
+// and tombstoned records) passes CompactFraction, a background pass
+// rewrites only the live records into a temporary file and atomically
+// renames it over the log.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Record ops and kinds. Kinds mirror the cache's two stores; the log
+// itself treats them as opaque routing tags.
+const (
+	OpPut    = "put"
+	OpDelete = "del"
+
+	KindExact = "exact"
+	KindDonor = "donor"
+)
+
+// Record is one logged cache mutation.
+type Record struct {
+	Op   string          `json:"op"`
+	Kind string          `json:"kind"`
+	Key  string          `json:"key"`
+	Val  json.RawMessage `json:"val,omitempty"`
+}
+
+// SyncPolicy selects when appended records reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncInterval fsyncs on a background ticker (default 100ms): a
+	// crash loses at most the last interval's entries. The default.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs after every append: nothing acknowledged is ever
+	// lost, at the cost of one fsync per cache store.
+	SyncAlways
+	// SyncNone leaves flushing to the OS: fastest, loses the page-cache
+	// tail on power failure (an ordinary process crash still loses
+	// nothing — the pages are the kernel's).
+	SyncNone
+)
+
+// String names the policy (the -persist-sync flag values).
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncInterval:
+		return "interval"
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy maps a flag value onto its policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "", "interval":
+		return SyncInterval, nil
+	case "always":
+		return SyncAlways, nil
+	case "none":
+		return SyncNone, nil
+	default:
+		return 0, fmt.Errorf("persist: unknown sync policy %q (want interval, always, or none)", s)
+	}
+}
+
+// Config configures a Log. Only Dir is required.
+type Config struct {
+	// Dir is the cache directory; the log lives at Dir/plans.log. The
+	// directory is created if absent.
+	Dir string
+	// Policy is the fsync policy (default SyncInterval).
+	Policy SyncPolicy
+	// SyncEvery is the SyncInterval ticker period (default 100ms).
+	SyncEvery time.Duration
+	// CompactFraction triggers background compaction when dead bytes
+	// (overwritten puts, tombstones) exceed this fraction of the file
+	// (default 0.5). Compaction never triggers below CompactMinBytes.
+	CompactFraction float64
+	// CompactMinBytes is the minimum file size before compaction is
+	// considered (default 1 MiB).
+	CompactMinBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SyncEvery == 0 {
+		c.SyncEvery = 100 * time.Millisecond
+	}
+	if c.CompactFraction == 0 {
+		c.CompactFraction = 0.5
+	}
+	if c.CompactMinBytes == 0 {
+		c.CompactMinBytes = 1 << 20
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the log.
+type Stats struct {
+	// Path is the log file's location.
+	Path string `json:"path"`
+	// LiveRecords is the number of records a replay would yield.
+	LiveRecords int `json:"live_records"`
+	// FileBytes is the log file's current size.
+	FileBytes int64 `json:"file_bytes"`
+	// DeadBytes counts bytes held by overwritten or deleted records.
+	DeadBytes int64 `json:"dead_bytes"`
+	// TornBytesDropped counts bytes truncated at Open because the tail
+	// record was torn or corrupt.
+	TornBytesDropped int64 `json:"torn_bytes_dropped"`
+	// Compactions counts completed compaction passes.
+	Compactions int64 `json:"compactions"`
+	// Syncs counts explicit fsyncs issued.
+	Syncs int64 `json:"syncs"`
+	// AppendErrors counts failed appends (the in-memory cache keeps
+	// serving; the entry is simply not durable).
+	AppendErrors int64 `json:"append_errors"`
+}
+
+const (
+	logMagic    = "JOPLOG1\n"
+	logName     = "plans.log"
+	frameHead   = 8        // uint32 length + uint32 crc
+	maxRecBytes = 64 << 20 // sanity bound on one record; larger frames are corruption
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is an open plan log. All methods are safe for concurrent use.
+type Log struct {
+	cfg  Config
+	path string
+
+	mu        sync.Mutex
+	f         *os.File
+	size      int64
+	liveBytes map[string]int64 // live key -> framed bytes of its latest put
+	dead      int64            // bytes of overwritten/tombstoned frames
+	torn      int64
+	closed    bool
+	dirty     bool // bytes written since the last fsync
+	compactMu sync.Mutex
+
+	compactions  atomic.Int64
+	syncs        atomic.Int64
+	appendErrors atomic.Int64
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+// Open opens (creating if needed) the log under cfg.Dir, recovers from a
+// torn tail, and indexes the live records. Replay the surviving records
+// with Each.
+func Open(cfg Config) (*Log, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("persist: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	path := filepath.Join(cfg.Dir, logName)
+	// O_APPEND: every write lands at the end regardless of where a scan
+	// left the read position, so replay and append cannot interleave badly.
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	l := &Log{
+		cfg:       cfg,
+		path:      path,
+		f:         f,
+		liveBytes: make(map[string]int64),
+		stopSync:  make(chan struct{}),
+		syncDone:  make(chan struct{}),
+	}
+	if err := l.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if cfg.Policy == SyncInterval {
+		go l.syncLoop()
+	} else {
+		close(l.syncDone)
+	}
+	return l, nil
+}
+
+// recover scans the log, builds the live index, and truncates the first
+// torn or corrupt frame and everything after it.
+func (l *Log) recover() error {
+	info, err := l.f.Stat()
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if info.Size() == 0 {
+		if _, err := l.f.Write([]byte(logMagic)); err != nil {
+			return fmt.Errorf("persist: writing header: %w", err)
+		}
+		l.size = int64(len(logMagic))
+		return nil
+	}
+	good, err := l.scan(func(rec Record, framed int64) {
+		l.applyIndex(rec, framed)
+	})
+	if err != nil {
+		return err
+	}
+	if good < info.Size() {
+		l.torn = info.Size() - good
+		if err := l.f.Truncate(good); err != nil {
+			return fmt.Errorf("persist: truncating torn tail: %w", err)
+		}
+	}
+	l.size = good
+	return nil
+}
+
+// applyIndex folds one scanned record into the live index and dead-byte
+// accounting.
+func (l *Log) applyIndex(rec Record, framed int64) {
+	k := rec.Kind + "|" + rec.Key
+	if prev, ok := l.liveBytes[k]; ok {
+		l.dead += prev
+	}
+	switch rec.Op {
+	case OpPut:
+		l.liveBytes[k] = framed
+	case OpDelete:
+		delete(l.liveBytes, k)
+		l.dead += framed // the tombstone itself is dead weight
+	}
+}
+
+// scan reads frames from the start of the file, calling fn for each valid
+// record, and returns the offset of the first invalid byte (== file size
+// when the log is clean). I/O errors other than a clean EOF boundary are
+// returned; framing errors (short frame, bad CRC, absurd length) are a
+// torn tail, not an error.
+func (l *Log) scan(fn func(rec Record, framed int64)) (int64, error) {
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("persist: %w", err)
+	}
+	br := bufio.NewReaderSize(l.f, 1<<20)
+	head := make([]byte, len(logMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return 0, nil // shorter than the header: rewrite from scratch
+	}
+	if string(head) != logMagic {
+		return 0, fmt.Errorf("persist: %s is not a plan log (bad magic)", l.path)
+	}
+	off := int64(len(logMagic))
+	var frame [frameHead]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			return off, nil // clean end or torn frame header
+		}
+		n := binary.LittleEndian.Uint32(frame[0:4])
+		crc := binary.LittleEndian.Uint32(frame[4:8])
+		if n == 0 || n > maxRecBytes {
+			return off, nil
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return off, nil // torn payload
+		}
+		if crc32.Checksum(payload, crcTable) != crc {
+			return off, nil // corrupt frame: recover to here
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return off, nil
+		}
+		framed := int64(frameHead) + int64(n)
+		fn(rec, framed)
+		off += framed
+	}
+}
+
+// Each replays the live records — every put not later overwritten or
+// tombstoned — in append order. It re-reads the file, so memory stays
+// proportional to the live set only for the duration of the call. The
+// callback must not call back into the Log.
+func (l *Log) Each(fn func(Record) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("persist: log closed")
+	}
+	type liveRec struct {
+		rec Record
+		seq int64
+	}
+	last := make(map[string]liveRec)
+	var seq int64
+	if _, err := l.scan(func(rec Record, _ int64) {
+		k := rec.Kind + "|" + rec.Key
+		switch rec.Op {
+		case OpPut:
+			seq++
+			last[k] = liveRec{rec: rec, seq: seq}
+		case OpDelete:
+			delete(last, k)
+		}
+	}); err != nil {
+		return err
+	}
+	ordered := make([]liveRec, 0, len(last))
+	for _, lr := range last {
+		ordered = append(ordered, lr)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].seq < ordered[j].seq })
+	for _, lr := range ordered {
+		if err := fn(lr.rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Put appends a live record for (kind, key). val must be self-contained
+// JSON. Best effort beyond the append itself: a later crash may lose it
+// per the sync policy.
+func (l *Log) Put(kind, key string, val []byte) error {
+	return l.append(Record{Op: OpPut, Kind: kind, Key: key, Val: json.RawMessage(val)})
+}
+
+// Delete appends a tombstone for (kind, key): the entry is gone after the
+// next replay even though earlier puts remain physically in the file
+// until compaction.
+func (l *Log) Delete(kind, key string) error {
+	return l.append(Record{Op: OpDelete, Kind: kind, Key: key})
+}
+
+func (l *Log) append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		l.appendErrors.Add(1)
+		return fmt.Errorf("persist: %w", err)
+	}
+	if len(payload) > maxRecBytes {
+		l.appendErrors.Add(1)
+		return fmt.Errorf("persist: record %d bytes exceeds limit", len(payload))
+	}
+	buf := make([]byte, frameHead+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, crcTable))
+	copy(buf[frameHead:], payload)
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return errors.New("persist: log closed")
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		l.appendErrors.Add(1)
+		l.mu.Unlock()
+		return fmt.Errorf("persist: %w", err)
+	}
+	l.size += int64(len(buf))
+	l.dirty = true
+	l.applyIndex(rec, int64(len(buf)))
+	syncNow := l.cfg.Policy == SyncAlways
+	needCompact := l.needCompactLocked()
+	if syncNow {
+		err = l.syncLocked()
+	}
+	l.mu.Unlock()
+
+	if needCompact {
+		go l.Compact() //nolint:errcheck // best-effort background pass
+	}
+	return err
+}
+
+// needCompactLocked reports whether the dead fraction warrants a
+// compaction pass. Called with mu held.
+func (l *Log) needCompactLocked() bool {
+	return l.size >= l.cfg.CompactMinBytes &&
+		float64(l.dead) > l.cfg.CompactFraction*float64(l.size)
+}
+
+// Sync flushes appended records to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	l.dirty = false
+	l.syncs.Add(1)
+	return nil
+}
+
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.cfg.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.Sync() //nolint:errcheck // surfaces via Stats on close paths
+		case <-l.stopSync:
+			return
+		}
+	}
+}
+
+// Compact rewrites only the live records into a fresh file and atomically
+// renames it over the log. Appends block for the duration; the pass is
+// proportional to the live set, so blocking stays short. Concurrent
+// Compact calls coalesce (the second waits, finds nothing dead, returns).
+func (l *Log) Compact() error {
+	l.compactMu.Lock()
+	defer l.compactMu.Unlock()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("persist: log closed")
+	}
+	if l.dead == 0 {
+		return nil
+	}
+
+	tmpPath := l.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer os.Remove(tmpPath) // no-op after a successful rename
+
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	if _, err := bw.WriteString(logMagic); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	newSize := int64(len(logMagic))
+	newLive := make(map[string]int64, len(l.liveBytes))
+
+	// Collect the live records (same two-pass shape as Each, but under
+	// the lock we already hold).
+	type liveRec struct {
+		rec Record
+		seq int64
+	}
+	last := make(map[string]liveRec)
+	var seq int64
+	if _, err := l.scan(func(rec Record, _ int64) {
+		k := rec.Kind + "|" + rec.Key
+		switch rec.Op {
+		case OpPut:
+			seq++
+			last[k] = liveRec{rec: rec, seq: seq}
+		case OpDelete:
+			delete(last, k)
+		}
+	}); err != nil {
+		tmp.Close()
+		return err
+	}
+	ordered := make([]liveRec, 0, len(last))
+	for _, lr := range last {
+		ordered = append(ordered, lr)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].seq < ordered[j].seq })
+
+	var frame [frameHead]byte
+	for _, lr := range ordered {
+		payload, err := json.Marshal(lr.rec)
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("persist: %w", err)
+		}
+		binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+		if _, err := bw.Write(frame[:]); err != nil {
+			tmp.Close()
+			return fmt.Errorf("persist: %w", err)
+		}
+		if _, err := bw.Write(payload); err != nil {
+			tmp.Close()
+			return fmt.Errorf("persist: %w", err)
+		}
+		framed := int64(frameHead) + int64(len(payload))
+		newSize += framed
+		newLive[lr.rec.Kind+"|"+lr.rec.Key] = framed
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	f, err := os.OpenFile(l.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: reopening after compaction: %w", err)
+	}
+	l.f.Close()
+	l.f = f
+	l.size = newSize
+	l.liveBytes = newLive
+	l.dead = 0
+	l.dirty = false
+	l.compactions.Add(1)
+	return nil
+}
+
+// Close syncs and closes the log. Further calls error.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	close(l.stopSync)
+	err := l.syncLocked()
+	l.closed = true
+	cerr := l.f.Close()
+	l.mu.Unlock()
+	<-l.syncDone
+	if err != nil {
+		return err
+	}
+	if cerr != nil {
+		return fmt.Errorf("persist: %w", cerr)
+	}
+	return nil
+}
+
+// Stats snapshots the log.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Path:             l.path,
+		LiveRecords:      len(l.liveBytes),
+		FileBytes:        l.size,
+		DeadBytes:        l.dead,
+		TornBytesDropped: l.torn,
+		Compactions:      l.compactions.Load(),
+		Syncs:            l.syncs.Load(),
+		AppendErrors:     l.appendErrors.Load(),
+	}
+}

@@ -1,0 +1,326 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T, cfg Config) *Log {
+	t.Helper()
+	l, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func collect(t *testing.T, l *Log) []Record {
+	t.Helper()
+	var out []Record
+	if err := l.Each(func(rec Record) error {
+		out = append(out, rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestPutReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Config{Dir: dir})
+	for i := 0; i < 10; i++ {
+		if err := l.Put(KindExact, fmt.Sprintf("k%d", i), []byte(fmt.Sprintf(`{"v":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Put(KindDonor, "d0", []byte(`{"order":[0,1]}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openT(t, Config{Dir: dir})
+	recs := collect(t, l2)
+	if len(recs) != 11 {
+		t.Fatalf("replayed %d records, want 11", len(recs))
+	}
+	// Append order is preserved.
+	for i := 0; i < 10; i++ {
+		if recs[i].Key != fmt.Sprintf("k%d", i) || recs[i].Kind != KindExact {
+			t.Fatalf("record %d = %+v, want k%d/exact", i, recs[i], i)
+		}
+		if string(recs[i].Val) != fmt.Sprintf(`{"v":%d}`, i) {
+			t.Fatalf("record %d val %s", i, recs[i].Val)
+		}
+	}
+	if recs[10].Kind != KindDonor || recs[10].Key != "d0" {
+		t.Fatalf("last record %+v, want donor d0", recs[10])
+	}
+}
+
+func TestOverwriteAndTombstone(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Config{Dir: dir})
+	l.Put(KindExact, "a", []byte(`{"v":1}`))
+	l.Put(KindExact, "b", []byte(`{"v":2}`))
+	l.Put(KindExact, "a", []byte(`{"v":3}`)) // overwrite
+	l.Delete(KindExact, "b")                 // tombstone
+	l.Close()
+
+	l2 := openT(t, Config{Dir: dir})
+	recs := collect(t, l2)
+	if len(recs) != 1 || recs[0].Key != "a" || string(recs[0].Val) != `{"v":3}` {
+		t.Fatalf("live records %+v, want only a=v3", recs)
+	}
+	if s := l2.Stats(); s.LiveRecords != 1 || s.DeadBytes == 0 {
+		t.Fatalf("stats %+v, want 1 live record and nonzero dead bytes", s)
+	}
+}
+
+// TestTornTailRecovery is the crash-recovery contract: kill the writer
+// mid-append (simulated by truncating into the final frame), reopen, and
+// the store drops only the torn record and serves every earlier one.
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Config{Dir: dir})
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := l.Put(KindExact, fmt.Sprintf("k%d", i), []byte(fmt.Sprintf(`{"v":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sizeBefore := l.Stats().FileBytes
+	l.Close()
+
+	// Tear the final record: drop its last 3 bytes.
+	path := filepath.Join(dir, logName)
+	if err := os.Truncate(path, sizeBefore-3); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openT(t, Config{Dir: dir})
+	recs := collect(t, l2)
+	if len(recs) != n-1 {
+		t.Fatalf("recovered %d records, want %d (only the torn tail dropped)", len(recs), n-1)
+	}
+	for i, rec := range recs {
+		if rec.Key != fmt.Sprintf("k%d", i) {
+			t.Fatalf("record %d is %q", i, rec.Key)
+		}
+	}
+	if s := l2.Stats(); s.TornBytesDropped == 0 {
+		t.Fatalf("stats %+v, want TornBytesDropped > 0", s)
+	}
+
+	// The recovered log accepts appends and they survive another cycle.
+	if err := l2.Put(KindExact, "after", []byte(`{"v":99}`)); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3 := openT(t, Config{Dir: dir})
+	recs = collect(t, l3)
+	if len(recs) != n || recs[n-1].Key != "after" {
+		t.Fatalf("after recovery+append: %d records, last %q", len(recs), recs[len(recs)-1].Key)
+	}
+}
+
+// TestCorruptMidFrameRecovery flips a byte inside an earlier record's
+// payload: recovery keeps everything before the corrupt frame and drops
+// it plus the (unreachable) frames after it — never serves corrupt data.
+func TestCorruptMidFrameRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Config{Dir: dir})
+	var offsets []int64
+	for i := 0; i < 10; i++ {
+		offsets = append(offsets, l.Stats().FileBytes)
+		l.Put(KindExact, fmt.Sprintf("k%d", i), []byte(fmt.Sprintf(`{"v":%d}`, i)))
+	}
+	l.Close()
+
+	path := filepath.Join(dir, logName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one payload byte of record 7.
+	data[offsets[7]+frameHead+2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openT(t, Config{Dir: dir})
+	recs := collect(t, l2)
+	if len(recs) != 7 {
+		t.Fatalf("recovered %d records, want 7 (corruption at record 7)", len(recs))
+	}
+}
+
+func TestEmptyAndHeaderOnlyLogs(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Config{Dir: dir})
+	if recs := collect(t, l); len(recs) != 0 {
+		t.Fatalf("fresh log has %d records", len(recs))
+	}
+	l.Close()
+	// Header-only reopen.
+	l2 := openT(t, Config{Dir: dir})
+	if recs := collect(t, l2); len(recs) != 0 {
+		t.Fatalf("header-only log has %d records", len(recs))
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, logName)
+	if err := os.WriteFile(path, []byte("NOTALOG0"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: dir}); err == nil {
+		t.Fatal("Open accepted a file with bad magic")
+	}
+}
+
+func TestCompactionReclaimsDeadBytes(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny thresholds so the test triggers compaction naturally.
+	l := openT(t, Config{Dir: dir, CompactMinBytes: 1, CompactFraction: 0.99})
+	big := make([]byte, 1024)
+	for i := range big {
+		big[i] = 'x'
+	}
+	val := []byte(fmt.Sprintf(`{"v":%q}`, big))
+	for i := 0; i < 100; i++ {
+		if err := l.Put(KindExact, "hot", val); err != nil { // same key: 99 dead frames
+			t.Fatal(err)
+		}
+	}
+	l.Put(KindExact, "cold", []byte(`{"v":1}`))
+	before := l.Stats()
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := l.Stats()
+	if after.FileBytes >= before.FileBytes {
+		t.Fatalf("compaction did not shrink the file: %d -> %d", before.FileBytes, after.FileBytes)
+	}
+	if after.DeadBytes != 0 || after.LiveRecords != 2 {
+		t.Fatalf("post-compaction stats %+v, want 0 dead / 2 live", after)
+	}
+	recs := collect(t, l)
+	if len(recs) != 2 || recs[0].Key != "hot" || recs[1].Key != "cold" {
+		t.Fatalf("post-compaction records %+v", recs)
+	}
+
+	// Appends after compaction land in the new file and survive reopen.
+	l.Put(KindExact, "new", []byte(`{"v":2}`))
+	l.Close()
+	l2 := openT(t, Config{Dir: dir})
+	if recs := collect(t, l2); len(recs) != 3 {
+		t.Fatalf("after compaction+append+reopen: %d records, want 3", len(recs))
+	}
+}
+
+func TestBackgroundCompactionTriggers(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Config{Dir: dir, CompactMinBytes: 1, CompactFraction: 0.3})
+	for i := 0; i < 200; i++ {
+		l.Put(KindExact, "k", []byte(`{"v":1}`)) // everything but the last is dead
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Stats().Compactions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no background compaction after 200 overwrites: %+v", l.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncAlways, SyncInterval, SyncNone} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l := openT(t, Config{Dir: dir, Policy: pol, SyncEvery: 5 * time.Millisecond})
+			l.Put(KindExact, "k", []byte(`{"v":1}`))
+			if pol == SyncAlways && l.Stats().Syncs == 0 {
+				t.Fatal("SyncAlways did not sync on append")
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			l2 := openT(t, Config{Dir: dir})
+			if recs := collect(t, l2); len(recs) != 1 {
+				t.Fatalf("%d records after reopen", len(recs))
+			}
+		})
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{"": SyncInterval, "interval": SyncInterval, "always": SyncAlways, "none": SyncNone} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Config{Dir: dir, CompactMinBytes: 1, CompactFraction: 0.6})
+	var wg sync.WaitGroup
+	const writers, per = 8, 50
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				key := fmt.Sprintf("w%d-%d", w, i%10) // overwrites create dead bytes
+				if err := l.Put(KindExact, key, []byte(fmt.Sprintf(`{"v":%d}`, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openT(t, Config{Dir: dir})
+	recs := collect(t, l2)
+	if len(recs) != writers*10 {
+		t.Fatalf("replayed %d live records, want %d", len(recs), writers*10)
+	}
+}
+
+// TestFrameBinaryLayout pins the on-disk layout so future refactors fail
+// loudly instead of silently invalidating existing cache directories.
+func TestFrameBinaryLayout(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, Config{Dir: dir})
+	l.Put(KindExact, "k", []byte(`{"v":1}`))
+	l.Close()
+	data, err := os.ReadFile(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:len(logMagic)]) != logMagic {
+		t.Fatalf("header %q", data[:len(logMagic)])
+	}
+	n := binary.LittleEndian.Uint32(data[len(logMagic):])
+	if int(n) != len(data)-len(logMagic)-frameHead {
+		t.Fatalf("frame length %d does not cover the remaining %d payload bytes",
+			n, len(data)-len(logMagic)-frameHead)
+	}
+}

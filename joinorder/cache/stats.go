@@ -27,14 +27,34 @@ type Stats struct {
 	// Uncacheable counts requests whose queries the fingerprint rejects
 	// (passed through to the optimizer untouched).
 	Uncacheable int64 `json:"uncacheable"`
-	// Evicted counts entries removed by the LRU bound.
+	// Evicted counts entries removed by the LRU bounds (entry count or
+	// MaxBytes), including evictions during persistent-log replay.
 	Evicted int64 `json:"evicted"`
 	// Expired counts entries removed because their TTL lapsed.
 	Expired int64 `json:"expired"`
+	// Invalidated counts entries removed by explicit invalidation —
+	// Invalidate calls and the corrected-cardinality feedback loop.
+	Invalidated int64 `json:"invalidated"`
+	// Replayed counts entries loaded from the persistent log at startup.
+	Replayed int64 `json:"replayed"`
+	// ReplayEvicted counts replayed entries the LRU bounds evicted again
+	// during startup — the log held more than the configured cache.
+	ReplayEvicted int64 `json:"replay_evicted"`
+	// Imported counts entries accepted from cluster peers (replication).
+	Imported int64 `json:"imported"`
+	// FeedbackRefreshes counts corrected-query refreshes: an executed
+	// plan's measured cardinalities invalidated a stale entry and a
+	// background solve of the corrected query replaced it.
+	FeedbackRefreshes int64 `json:"feedback_refreshes"`
+	// PersistErrors counts failed persistent-log writes (the in-memory
+	// cache keeps serving; the entry is simply not durable).
+	PersistErrors int64 `json:"persist_errors"`
 	// Entries is the current number of exact entries resident.
 	Entries int `json:"entries"`
 	// Donors is the current number of shape-level warm-start donors.
 	Donors int `json:"donors"`
+	// Bytes is the approximate resident size of the exact cache.
+	Bytes int64 `json:"bytes"`
 }
 
 // HitRate is Hits over all cacheable lookups (0 when none yet).
@@ -58,6 +78,12 @@ type counters struct {
 	uncacheable       atomic.Int64
 	evicted           atomic.Int64
 	expired           atomic.Int64
+	invalidated       atomic.Int64
+	replayed          atomic.Int64
+	replayEvicted     atomic.Int64
+	imported          atomic.Int64
+	feedbackRefreshes atomic.Int64
+	persistErrors     atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
@@ -72,5 +98,11 @@ func (c *counters) snapshot() Stats {
 		Uncacheable:       c.uncacheable.Load(),
 		Evicted:           c.evicted.Load(),
 		Expired:           c.expired.Load(),
+		Invalidated:       c.invalidated.Load(),
+		Replayed:          c.replayed.Load(),
+		ReplayEvicted:     c.replayEvicted.Load(),
+		Imported:          c.imported.Load(),
+		FeedbackRefreshes: c.feedbackRefreshes.Load(),
+		PersistErrors:     c.persistErrors.Load(),
 	}
 }

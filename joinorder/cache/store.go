@@ -10,15 +10,19 @@ import (
 // store is a concurrency-safe bounded map with LRU eviction and optional
 // TTL expiry. It is instantiated twice by the Optimizer: once for exact
 // entries (full cached results) and once for shape-level warm-start
-// donors.
+// donors. Bounds are enforced on entry count and, when maxBytes is set,
+// on the summed entry sizes — the latter is what keeps a persistent-log
+// replay larger than the configured LRU from blowing memory.
 type store[V any] struct {
-	mu      sync.Mutex
-	max     int
-	ttl     time.Duration
-	ll      *list.List // front = most recently used
-	m       map[string]*list.Element
-	evicted *atomic.Int64
-	expired *atomic.Int64
+	mu       sync.Mutex
+	max      int
+	maxBytes int64
+	ttl      time.Duration
+	ll       *list.List // front = most recently used
+	m        map[string]*list.Element
+	bytes    int64
+	evicted  *atomic.Int64
+	expired  *atomic.Int64
 }
 
 type storeEntry[V any] struct {
@@ -26,16 +30,18 @@ type storeEntry[V any] struct {
 	val  V
 	at   time.Time // insertion time, for TTL
 	hits int64
+	size int64 // approximate resident bytes, 0 when untracked
 }
 
-func newStore[V any](max int, ttl time.Duration, evicted, expired *atomic.Int64) *store[V] {
+func newStore[V any](max int, maxBytes int64, ttl time.Duration, evicted, expired *atomic.Int64) *store[V] {
 	return &store[V]{
-		max:     max,
-		ttl:     ttl,
-		ll:      list.New(),
-		m:       make(map[string]*list.Element),
-		evicted: evicted,
-		expired: expired,
+		max:      max,
+		maxBytes: maxBytes,
+		ttl:      ttl,
+		ll:       list.New(),
+		m:        make(map[string]*list.Element),
+		evicted:  evicted,
+		expired:  expired,
 	}
 }
 
@@ -52,8 +58,7 @@ func (s *store[V]) get(key string, now time.Time) (V, bool) {
 	}
 	e := el.Value.(*storeEntry[V])
 	if s.ttl > 0 && now.Sub(e.at) > s.ttl {
-		s.ll.Remove(el)
-		delete(s.m, key)
+		s.removeLocked(el)
 		if s.expired != nil {
 			s.expired.Add(1)
 		}
@@ -65,33 +70,68 @@ func (s *store[V]) get(key string, now time.Time) (V, bool) {
 	return e.val, true
 }
 
-// put inserts or replaces the value for key, evicting the least recently
-// used entry when the bound is exceeded. Replacement resets the TTL clock
-// (the entry was just recomputed) but keeps the hit count.
-func (s *store[V]) put(key string, v V, now time.Time) {
+// put inserts or replaces the value for key, evicting least recently used
+// entries while either bound (entry count, summed bytes) is exceeded.
+// Replacement resets the TTL clock (the entry was just recomputed) but
+// keeps the hit count. It returns the number of evictions the insert
+// caused.
+func (s *store[V]) put(key string, v V, now time.Time, size int64) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.m[key]; ok {
 		e := el.Value.(*storeEntry[V])
-		e.val, e.at = v, now
+		s.bytes += size - e.size
+		e.val, e.at, e.size = v, now, size
 		s.ll.MoveToFront(el)
-		return
+		return 0
 	}
-	s.m[key] = s.ll.PushFront(&storeEntry[V]{key: key, val: v, at: now})
-	for s.max > 0 && s.ll.Len() > s.max {
+	s.m[key] = s.ll.PushFront(&storeEntry[V]{key: key, val: v, at: now, size: size})
+	s.bytes += size
+	evictions := 0
+	for (s.max > 0 && s.ll.Len() > s.max) || (s.maxBytes > 0 && s.bytes > s.maxBytes) {
 		back := s.ll.Back()
-		s.ll.Remove(back)
-		delete(s.m, back.Value.(*storeEntry[V]).key)
+		if back == nil {
+			break
+		}
+		s.removeLocked(back)
+		evictions++
 		if s.evicted != nil {
 			s.evicted.Add(1)
 		}
 	}
+	return evictions
+}
+
+// remove deletes key, reporting whether it was resident.
+func (s *store[V]) remove(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
+	if !ok {
+		return false
+	}
+	s.removeLocked(el)
+	return true
+}
+
+// removeLocked unlinks one element. Called with mu held.
+func (s *store[V]) removeLocked(el *list.Element) {
+	e := el.Value.(*storeEntry[V])
+	s.ll.Remove(el)
+	delete(s.m, e.key)
+	s.bytes -= e.size
 }
 
 func (s *store[V]) len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.ll.Len()
+}
+
+func (s *store[V]) sizeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
 }
 
 // each visits every resident entry in most-recently-used order.

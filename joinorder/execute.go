@@ -90,6 +90,21 @@ func OptimizeExecuted(ctx context.Context, q *Query, opts Options, eo ExecOption
 		return nil, err
 	}
 
+	return ExecuteResult(ctx, res, q, opts, eo)
+}
+
+// ExecuteResult runs an already-optimized result against data synthesized
+// to match ExecOptions.DataQuery (or q itself): the execution half of
+// OptimizeExecuted, split out so serving layers that obtained the result
+// elsewhere — e.g. the plan cache — can close the same feedback loop.
+// res must carry a Tree (every successful Optimize and cache serve does).
+func ExecuteResult(ctx context.Context, res *Result, q *Query, opts Options, eo ExecOptions) (*Execution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if res == nil || res.Tree == nil {
+		return nil, fmt.Errorf("%w: result carries no executable tree", ErrNoPlan)
+	}
 	dataQ := eo.DataQuery
 	if dataQ == nil {
 		dataQ = q

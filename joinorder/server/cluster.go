@@ -1,0 +1,105 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+
+	"milpjoin/joinorder/cache"
+	"milpjoin/joinorder/cluster"
+)
+
+// NodeHeader names the node that produced a response, for observability
+// and cluster tests. Forwarded answers carry the owner's ID through the
+// proxy hop.
+const NodeHeader = "X-Joinopt-Node"
+
+// routingFingerprint extracts the canonical query fingerprint from a
+// full cache key ("e|<options>|<fp>" or "s|<options>|<fp>"): the segment
+// after the last separator. Routing on the fingerprint alone — not the
+// options digest — keeps every variant of one query on one node, so its
+// donors and exact entries share a shard.
+func routingFingerprint(key string) string {
+	if i := strings.LastIndexByte(key, '|'); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// tryForward routes one prepared optimize request through the cluster:
+// when another healthy node owns the query's fingerprint, the raw body is
+// proxied there and the peer's response relayed verbatim. It reports
+// whether the response was written. A false return — no cluster, a
+// forwarded arrival, an uncacheable query, local ownership, or a failed
+// forward (fail open) — means the caller must serve locally.
+func (s *Server) tryForward(w http.ResponseWriter, r *http.Request, pr *prepared) bool {
+	rt := s.cfg.Cluster
+	if rt == nil {
+		return false
+	}
+	w.Header().Set(NodeHeader, rt.Self().ID)
+	if pr.forwarded {
+		rt.ServedLocal()
+		return false
+	}
+	ce, err := cache.Canonicalize(pr.q, cache.Exact)
+	if err != nil {
+		// Uncacheable queries gain nothing from shard affinity.
+		return false
+	}
+	owner, remote := rt.Route(ce.Key)
+	if !remote {
+		return false
+	}
+	resp, err := rt.Forward(r.Context(), owner, "/v1/optimize", r.Header, pr.raw)
+	if err != nil {
+		// The peer is unreachable: answer here rather than failing the
+		// request. Forward already demoted the peer's health.
+		s.log.Warn("cluster forward failed; serving locally",
+			"peer", owner.ID, "req", pr.id, "err", err)
+		return false
+	}
+	defer resp.Body.Close()
+	relayResponse(w, resp, owner)
+	return true
+}
+
+// relayResponse copies a peer's HTTP answer to the client.
+func relayResponse(w http.ResponseWriter, resp *http.Response, owner cluster.Peer) {
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	if v := resp.Header.Get(NodeHeader); v != "" {
+		w.Header().Set(NodeHeader, v)
+	} else {
+		w.Header().Set(NodeHeader, owner.ID)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body) //nolint:errcheck // client gone; nothing to do
+}
+
+// handleClusterEntry is POST /v1/cluster/entry: the peer-to-peer cache
+// replication ingest. The body is one cluster.Entry; a valid entry lands
+// in the in-memory cache and the local persistent log (so replicas
+// survive this node's restart) without re-announcing through OnStore.
+func (s *Server) handleClusterEntry(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, 0, "server is draining")
+		return
+	}
+	var e cluster.Entry
+	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(body).Decode(&e); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, 0, "parsing entry: %v", err)
+		return
+	}
+	if err := s.co.ImportRecord(e.Kind, e.Key, e.Val); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, 0, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -34,6 +34,7 @@ import (
 
 	"milpjoin/joinorder"
 	"milpjoin/joinorder/cache"
+	"milpjoin/joinorder/cluster"
 )
 
 // Config configures a Server. The zero value is production-usable:
@@ -72,6 +73,16 @@ type Config struct {
 	// cache defaults, except DegradeUnder which the server defaults to
 	// 150ms so the saturated-queue degraded path exists out of the box.
 	Cache cache.Config
+
+	// Cluster, when set, shards this server into a joinoptd fleet: the
+	// router's consistent-hash ring routes each request's canonical
+	// fingerprint to its owning node (forwarding those owned elsewhere),
+	// freshly stored cache entries replicate to ring successors, and the
+	// /v1/cluster/entry ingest endpoint accepts peers' replicas. The
+	// server wires the cache's OnStore hook to the router unless the
+	// caller already set one. The caller owns the router's lifecycle
+	// (cluster.New before server.New, Close after drain).
+	Cluster *cluster.Router
 
 	// Logger receives request and solve logging (default: slog.Default()).
 	// Solver events are rendered onto it through obs.SlogHandler when

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"milpjoin/joinorder/cache"
+	"milpjoin/joinorder/cluster"
 )
 
 // Snapshot is a point-in-time view of the daemon's counters, served as
@@ -43,12 +44,22 @@ type Snapshot struct {
 	SimplexIters int64 `json:"solver_simplex_iters"`
 	Incumbents   int64 `json:"solver_incumbents"`
 
+	Batches    int64 `json:"batches"`
+	BatchItems int64 `json:"batch_items"`
+
 	Cache cache.Stats `json:"cache"`
+	// Cluster is present only on clustered servers.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 }
 
 // Snapshot captures the current counters.
 func (s *Server) Snapshot() Snapshot {
 	running, queued := s.adm.load()
+	var cl *cluster.Stats
+	if s.cfg.Cluster != nil {
+		cs := s.cfg.Cluster.Stats()
+		cl = &cs
+	}
 	return Snapshot{
 		Requests:      s.ctr.requests.Load(),
 		OK:            s.ctr.ok.Load(),
@@ -74,7 +85,10 @@ func (s *Server) Snapshot() Snapshot {
 		SolverNodes:   s.ctr.solverNodes.Load(),
 		SimplexIters:  s.ctr.simplexIters.Load(),
 		Incumbents:    s.ctr.incumbents.Load(),
+		Batches:       s.ctr.batches.Load(),
+		BatchItems:    s.ctr.batchItems.Load(),
 		Cache:         s.co.Stats(),
+		Cluster:       cl,
 	}
 }
 
@@ -139,9 +153,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("joinoptd_cache_refines_total", "Background refine solves completed.", snap.Cache.Refines)
 	counter("joinoptd_cache_evicted_total", "Entries evicted by the LRU bound.", snap.Cache.Evicted)
 	counter("joinoptd_cache_expired_total", "Entries expired by TTL.", snap.Cache.Expired)
+	counter("joinoptd_cache_replayed_total", "Entries loaded from the persistent log at startup.", snap.Cache.Replayed)
+	counter("joinoptd_cache_replay_evicted_total", "Replayed entries evicted again by the LRU bounds during startup.", snap.Cache.ReplayEvicted)
+	counter("joinoptd_cache_imported_total", "Entries accepted from cluster peers.", snap.Cache.Imported)
+	counter("joinoptd_cache_invalidated_total", "Entries removed by explicit invalidation.", snap.Cache.Invalidated)
+	counter("joinoptd_cache_feedback_refreshes_total", "Corrected-cardinality feedback refreshes.", snap.Cache.FeedbackRefreshes)
+	counter("joinoptd_cache_persist_errors_total", "Failed persistent-log writes.", snap.Cache.PersistErrors)
 	gauge("joinoptd_cache_entries", "Exact cache entries resident.", float64(snap.Cache.Entries))
 	gauge("joinoptd_cache_donors", "Warm-start donor entries resident.", float64(snap.Cache.Donors))
+	gauge("joinoptd_cache_bytes", "Approximate resident bytes of the exact cache.", float64(snap.Cache.Bytes))
 	gauge("joinoptd_cache_hit_rate", "Hits over cacheable lookups.", snap.Cache.HitRate())
+
+	counter("joinoptd_batches_total", "Batch optimize requests received.", snap.Batches)
+	counter("joinoptd_batch_items_total", "Individual queries across all batches.", snap.BatchItems)
+
+	if cl := snap.Cluster; cl != nil {
+		gauge("joinoptd_cluster_peers", "Configured cluster membership size.", float64(cl.Peers))
+		gauge("joinoptd_cluster_peers_up", "Peers currently passing health probes.", float64(cl.PeersUp))
+		counter("joinoptd_cluster_routed_local_total", "Requests served by this shard.", cl.RoutedLocal)
+		counter("joinoptd_cluster_forwards_total", "Requests forwarded to their owning peer.", cl.Forwards)
+		counter("joinoptd_cluster_forward_errors_total", "Forwards that failed open to a local solve.", cl.ForwardErrors)
+		counter("joinoptd_cluster_replicated_total", "Cache entry copies shipped to peers.", cl.Replicated)
+		counter("joinoptd_cluster_replicate_errors_total", "Failed replication posts.", cl.ReplicateErrors)
+		counter("joinoptd_cluster_replicate_dropped_total", "Replication entries dropped on a full queue.", cl.ReplicateDropped)
+		counter("joinoptd_cluster_probe_fails_total", "Failed peer health probes.", cl.ProbeFails)
+	}
 }
 
 func boolGauge(b bool) float64 {

@@ -15,6 +15,7 @@ import (
 	"milpjoin/internal/obs"
 	"milpjoin/joinorder"
 	"milpjoin/joinorder/cache"
+	"milpjoin/joinorder/cluster"
 )
 
 // Server is the optimization daemon: an http.Handler fronting a
@@ -59,6 +60,8 @@ type serverCounters struct {
 	simplexIters atomic.Int64 // simplex iterations, summed over solves
 	incumbents   atomic.Int64 // incumbent improvements, summed over solves
 	portfolio    atomic.Int64 // strategy=auto requests admitted with weight > 1
+	batches      atomic.Int64 // batch requests received
+	batchItems   atomic.Int64 // individual queries across all batches
 }
 
 // requestWeight is the admission weight of one request: a portfolio race
@@ -80,6 +83,14 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Cluster != nil && cfg.Cache.OnStore == nil {
+		// Every freshly solved entry replicates to the fingerprint's ring
+		// successors; replayed and imported entries never re-announce.
+		rt := cfg.Cluster
+		cfg.Cache.OnStore = func(kind, key string, val []byte) {
+			rt.Replicate(routingFingerprint(key), kind, key, val)
+		}
+	}
 	co, err := cache.New(cfg.Cache)
 	if err != nil {
 		return nil, err
@@ -93,7 +104,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("POST /v1/optimize/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/optimize/stream", s.handleStream)
+	s.mux.HandleFunc("POST "+cluster.EntryPath, s.handleClusterEntry)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /varz", s.handleVarz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -162,6 +175,12 @@ type prepared struct {
 	opts    joinorder.Options
 	arrived time.Time
 	id      string
+	// raw is the request body as received, kept for cluster forwarding.
+	raw []byte
+	// forwarded marks a request that already hopped once (the
+	// cluster.ForwardHeader was present): it is pinned local and its
+	// tenant budget was charged at the ingress node.
+	forwarded bool
 }
 
 // httpError is a terminal non-2xx outcome of serve. code is the stable
@@ -184,17 +203,22 @@ func (s *Server) prepare(w http.ResponseWriter, r *http.Request) (*prepared, boo
 		writeError(w, http.StatusServiceUnavailable, CodeDraining, time.Second, "server is draining")
 		return nil, false
 	}
-	req, err := decodeRequest(w, r)
+	req, raw, err := decodeRequest(w, r)
 	if err != nil {
 		s.ctr.badRequest.Add(1)
 		writeError(w, http.StatusBadRequest, CodeBadRequest, 0, "%v", err)
 		return nil, false
 	}
-	if ok, wait := s.tb.allow(req.tenant(r), s.cfg.now()); !ok {
-		s.ctr.rateLimited.Add(1)
-		w.Header().Set("Retry-After", retryAfterSeconds(wait))
-		writeError(w, http.StatusTooManyRequests, CodeRateLimited, wait, "tenant %q over rate limit", req.tenant(r))
-		return nil, false
+	forwarded := r.Header.Get(cluster.ForwardHeader) != ""
+	if !forwarded {
+		// Forwarded arrivals were already charged at their ingress node;
+		// charging the forwarding hop again would double-bill the tenant.
+		if ok, wait := s.tb.allow(req.tenant(r), s.cfg.now()); !ok {
+			s.ctr.rateLimited.Add(1)
+			w.Header().Set("Retry-After", retryAfterSeconds(wait))
+			writeError(w, http.StatusTooManyRequests, CodeRateLimited, wait, "tenant %q over rate limit", req.tenant(r))
+			return nil, false
+		}
 	}
 	q, err := req.query()
 	if err != nil {
@@ -209,11 +233,13 @@ func (s *Server) prepare(w http.ResponseWriter, r *http.Request) (*prepared, boo
 		return nil, false
 	}
 	return &prepared{
-		req:     req,
-		q:       q,
-		opts:    opts,
-		arrived: s.cfg.now(),
-		id:      fmt.Sprintf("r%06d", s.reqID.Add(1)),
+		req:       req,
+		q:         q,
+		opts:      opts,
+		arrived:   s.cfg.now(),
+		id:        fmt.Sprintf("r%06d", s.reqID.Add(1)),
+		raw:       raw,
+		forwarded: forwarded,
 	}, true
 }
 
@@ -475,6 +501,9 @@ func defaultStrategy(s string) string {
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	pr, ok := s.prepare(w, r)
 	if !ok {
+		return
+	}
+	if s.tryForward(w, r, pr) {
 		return
 	}
 	resp, herr := s.serve(r.Context(), pr, nil)

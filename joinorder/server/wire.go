@@ -202,18 +202,19 @@ func (r *OptimizeRequest) options(cfg Config) (joinorder.Options, error) {
 	return opts, opts.Validate()
 }
 
-// decodeRequest reads and parses one optimize request body.
-func decodeRequest(w http.ResponseWriter, r *http.Request) (*OptimizeRequest, error) {
+// decodeRequest reads and parses one optimize request body, returning the
+// raw bytes alongside so the cluster layer can forward them verbatim.
+func decodeRequest(w http.ResponseWriter, r *http.Request) (*OptimizeRequest, []byte, error) {
 	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	data, err := io.ReadAll(body)
 	if err != nil {
-		return nil, fmt.Errorf("reading request: %v", err)
+		return nil, nil, fmt.Errorf("reading request: %v", err)
 	}
 	var req OptimizeRequest
 	if err := json.Unmarshal(data, &req); err != nil {
-		return nil, fmt.Errorf("parsing request: %v", err)
+		return nil, nil, fmt.Errorf("parsing request: %v", err)
 	}
-	return &req, nil
+	return &req, data, nil
 }
 
 // tenant resolves the rate-limiting bucket name: header, then body field,
